@@ -1,0 +1,58 @@
+// Ablation: STR-AP vs STR-L2AP vs STR-L2 — reproduces the paper's
+// preliminary finding that led to AP's exclusion from the evaluation
+// ("our code also includes an implementation of AP … we found it much
+// slower than L2AP, therefore we omit it", §7).
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "index/stream_l2_index.h"
+#include "index/stream_l2ap_index.h"
+#include "util/timer.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.5);
+  const Stream stream =
+      GenerateProfile(DatasetProfile::kRcv1, args.scale, args.seed);
+  bench::PrintHeader("Ablation: STR-AP vs STR-L2AP vs STR-L2", stream, args);
+
+  TablePrinter table({"lambda", "theta", "index", "candidates", "entries",
+                      "indexed", "time(s)"},
+                     args.tsv);
+  for (double lambda : args.lambdas) {
+    for (double theta : {0.5, 0.7, 0.9}) {
+      DecayParams params;
+      if (!DecayParams::Make(theta, lambda, &params)) continue;
+      const auto run = [&](StreamIndex& index) {
+        CountingSink sink;
+        Timer timer;
+        for (const StreamItem& item : stream) {
+          index.ProcessArrival(item, &sink);
+        }
+        const double secs = timer.ElapsedSeconds();
+        const RunStats& s = index.stats();
+        table.AddRow({FormatSci(lambda, 0), FormatDouble(theta, 2),
+                      index.name(), std::to_string(s.candidates_generated),
+                      std::to_string(s.entries_traversed),
+                      std::to_string(s.entries_indexed),
+                      FormatDouble(secs, 3)});
+      };
+      StreamL2apIndex ap(params, 0.0, /*use_l2_bounds=*/false);
+      StreamL2apIndex l2ap(params);
+      StreamL2Index l2(params);
+      run(ap);
+      run(l2ap);
+      run(l2);
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

@@ -1,0 +1,59 @@
+// Ablation: dimension-ordering strategies (the paper's future-work item).
+// Measures the benefit (entries traversed, time) of each ordering on each
+// dataset profile, and the cost of building the mapping (one stream pass).
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "data/dim_order.h"
+#include "index/stream_l2_index.h"
+#include "util/timer.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.5);
+  const double theta = flags.GetDouble("theta", 0.7);
+  const double lambda = flags.GetDouble("lambda", 0.01);
+  DecayParams params;
+  if (!DecayParams::Make(theta, lambda, &params)) return 1;
+
+  TablePrinter table({"dataset", "ordering", "build(s)", "entries",
+                      "indexed", "time(s)", "pairs"},
+                     args.tsv);
+  for (DatasetProfile p : AllProfiles()) {
+    const Stream stream = GenerateProfile(p, args.scale, args.seed);
+    for (DimOrderStrategy strat :
+         {DimOrderStrategy::kNone, DimOrderStrategy::kFrequentFirst,
+          DimOrderStrategy::kRareFirst,
+          DimOrderStrategy::kMaxValueDescending}) {
+      Timer build_timer;
+      const auto remapper = DimensionRemapper::Build(stream, strat);
+      const Stream remapped = remapper.RemapStream(stream);
+      const double build_secs = build_timer.ElapsedSeconds();
+
+      StreamL2Index index(params);
+      CountingSink sink;
+      Timer timer;
+      for (const StreamItem& item : remapped) {
+        index.ProcessArrival(item, &sink);
+      }
+      const double secs = timer.ElapsedSeconds();
+      table.AddRow({PaperInfo(p).name, ToString(strat),
+                    FormatDouble(build_secs, 3),
+                    std::to_string(index.stats().entries_traversed),
+                    std::to_string(index.stats().entries_indexed),
+                    FormatDouble(secs, 3), std::to_string(sink.count())});
+    }
+  }
+  std::cout << "Ablation: dimension ordering (STR-L2, theta=" << theta
+            << ", lambda=" << lambda << ")\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

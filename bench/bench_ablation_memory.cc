@@ -1,0 +1,74 @@
+// Ablation: memory footprint, STR vs MB. The paper reports a failure-mode
+// asymmetry: "In all cases of failure during our experiments, MB fails due
+// to timeout, while STR because of memory requirements" (§7). This bench
+// measures peak live posting entries and sampled resident bytes of the
+// streaming indexes across horizons, next to MB's per-window peak.
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "index/stream_inv_index.h"
+#include "index/stream_l2_index.h"
+#include "index/stream_l2ap_index.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.7);
+  const double theta = flags.GetDouble("theta", 0.6);
+  const Stream stream =
+      GenerateProfile(DatasetProfile::kBlogs, args.scale, args.seed);
+  bench::PrintHeader("Ablation: memory footprint STR vs MB, BlogsLike",
+                     stream, args);
+
+  TablePrinter table({"lambda", "tau", "variant", "peak_entries",
+                      "peak_bytes(KiB)"},
+                     args.tsv);
+  for (double lambda : args.lambdas) {
+    DecayParams params;
+    if (!DecayParams::Make(theta, lambda, &params)) continue;
+
+    // Streaming indexes: sample MemoryBytes every 64 arrivals.
+    std::vector<std::unique_ptr<StreamIndex>> indexes;
+    indexes.push_back(std::make_unique<StreamInvIndex>(params));
+    indexes.push_back(std::make_unique<StreamL2Index>(params));
+    indexes.push_back(std::make_unique<StreamL2apIndex>(params));
+    for (auto& index : indexes) {
+      CountingSink sink;
+      size_t peak_bytes = 0;
+      for (size_t i = 0; i < stream.size(); ++i) {
+        index->ProcessArrival(stream[i], &sink);
+        if (i % 64 == 0) {
+          peak_bytes = std::max(peak_bytes, index->MemoryBytes());
+        }
+      }
+      peak_bytes = std::max(peak_bytes, index->MemoryBytes());
+      table.AddRow({FormatSci(lambda, 0), FormatDouble(params.tau, 1),
+                    std::string("STR-") + index->name(),
+                    std::to_string(index->stats().peak_index_entries),
+                    std::to_string(peak_bytes / 1024)});
+    }
+
+    // MB: peak per-window index entries (whole indexes are dropped at
+    // window boundaries, so the window size bounds its footprint).
+    RunConfig cfg;
+    cfg.framework = Framework::kMiniBatch;
+    cfg.index = IndexScheme::kL2;
+    cfg.theta = theta;
+    cfg.lambda = lambda;
+    const RunResult mb = RunJoin(stream, cfg);
+    table.AddRow({FormatSci(lambda, 0), FormatDouble(params.tau, 1),
+                  "MB-L2(per-window)",
+                  std::to_string(mb.stats.peak_index_entries), "-"});
+  }
+  std::cout << "(theta=" << theta << ")\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

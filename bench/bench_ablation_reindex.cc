@@ -1,0 +1,53 @@
+// Ablation: the L2AP re-indexing workaround the paper suggests ("use a
+// more lax bound to decrease the frequency of re-indexing", §7.1 Q2).
+// Sweeps the index-construction slack and reports the trade: fewer
+// re-indexed coordinates and traversed entries vs a larger index.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "index/stream_l2ap_index.h"
+#include "util/timer.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.7);
+  const double theta = flags.GetDouble("theta", 0.7);
+  const std::vector<double> slacks =
+      flags.GetDoubleList("slack-list", {0.0, 0.05, 0.1, 0.25, 0.5});
+  const Stream stream =
+      GenerateProfile(DatasetProfile::kRcv1, args.scale, args.seed);
+  bench::PrintHeader("Ablation: L2AP ic-slack vs re-indexing", stream, args);
+
+  TablePrinter table({"lambda", "slack", "reindex_events", "reindexed_coords",
+                      "indexed", "entries", "time(s)", "pairs"},
+                     args.tsv);
+  for (double lambda : args.lambdas) {
+    DecayParams params;
+    if (!DecayParams::Make(theta, lambda, &params)) continue;
+    for (double slack : slacks) {
+      StreamL2apIndex index(params, slack);
+      CountingSink sink;
+      Timer timer;
+      for (const StreamItem& item : stream) index.ProcessArrival(item, &sink);
+      const double secs = timer.ElapsedSeconds();
+      const RunStats& s = index.stats();
+      table.AddRow({FormatSci(lambda, 0), FormatDouble(slack, 2),
+                    std::to_string(s.reindex_events),
+                    std::to_string(s.reindexed_coords),
+                    std::to_string(s.entries_indexed),
+                    std::to_string(s.entries_traversed),
+                    FormatDouble(secs, 3), std::to_string(sink.count())});
+    }
+  }
+  std::cout << "(theta=" << theta << ")\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

@@ -1,0 +1,59 @@
+// Ablation: MB window length. The paper fixes the window at τ; any length
+// ≥ τ is complete, trading fewer index rebuilds (good on dense data, cf.
+// Figure 4's discussion) against larger per-window indexes and more
+// decay-rejected cross-window candidates (pairs up to 2·window apart are
+// tested).
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "index/prefix_index.h"
+#include "stream/minibatch.h"
+#include "util/timer.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.35);
+  const double theta = flags.GetDouble("theta", 0.6);
+  const std::vector<double> factors =
+      flags.GetDoubleList("factor-list", {1, 2, 4, 8});
+  const Stream stream =
+      GenerateProfile(DatasetProfile::kWebSpam, args.scale, args.seed);
+  bench::PrintHeader("Ablation: MB window length (WebSpamLike)", stream,
+                     args);
+
+  TablePrinter table({"lambda", "window/tau", "rebuilds", "entries",
+                      "peak_entries", "time(s)", "pairs"},
+                     args.tsv);
+  for (double lambda : args.lambdas) {
+    DecayParams params;
+    if (!DecayParams::Make(theta, lambda, &params)) continue;
+    for (double factor : factors) {
+      MiniBatchJoin mb(
+          params,
+          [theta] { return std::make_unique<L2Index>(theta); },
+          factor);
+      CountingSink sink;
+      Timer timer;
+      for (const StreamItem& item : stream) mb.Push(item, &sink);
+      mb.Flush(&sink);
+      const double secs = timer.ElapsedSeconds();
+      table.AddRow({FormatSci(lambda, 0), FormatDouble(factor, 1),
+                    std::to_string(mb.stats().index_rebuilds),
+                    std::to_string(mb.stats().entries_traversed),
+                    std::to_string(mb.stats().peak_index_entries),
+                    FormatDouble(secs, 3), std::to_string(sink.count())});
+    }
+  }
+  std::cout << "(theta=" << theta << ")\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

@@ -1,0 +1,64 @@
+// Figure 2: ratio of posting entries traversed during candidate generation,
+// STR vs MB (L2 index), as a function of the horizon τ. The paper finds the
+// ratio approaches 1 for small τ and drops to ≈ 0.65 for large τ (MB wastes
+// traversals on pairs up to 2τ apart that ApplyDecay then rejects).
+//
+// τ is swept by fixing θ = 0.5 and choosing λ = ln(1/θ)/τ.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.5);
+  const double theta = flags.GetDouble("theta", 0.5);
+  const std::vector<double> taus =
+      flags.GetDoubleList("tau-list", {1, 3, 10, 30, 100, 300, 1000});
+
+  TablePrinter table({"dataset", "tau", "entries(STR)", "entries(MB)",
+                      "ratio"},
+                     args.tsv);
+
+  for (DatasetProfile p :
+       {DatasetProfile::kWebSpam, DatasetProfile::kRcv1}) {
+    const Stream stream = GenerateProfile(p, args.scale, args.seed);
+    for (double tau : taus) {
+      const double lambda = std::log(1.0 / theta) / tau;
+
+      RunConfig str_cfg;
+      str_cfg.framework = Framework::kStreaming;
+      str_cfg.index = IndexScheme::kL2;
+      str_cfg.theta = theta;
+      str_cfg.lambda = lambda;
+      const RunResult str_res = RunJoin(stream, str_cfg);
+
+      RunConfig mb_cfg = str_cfg;
+      mb_cfg.framework = Framework::kMiniBatch;
+      const RunResult mb_res = RunJoin(stream, mb_cfg);
+
+      const double ratio =
+          mb_res.stats.entries_traversed == 0
+              ? 0.0
+              : static_cast<double>(str_res.stats.entries_traversed) /
+                    static_cast<double>(mb_res.stats.entries_traversed);
+      table.AddRow({PaperInfo(p).name, FormatDouble(tau, 1),
+                    std::to_string(str_res.stats.entries_traversed),
+                    std::to_string(mb_res.stats.entries_traversed),
+                    FormatDouble(ratio, 3)});
+    }
+  }
+
+  std::cout << "Figure 2: CG posting entries traversed, STR/MB ratio vs tau "
+               "(L2 index, theta="
+            << theta << ")\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

@@ -1,0 +1,51 @@
+// Figure 3: MB vs STR running time on the RCV1-like profile, for every
+// index ∈ {INV, L2AP, L2} and the θ × λ grid. Paper shape: STR faster than
+// MB in most configurations (up to 4× at low θ); L2AP-STR degrades at
+// short horizons (λ = 0.1) because of re-indexing.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.5);
+  const Stream stream =
+      GenerateProfile(DatasetProfile::kRcv1, args.scale, args.seed);
+  bench::PrintHeader("Figure 3: MB vs STR time, RCV1Like", stream, args);
+
+  TablePrinter table({"indexing", "lambda", "theta", "time(MB)s",
+                      "time(STR)s", "STR/MB", "pairs"},
+                     args.tsv);
+  for (IndexScheme ix : PaperIndexSchemes()) {
+    for (double lambda : args.lambdas) {
+      for (double theta : args.thetas) {
+        RunConfig cfg;
+        cfg.index = ix;
+        cfg.theta = theta;
+        cfg.lambda = lambda;
+        cfg.budget_seconds = args.budget_seconds;
+        cfg.framework = Framework::kMiniBatch;
+        const RunResult mb = RunJoin(stream, cfg);
+        cfg.framework = Framework::kStreaming;
+        const RunResult str = RunJoin(stream, cfg);
+        table.AddRow({ToString(ix), FormatSci(lambda, 0),
+                      FormatDouble(theta, 2), FormatDouble(mb.seconds, 3),
+                      FormatDouble(str.seconds, 3),
+                      mb.seconds > 0
+                          ? FormatDouble(str.seconds / mb.seconds, 2)
+                          : "-",
+                      std::to_string(str.pairs)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

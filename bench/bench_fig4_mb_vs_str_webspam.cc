@@ -1,0 +1,52 @@
+// Figure 4: MB vs STR running time on the WebSpam-like profile (the
+// high-density outlier). Paper shape: unlike RCV1, MB holds the advantage
+// in many configurations — especially at large λ (short horizons) — because
+// the lazy per-list pruning of STR touches a huge number of posting lists
+// per arrival on dense vectors, whereas MB can drop whole indexes.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.35);
+  const Stream stream =
+      GenerateProfile(DatasetProfile::kWebSpam, args.scale, args.seed);
+  bench::PrintHeader("Figure 4: MB vs STR time, WebSpamLike", stream, args);
+
+  TablePrinter table({"indexing", "lambda", "theta", "time(MB)s",
+                      "time(STR)s", "STR/MB", "pairs"},
+                     args.tsv);
+  for (IndexScheme ix : PaperIndexSchemes()) {
+    for (double lambda : args.lambdas) {
+      for (double theta : args.thetas) {
+        RunConfig cfg;
+        cfg.index = ix;
+        cfg.theta = theta;
+        cfg.lambda = lambda;
+        cfg.budget_seconds = args.budget_seconds;
+        cfg.framework = Framework::kMiniBatch;
+        const RunResult mb = RunJoin(stream, cfg);
+        cfg.framework = Framework::kStreaming;
+        const RunResult str = RunJoin(stream, cfg);
+        table.AddRow({ToString(ix), FormatSci(lambda, 0),
+                      FormatDouble(theta, 2), FormatDouble(mb.seconds, 3),
+                      FormatDouble(str.seconds, 3),
+                      mb.seconds > 0
+                          ? FormatDouble(str.seconds / mb.seconds, 2)
+                          : "-",
+                      std::to_string(str.pairs)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

@@ -1,0 +1,50 @@
+// Figure 5: STR running time by indexing scheme (INV / L2AP / L2) as a
+// function of θ, one column per λ, on the RCV1-like profile. Paper shape:
+// L2 almost always fastest; INV competitive only at short horizons; L2AP
+// close to L2 at long horizons but *increases* with θ at λ = 0.1 because
+// shorter horizons re-index more often.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.7);
+  const Stream stream =
+      GenerateProfile(DatasetProfile::kRcv1, args.scale, args.seed);
+  bench::PrintHeader("Figure 5: STR time by index, RCV1Like", stream, args);
+
+  TablePrinter table({"lambda", "theta", "INV(s)", "L2AP(s)", "L2(s)",
+                      "reindex(L2AP)"},
+                     args.tsv);
+  for (double lambda : args.lambdas) {
+    for (double theta : args.thetas) {
+      std::vector<std::string> row = {FormatSci(lambda, 0),
+                                      FormatDouble(theta, 2)};
+      uint64_t reindexed = 0;
+      for (IndexScheme ix : PaperIndexSchemes()) {
+        RunConfig cfg;
+        cfg.framework = Framework::kStreaming;
+        cfg.index = ix;
+        cfg.theta = theta;
+        cfg.lambda = lambda;
+        cfg.budget_seconds = args.budget_seconds;
+        const RunResult r = RunJoin(stream, cfg);
+        row.push_back(FormatDouble(r.seconds, 3));
+        if (ix == IndexScheme::kL2ap) reindexed = r.stats.reindexed_coords;
+      }
+      row.push_back(std::to_string(reindexed));
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

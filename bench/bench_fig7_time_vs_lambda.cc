@@ -1,0 +1,45 @@
+// Figure 7: STR-L2 running time as a function of the decay factor λ, one
+// series per θ, for all four dataset profiles. Paper shape: time decreases
+// monotonically in λ (shorter horizon → less work), most sharply at low θ,
+// flattening for large λ.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.7);
+
+  TablePrinter table({"dataset", "theta", "lambda", "tau", "time(s)",
+                      "pairs"},
+                     args.tsv);
+  for (DatasetProfile p : AllProfiles()) {
+    const Stream stream = GenerateProfile(p, args.scale, args.seed);
+    for (double theta : args.thetas) {
+      for (double lambda : args.lambdas) {
+        RunConfig cfg;
+        cfg.framework = Framework::kStreaming;
+        cfg.index = IndexScheme::kL2;
+        cfg.theta = theta;
+        cfg.lambda = lambda;
+        cfg.budget_seconds = args.budget_seconds;
+        const RunResult r = RunJoin(stream, cfg);
+        table.AddRow({PaperInfo(p).name, FormatDouble(theta, 2),
+                      FormatSci(lambda, 0),
+                      FormatDouble(TimeHorizon(theta, lambda), 1),
+                      FormatDouble(r.seconds, 3), std::to_string(r.pairs)});
+      }
+    }
+  }
+  std::cout << "Figure 7: STR-L2 time vs lambda (per theta, all datasets)\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

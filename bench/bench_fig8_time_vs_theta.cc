@@ -1,0 +1,45 @@
+// Figure 8: STR-L2 running time as a function of the similarity threshold
+// θ, one series per λ, for all four dataset profiles — Figure 7 with the
+// parameter roles reversed. Paper shape: time decreases in θ, more sharply
+// at low λ, flattening quickly.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.7);
+
+  TablePrinter table({"dataset", "lambda", "theta", "tau", "time(s)",
+                      "pairs"},
+                     args.tsv);
+  for (DatasetProfile p : AllProfiles()) {
+    const Stream stream = GenerateProfile(p, args.scale, args.seed);
+    for (double lambda : args.lambdas) {
+      for (double theta : args.thetas) {
+        RunConfig cfg;
+        cfg.framework = Framework::kStreaming;
+        cfg.index = IndexScheme::kL2;
+        cfg.theta = theta;
+        cfg.lambda = lambda;
+        cfg.budget_seconds = args.budget_seconds;
+        const RunResult r = RunJoin(stream, cfg);
+        table.AddRow({PaperInfo(p).name, FormatSci(lambda, 0),
+                      FormatDouble(theta, 2),
+                      FormatDouble(TimeHorizon(theta, lambda), 1),
+                      FormatDouble(r.seconds, 3), std::to_string(r.pairs)});
+      }
+    }
+  }
+  std::cout << "Figure 8: STR-L2 time vs theta (per lambda, all datasets)\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

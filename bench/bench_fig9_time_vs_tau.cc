@@ -1,0 +1,97 @@
+// Figure 9: STR-L2 running time as a function of the horizon τ, with a
+// per-dataset least-squares fit. Paper shape: time is roughly linear in τ
+// (time filtering dominates all other pruning), and the WebSpam slope is an
+// outlier (≈ an order of magnitude steeper) due to its density.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace sssj {
+namespace {
+
+struct Fit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+Fit LinearFit(const std::vector<double>& x, const std::vector<double>& y) {
+  const size_t n = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  Fit f;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double e = y[i] - (f.slope * x[i] + f.intercept);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.7);
+
+  TablePrinter points({"dataset", "tau", "time(s)"}, args.tsv);
+  TablePrinter fits({"dataset", "slope(s per tau-unit)", "intercept(s)",
+                     "R^2"},
+                    args.tsv);
+
+  for (DatasetProfile p : AllProfiles()) {
+    const Stream stream = GenerateProfile(p, args.scale, args.seed);
+    const double span = stream.back().ts - stream.front().ts;
+    std::vector<double> taus, times;
+    for (double theta : args.thetas) {
+      for (double lambda : args.lambdas) {
+        const double tau = TimeHorizon(theta, lambda);
+        // Beyond ~60% of the stream span the horizon saturates (time stops
+        // growing with τ), which would corrupt the linear fit.
+        if (!std::isfinite(tau) || tau > 0.6 * span) continue;
+        RunConfig cfg;
+        cfg.framework = Framework::kStreaming;
+        cfg.index = IndexScheme::kL2;
+        cfg.theta = theta;
+        cfg.lambda = lambda;
+        cfg.budget_seconds = args.budget_seconds;
+        // Best of three runs: the min is the standard noise-robust
+        // estimator for short benchmark runs.
+        double best = std::numeric_limits<double>::infinity();
+        for (int rep = 0; rep < 3; ++rep) {
+          best = std::min(best, RunJoin(stream, cfg).seconds);
+        }
+        taus.push_back(tau);
+        times.push_back(best);
+        points.AddRow({PaperInfo(p).name, FormatDouble(tau, 1),
+                       FormatDouble(best, 3)});
+      }
+    }
+    const Fit f = LinearFit(taus, times);
+    fits.AddRow({PaperInfo(p).name, FormatSci(f.slope, 3),
+                 FormatDouble(f.intercept, 4), FormatDouble(f.r2, 3)});
+  }
+
+  std::cout << "Figure 9: STR-L2 time vs horizon tau, linear fit per "
+               "dataset\n";
+  points.Print(std::cout);
+  std::cout << '\n';
+  fits.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

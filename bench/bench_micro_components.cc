@@ -1,0 +1,150 @@
+// Component micro-benchmarks (google-benchmark): the data-structure
+// operations whose costs drive the macro results — posting-list
+// maintenance, candidate-map accumulation, sparse dot products, decayed
+// max-vector updates, Zipf sampling, and end-to-end per-arrival cost of
+// each streaming index.
+#include <benchmark/benchmark.h>
+
+#include "data/generator.h"
+#include "index/candidate_map.h"
+#include "index/max_vector.h"
+#include "index/posting_list.h"
+#include "index/stream_inv_index.h"
+#include "index/stream_l2_index.h"
+#include "index/stream_l2ap_index.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace sssj {
+namespace {
+
+void BM_PostingListAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    PostingList list;
+    for (int i = 0; i < state.range(0); ++i) {
+      list.Append(PostingEntry{static_cast<VectorId>(i), 0.5, 0.5,
+                               static_cast<Timestamp>(i)});
+    }
+    benchmark::DoNotOptimize(list.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PostingListAppend)->Arg(1024)->Arg(16384);
+
+void BM_PostingListBackwardTruncate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    PostingList list;
+    for (int i = 0; i < n; ++i) {
+      list.Append(PostingEntry{static_cast<VectorId>(i), 0.5, 0.5,
+                               static_cast<Timestamp>(i)});
+    }
+    state.ResumeTiming();
+    // Drop the older half as the backward scan would.
+    list.TruncateFront(n / 2);
+    benchmark::DoNotOptimize(list.size());
+  }
+}
+BENCHMARK(BM_PostingListBackwardTruncate)->Arg(16384);
+
+void BM_PostingListCompact(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    PostingList list;
+    for (int i = 0; i < n; ++i) {
+      list.Append(PostingEntry{static_cast<VectorId>(i), 0.5, 0.5,
+                               static_cast<Timestamp>(i % 100)});
+    }
+    state.ResumeTiming();
+    list.CompactExpired(50.0);  // forward compaction, L2AP style
+    benchmark::DoNotOptimize(list.size());
+  }
+}
+BENCHMARK(BM_PostingListCompact)->Arg(16384);
+
+void BM_CandidateMapAccumulate(benchmark::State& state) {
+  CandidateMap map;
+  Rng rng(1);
+  std::vector<VectorId> ids(4096);
+  for (auto& id : ids) id = rng.NextBelow(1024);
+  for (auto _ : state) {
+    map.Reset();
+    for (VectorId id : ids) map.FindOrCreate(id)->score += 0.01;
+    benchmark::DoNotOptimize(map.touched_count());
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_CandidateMapAccumulate);
+
+void BM_SparseDot(benchmark::State& state) {
+  Rng rng(2);
+  const auto make = [&](int nnz) {
+    std::vector<Coord> coords;
+    for (int i = 0; i < nnz; ++i) {
+      coords.push_back(
+          Coord{static_cast<DimId>(rng.NextBelow(5000)), rng.NextDouble()});
+    }
+    return SparseVector::UnitFromCoords(std::move(coords));
+  };
+  const SparseVector a = make(static_cast<int>(state.range(0)));
+  const SparseVector b = make(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(a.Dot(b));
+}
+BENCHMARK(BM_SparseDot)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_DecayedMaxUpdate(benchmark::State& state) {
+  DecayedMaxVector m(0.01);
+  Rng rng(3);
+  Timestamp now = 0;
+  for (auto _ : state) {
+    now += 0.01;
+    m.Update(static_cast<DimId>(rng.NextBelow(1000)), rng.NextDouble(), now);
+  }
+  benchmark::DoNotOptimize(m.size());
+}
+BENCHMARK(BM_DecayedMaxUpdate);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(1000000, 1.05);
+  Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.Sample(rng));
+}
+BENCHMARK(BM_ZipfSample);
+
+// End-to-end per-arrival cost of each streaming index on a generator
+// stream (RCV1-like density).
+template <typename Index>
+void BM_StreamArrival(benchmark::State& state) {
+  DecayParams params;
+  DecayParams::Make(0.7, 0.01, &params);
+  CorpusSpec spec;
+  spec.num_vectors = 2000;
+  spec.num_dims = 9000;
+  spec.avg_nnz = 76;
+  spec.seed = 5;
+  const Stream stream = CorpusGenerator(spec).Generate();
+
+  Index index(params);
+  CountingSink sink;
+  size_t i = 0;
+  for (auto _ : state) {
+    index.ProcessArrival(stream[i], &sink);
+    i = (i + 1) % stream.size();
+    if (i == 0) {
+      state.PauseTiming();
+      index.Clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_StreamArrival, StreamInvIndex);
+BENCHMARK_TEMPLATE(BM_StreamArrival, StreamL2Index);
+BENCHMARK_TEMPLATE(BM_StreamArrival, StreamL2apIndex);
+
+}  // namespace
+}  // namespace sssj
+
+BENCHMARK_MAIN();

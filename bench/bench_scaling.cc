@@ -1,0 +1,62 @@
+// Scaling: running time vs stream length at a fixed horizon. The crux of
+// the paper's scalability argument (§7.1 Q1) is that STR's per-arrival
+// cost depends on the horizon, not on the stream length — so total time
+// grows linearly in n and the method "is able to run on all datasets",
+// while MB's window-rebuild overhead accumulates. This bench sweeps n at
+// fixed (θ, λ) and prints time and throughput for STR-L2, STR-INV, MB-L2.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/1.0);
+  const double theta = flags.GetDouble("theta", 0.7);
+  const double lambda = flags.GetDouble("lambda", 0.01);
+  const std::vector<double> scales =
+      flags.GetDoubleList("scale-list", {0.25, 0.5, 1.0, 2.0, 4.0});
+
+  TablePrinter table({"n", "variant", "time(s)", "kvec/s", "pairs",
+                      "peak_entries"},
+                     args.tsv);
+  for (double scale : scales) {
+    const Stream stream =
+        GenerateProfile(DatasetProfile::kRcv1, scale, args.seed);
+    struct Variant {
+      const char* label;
+      Framework fw;
+      IndexScheme ix;
+    };
+    const Variant variants[] = {
+        {"STR-L2", Framework::kStreaming, IndexScheme::kL2},
+        {"STR-INV", Framework::kStreaming, IndexScheme::kInv},
+        {"MB-L2", Framework::kMiniBatch, IndexScheme::kL2},
+    };
+    for (const Variant& v : variants) {
+      RunConfig cfg;
+      cfg.framework = v.fw;
+      cfg.index = v.ix;
+      cfg.theta = theta;
+      cfg.lambda = lambda;
+      const RunResult r = RunJoin(stream, cfg);
+      table.AddRow({std::to_string(stream.size()), v.label,
+                    FormatDouble(r.seconds, 3),
+                    FormatDouble(stream.size() / r.seconds / 1000.0, 1),
+                    std::to_string(r.pairs),
+                    std::to_string(r.stats.peak_index_entries)});
+    }
+  }
+  std::cout << "Scaling: time vs stream length at fixed theta=" << theta
+            << ", lambda=" << lambda
+            << " (RCV1Like; expect ~constant kvec/s for STR)\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

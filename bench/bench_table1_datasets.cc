@@ -1,0 +1,55 @@
+// Table 1: dataset statistics — paper-reported values side by side with the
+// synthetic profile actually generated at the current scale. Columns match
+// the paper: n, m, Σ|x|, density ρ (%), avg |x|, timestamp type.
+#include <iostream>
+#include <set>
+
+#include "bench/bench_util.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/1.0);
+
+  TablePrinter table({"dataset", "source", "n", "m", "sum|x|", "rho(%)",
+                      "avg|x|", "timestamps"},
+                     args.tsv);
+
+  for (DatasetProfile p : AllProfiles()) {
+    const PaperDatasetInfo info = PaperInfo(p);
+    table.AddRow({info.name, "paper", std::to_string(info.n),
+                  std::to_string(info.m), std::to_string(info.total_nnz),
+                  FormatDouble(100.0 * info.total_nnz /
+                                   (static_cast<double>(info.n) * info.m),
+                               3),
+                  FormatDouble(info.avg_nnz, 2), info.timestamps});
+
+    const Stream stream = GenerateProfile(p, args.scale, args.seed);
+    uint64_t total_nnz = 0;
+    std::set<DimId> dims_used;
+    for (const StreamItem& item : stream) {
+      total_nnz += item.vec.nnz();
+      for (const Coord& c : item.vec) dims_used.insert(c.dim);
+    }
+    const uint64_t n = stream.size();
+    const uint64_t m = dims_used.size();
+    table.AddRow(
+        {std::string(info.name) + "Like", "synthetic", std::to_string(n),
+         std::to_string(m), std::to_string(total_nnz),
+         FormatDouble(100.0 * total_nnz / (static_cast<double>(n) * m), 3),
+         FormatDouble(static_cast<double>(total_nnz) / n, 2),
+         info.timestamps});
+  }
+
+  std::cout << "Table 1: datasets (paper vs synthetic profile at --scale="
+            << args.scale << ")\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

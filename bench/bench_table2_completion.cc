@@ -1,0 +1,65 @@
+// Table 2: fraction of the 24 (θ, λ) configurations that terminate within
+// the time budget, for each framework × index × dataset. The paper used a
+// 3-hour timeout per run on full-size corpora; here the budget defaults to
+// 1 second per run on the scaled profiles (--budget-ms to change).
+//
+// Expected shape (paper): STR completes everywhere (1.00, except a few
+// L2AP memory blowups); MB completes on the smaller/denser WebSpam and
+// RCV1 but times out on the larger Blogs/Tweets streams at long horizons.
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace sssj {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  auto args = bench::ParseCommon(flags, /*default_scale=*/1.0);
+  if (!std::isfinite(args.budget_seconds)) args.budget_seconds = 0.3;
+
+  TablePrinter table(
+      {"dataset", "MB-INV", "MB-L2AP", "MB-L2", "STR-INV", "STR-L2AP",
+       "STR-L2"},
+      args.tsv);
+
+  for (DatasetProfile p : AllProfiles()) {
+    const Stream stream = GenerateProfile(p, args.scale, args.seed);
+    std::vector<std::string> row = {PaperInfo(p).name};
+    for (Framework fw : BothFrameworks()) {
+      for (IndexScheme ix : PaperIndexSchemes()) {
+        int completed = 0;
+        int total = 0;
+        for (double theta : args.thetas) {
+          for (double lambda : args.lambdas) {
+            RunConfig cfg;
+            cfg.framework = fw;
+            cfg.index = ix;
+            cfg.theta = theta;
+            cfg.lambda = lambda;
+            cfg.budget_seconds = args.budget_seconds;
+            const RunResult r = RunJoin(stream, cfg);
+            ++total;
+            completed += (r.valid && r.completed) ? 1 : 0;
+          }
+        }
+        row.push_back(
+            FormatDouble(static_cast<double>(completed) / total, 2));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::cout << "Table 2: fraction of " << args.thetas.size() * args.lambdas.size()
+            << " (theta,lambda) configs finishing within "
+            << FormatDouble(args.budget_seconds, 2)
+            << "s (closer to 1.00 is better)\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

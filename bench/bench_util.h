@@ -1,0 +1,61 @@
+// Shared flag handling for the per-table/per-figure bench binaries.
+//
+// Common flags (every binary):
+//   --scale=<double>     stream-length multiplier (default 1.0; the paper's
+//                        datasets are millions of vectors — defaults here
+//                        are laptop-sized, see DESIGN.md §2.4)
+//   --seed=<int>         generator seed
+//   --tsv                machine-readable TSV instead of aligned table
+//   --theta-list=a,b,c   override the θ grid
+//   --lambda-list=a,b,c  override the λ grid
+//   --budget-ms=<int>    per-run wall budget (Table 2 semantics)
+#ifndef SSSJ_BENCH_BENCH_UTIL_H_
+#define SSSJ_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common/harness.h"
+#include "bench_common/sweep.h"
+#include "data/profiles.h"
+#include "util/flags.h"
+
+namespace sssj::bench {
+
+struct CommonArgs {
+  double scale = 1.0;
+  uint64_t seed = 42;
+  bool tsv = false;
+  std::vector<double> thetas;
+  std::vector<double> lambdas;
+  double budget_seconds = std::numeric_limits<double>::infinity();
+};
+
+inline CommonArgs ParseCommon(const Flags& flags, double default_scale = 1.0) {
+  CommonArgs args;
+  args.scale = flags.GetDouble("scale", default_scale);
+  args.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  args.tsv = flags.GetBool("tsv", false);
+  args.thetas = flags.GetDoubleList("theta-list", PaperThetas());
+  args.lambdas = flags.GetDoubleList("lambda-list", PaperLambdas());
+  const int64_t budget_ms = flags.GetInt("budget-ms", -1);
+  if (budget_ms > 0) args.budget_seconds = budget_ms / 1000.0;
+  return args;
+}
+
+inline void PrintHeader(const std::string& title, const Stream& stream,
+                        const CommonArgs& args) {
+  if (args.tsv) return;
+  std::cout << "== " << title << " ==\n";
+  if (!stream.empty()) {
+    std::cout << "stream: n=" << stream.size()
+              << " span=" << (stream.back().ts - stream.front().ts)
+              << " time-units, scale=" << args.scale << ", seed=" << args.seed
+              << "\n";
+  }
+}
+
+}  // namespace sssj::bench
+
+#endif  // SSSJ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+// Quickstart: the 60-second tour of the sssj public API.
+//
+//   ./examples/quickstart
+//
+// Builds a streaming engine (STR framework, L2 index), feeds a small
+// timestamped stream, and prints every time-dependent similar pair as soon
+// as it is discovered.
+#include <cstdio>
+
+#include "core/engine.h"
+
+int main() {
+  // 1. Pick the join parameters. θ is the similarity threshold; λ is the
+  //    time-decay rate. Together they define the horizon τ = ln(1/θ)/λ
+  //    beyond which no pair can be similar. You can also derive λ from an
+  //    application-level spec with DecayParams::FromApplicationSpec.
+  sssj::EngineConfig config;
+  config.framework = sssj::Framework::kStreaming;  // or kMiniBatch
+  config.index = sssj::IndexScheme::kL2;           // INV, L2AP, L2
+  config.theta = 0.7;
+  config.lambda = 0.05;
+
+  auto engine = sssj::SssjEngine::Create(config);
+  if (engine == nullptr) {
+    std::fprintf(stderr, "invalid engine configuration\n");
+    return 1;
+  }
+  std::printf("engine: %s-%s, theta=%.2f lambda=%.3f horizon=%.1f\n",
+              sssj::ToString(config.framework), sssj::ToString(config.index),
+              config.theta, config.lambda, engine->params().tau);
+
+  // 2. Results arrive through a sink; CallbackSink invokes a lambda for
+  //    each discovered pair (STR reports pairs immediately on arrival).
+  sssj::CallbackSink sink([](const sssj::ResultPair& p) {
+    std::printf("  similar: #%llu (t=%.1f) ~ #%llu (t=%.1f)  "
+                "cosine=%.3f  decayed=%.3f\n",
+                static_cast<unsigned long long>(p.a), p.ta,
+                static_cast<unsigned long long>(p.b), p.tb, p.dot, p.sim);
+  });
+
+  // 3. Feed timestamped sparse vectors (they are unit-normalized for you).
+  //    Vectors are (dimension, weight) lists — think TF-IDF over terms.
+  using sssj::Coord;
+  struct Doc {
+    double ts;
+    std::vector<Coord> coords;
+  };
+  const std::vector<Doc> docs = {
+      {0.0, {{1, 1.0}, {2, 2.0}, {3, 1.0}}},   // #0
+      {1.0, {{1, 1.0}, {2, 2.1}, {3, 0.9}}},   // #1: near-copy of #0
+      {2.0, {{7, 1.0}, {8, 1.0}}},             // #2: unrelated
+      {3.0, {{1, 1.0}, {2, 2.0}, {3, 1.1}}},   // #3: near-copy again
+      {60.0, {{1, 1.0}, {2, 2.0}, {3, 1.0}}},  // #4: same content, but far
+                                               // in time — beyond τ ≈ 7.1
+  };
+  for (const Doc& d : docs) {
+    engine->Push(d.ts, sssj::SparseVector::FromCoords(d.coords), &sink);
+  }
+
+  // 4. Flush at end-of-stream (a no-op for STR; required for MB, which
+  //    buffers up to two windows).
+  engine->Flush(&sink);
+
+  const sssj::RunStats& stats = engine->stats();
+  std::printf("processed %llu vectors, emitted %llu pairs, "
+              "traversed %llu posting entries\n",
+              static_cast<unsigned long long>(stats.vectors_processed),
+              static_cast<unsigned long long>(stats.pairs_emitted),
+              static_cast<unsigned long long>(stats.entries_traversed));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Classic sliding-window similarity join via the generalized-decay
+// extension: DecayFunction::SlidingWindow turns the STR-L2 machinery into
+// "report every pair with cosine ≥ θ arriving within W time units", with
+// full ℓ2 content pruning — no similarity decay inside the window.
+//
+//   ./examples/windowed_join [--window=60] [--theta=0.8] [--posts=2000]
+//
+// Compares the three decay families at the same horizon on one stream, to
+// make the semantic difference concrete.
+#include <cstdio>
+
+#include "data/generator.h"
+#include "index/decayed_stream_index.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  sssj::Flags flags(argc, argv);
+  const double window = flags.GetDouble("window", 60.0);
+  const double theta = flags.GetDouble("theta", 0.8);
+  const int n = static_cast<int>(flags.GetInt("posts", 2000));
+
+  sssj::CorpusSpec spec;
+  spec.num_vectors = n;
+  spec.num_dims = 20000;
+  spec.avg_nnz = 15;
+  spec.near_dup_rate = 0.12;
+  spec.arrivals.kind = sssj::ArrivalModel::Kind::kPoisson;
+  spec.arrivals.rate = 1.0;
+  spec.seed = 3;
+  const sssj::Stream stream = sssj::CorpusGenerator(spec).Generate();
+
+  // Three decay families calibrated to the same horizon `window`.
+  const double lambda = std::log(1.0 / theta) / window;
+  const double alpha = 2.0;
+  const double scale = window / (std::pow(theta, -1.0 / alpha) - 1.0);
+  struct Family {
+    const char* label;
+    sssj::DecayFunction f;
+  };
+  const Family families[] = {
+      {"sliding-window", sssj::DecayFunction::SlidingWindow(window)},
+      {"exponential", sssj::DecayFunction::Exponential(lambda)},
+      {"polynomial", sssj::DecayFunction::Polynomial(alpha, scale)},
+  };
+
+  std::printf("windowed join over %d posts, horizon=%.0f, theta=%.2f\n", n,
+              window, theta);
+  std::printf("%-16s %8s %12s %12s\n", "decay", "pairs", "entries",
+              "full_dots");
+  for (const Family& fam : families) {
+    sssj::GeneralDecayL2Index index(theta, fam.f);
+    sssj::CountingSink sink;
+    for (const sssj::StreamItem& item : stream) {
+      index.ProcessArrival(item, &sink);
+    }
+    std::printf("%-16s %8llu %12llu %12llu\n", fam.label,
+                static_cast<unsigned long long>(sink.count()),
+                static_cast<unsigned long long>(
+                    index.stats().entries_traversed),
+                static_cast<unsigned long long>(index.stats().full_dots));
+  }
+  std::printf(
+      "(same horizon: the window family keeps every in-horizon pair with "
+      "cosine >= theta;\n the decaying families additionally require "
+      "recency — pairs drop as the gap grows)\n");
+  return 0;
+}

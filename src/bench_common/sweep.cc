@@ -1,0 +1,17 @@
+#include "bench_common/sweep.h"
+
+namespace sssj {
+
+std::vector<double> PaperThetas() { return {0.5, 0.6, 0.7, 0.8, 0.9, 0.99}; }
+
+std::vector<double> PaperLambdas() { return {1e-4, 1e-3, 1e-2, 1e-1}; }
+
+std::vector<IndexScheme> PaperIndexSchemes() {
+  return {IndexScheme::kInv, IndexScheme::kL2ap, IndexScheme::kL2};
+}
+
+std::vector<Framework> BothFrameworks() {
+  return {Framework::kMiniBatch, Framework::kStreaming};
+}
+
+}  // namespace sssj

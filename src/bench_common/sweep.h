@@ -1,0 +1,27 @@
+// The paper's parameter grids (§7: θ ∈ [0.5, 0.99], λ ∈ [1e-4, 1e-1]) and
+// small helpers for iterating configuration sweeps.
+#ifndef SSSJ_BENCH_COMMON_SWEEP_H_
+#define SSSJ_BENCH_COMMON_SWEEP_H_
+
+#include <vector>
+
+#include "core/engine.h"
+
+namespace sssj {
+
+// θ grid used throughout the evaluation (Figures 3–8): 6 values.
+std::vector<double> PaperThetas();
+
+// λ grid (exponentially increasing, §7): 4 values. 6 × 4 = the "24
+// configurations" of Table 2.
+std::vector<double> PaperLambdas();
+
+// The index schemes the evaluation compares ({INV, L2AP, L2}; AP is
+// excluded per §5.2 / §7 "we found it much slower than L2AP").
+std::vector<IndexScheme> PaperIndexSchemes();
+
+std::vector<Framework> BothFrameworks();
+
+}  // namespace sssj
+
+#endif  // SSSJ_BENCH_COMMON_SWEEP_H_

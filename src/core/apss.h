@@ -1,0 +1,28 @@
+// Batch all-pairs similarity search (apss) — the classic, non-streaming
+// problem the paper builds on (§3): given a static set of unit vectors and
+// θ, find all pairs with dot ≥ θ. The streaming machinery reduces to this
+// when λ = 0; this header exposes it directly so the library is usable as
+// a plain apss engine (with the INV / AP / L2AP / L2 schemes).
+#ifndef SSSJ_CORE_APSS_H_
+#define SSSJ_CORE_APSS_H_
+
+#include <vector>
+
+#include "core/engine.h"
+#include "core/result.h"
+#include "core/sparse_vector.h"
+
+namespace sssj {
+
+// Finds all pairs (i < j) with data[i]·data[j] ≥ theta. Vector ids in the
+// result are positions in `data`. Inputs must be unit-normalized (use
+// SparseVector::UnitFromCoords); non-unit or empty vectors make the result
+// undefined for pairs involving them. `scheme` picks the index; kL2ap is
+// the batch state of the art, kL2 drops the data-dependent bounds.
+// Returns pairs sorted by (a, b).
+std::vector<ResultPair> BatchApss(const std::vector<SparseVector>& data,
+                                  double theta, IndexScheme scheme);
+
+}  // namespace sssj
+
+#endif  // SSSJ_CORE_APSS_H_

@@ -1,0 +1,71 @@
+#include "core/decay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace sssj {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+DecayFunction DecayFunction::Exponential(double lambda) {
+  return DecayFunction(Kind::kExponential, std::max(lambda, 0.0), 0.0);
+}
+
+DecayFunction DecayFunction::Polynomial(double alpha, double scale) {
+  return DecayFunction(Kind::kPolynomial, std::max(alpha, 0.0),
+                       scale > 0.0 ? scale : 1.0);
+}
+
+DecayFunction DecayFunction::SlidingWindow(double window) {
+  return DecayFunction(Kind::kSlidingWindow, std::max(window, 0.0), 0.0);
+}
+
+double DecayFunction::Eval(double dt) const {
+  dt = std::abs(dt);
+  switch (kind_) {
+    case Kind::kExponential:
+      return std::exp(-a_ * dt);
+    case Kind::kPolynomial:
+      return std::pow(1.0 + dt / b_, -a_);
+    case Kind::kSlidingWindow:
+      return dt <= a_ ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+double DecayFunction::Horizon(double theta) const {
+  switch (kind_) {
+    case Kind::kExponential:
+      if (a_ == 0.0) return kInf;
+      return std::log(1.0 / theta) / a_;
+    case Kind::kPolynomial:
+      if (a_ == 0.0) return kInf;
+      // (1 + τ/s)^{−α} = θ  →  τ = s·(θ^{−1/α} − 1).
+      return b_ * (std::pow(theta, -1.0 / a_) - 1.0);
+    case Kind::kSlidingWindow:
+      return a_;
+  }
+  return 0.0;
+}
+
+std::string DecayFunction::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kExponential:
+      os << "exp(lambda=" << a_ << ")";
+      break;
+    case Kind::kPolynomial:
+      os << "poly(alpha=" << a_ << ", scale=" << b_ << ")";
+      break;
+    case Kind::kSlidingWindow:
+      os << "window(" << a_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace sssj

@@ -1,0 +1,231 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+
+#include "index/inv_index.h"
+#include "index/prefix_index.h"
+#include "index/stream_inv_index.h"
+#include "index/stream_l2_index.h"
+#include "index/stream_l2ap_index.h"
+#include "stream/minibatch.h"
+#include "stream/streaming.h"
+
+namespace sssj {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::unique_ptr<BatchIndex> MakeBatchIndex(IndexScheme scheme, double theta) {
+  switch (scheme) {
+    case IndexScheme::kInv:
+      return std::make_unique<InvIndex>(theta);
+    case IndexScheme::kAp:
+      return std::make_unique<ApIndex>(theta);
+    case IndexScheme::kL2ap:
+      return std::make_unique<L2apIndex>(theta);
+    case IndexScheme::kL2:
+      return std::make_unique<L2Index>(theta);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<StreamIndex> MakeStreamIndex(IndexScheme scheme,
+                                             const DecayParams& params) {
+  switch (scheme) {
+    case IndexScheme::kInv:
+      return std::make_unique<StreamInvIndex>(params);
+    case IndexScheme::kL2ap:
+      return std::make_unique<StreamL2apIndex>(params);
+    case IndexScheme::kL2:
+      return std::make_unique<StreamL2Index>(params);
+    case IndexScheme::kAp:
+      return nullptr;  // STR-AP: omitted (paper §5.2)
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* ToString(Framework f) {
+  return f == Framework::kMiniBatch ? "MB" : "STR";
+}
+
+const char* ToString(IndexScheme s) {
+  switch (s) {
+    case IndexScheme::kInv:
+      return "INV";
+    case IndexScheme::kAp:
+      return "AP";
+    case IndexScheme::kL2ap:
+      return "L2AP";
+    case IndexScheme::kL2:
+      return "L2";
+  }
+  return "?";
+}
+
+bool ParseFramework(const std::string& s, Framework* out) {
+  const std::string l = Lower(s);
+  if (l == "mb" || l == "minibatch") {
+    *out = Framework::kMiniBatch;
+    return true;
+  }
+  if (l == "str" || l == "streaming") {
+    *out = Framework::kStreaming;
+    return true;
+  }
+  return false;
+}
+
+bool ParseIndexScheme(const std::string& s, IndexScheme* out) {
+  const std::string l = Lower(s);
+  if (l == "inv") {
+    *out = IndexScheme::kInv;
+    return true;
+  }
+  if (l == "ap") {
+    *out = IndexScheme::kAp;
+    return true;
+  }
+  if (l == "l2ap") {
+    *out = IndexScheme::kL2ap;
+    return true;
+  }
+  if (l == "l2") {
+    *out = IndexScheme::kL2;
+    return true;
+  }
+  return false;
+}
+
+SssjEngine::SssjEngine(const EngineConfig& config, const DecayParams& params)
+    : config_(config), params_(params) {}
+
+SssjEngine::~SssjEngine() = default;
+
+std::unique_ptr<SssjEngine> SssjEngine::Create(const EngineConfig& config) {
+  DecayParams params;
+  if (!DecayParams::Make(config.theta, config.lambda, &params)) return nullptr;
+
+  std::unique_ptr<SssjEngine> engine(new SssjEngine(config, params));
+  if (config.framework == Framework::kMiniBatch) {
+    const IndexScheme scheme = config.index;
+    const double theta = config.theta;
+    engine->mb_ = std::make_unique<MiniBatchJoin>(
+        params, [scheme, theta] { return MakeBatchIndex(scheme, theta); });
+  } else {
+    auto index = MakeStreamIndex(config.index, params);
+    if (index == nullptr) return nullptr;
+    engine->str_ = std::make_unique<StreamingJoin>(params, std::move(index));
+  }
+  return engine;
+}
+
+bool SssjEngine::Push(Timestamp ts, SparseVector vec, ResultSink* sink) {
+  if (!std::isfinite(ts)) return false;
+  if (config_.normalize_inputs) {
+    vec.Normalize();
+  }
+  if (vec.empty() || !vec.IsUnit()) return false;
+
+  StreamItem item;
+  item.id = next_id_;
+  item.ts = ts;
+  item.vec = std::move(vec);
+
+  const bool ok = (mb_ != nullptr) ? mb_->Push(item, sink)
+                                   : str_->Push(item, sink);
+  if (ok) ++next_id_;
+  return ok;
+}
+
+bool SssjEngine::Push(const StreamItem& item, ResultSink* sink) {
+  return Push(item.ts, item.vec, sink);
+}
+
+void SssjEngine::Flush(ResultSink* sink) {
+  if (mb_ != nullptr) {
+    mb_->Flush(sink);
+  } else {
+    str_->Flush(sink);
+  }
+}
+
+const RunStats& SssjEngine::stats() const {
+  return (mb_ != nullptr) ? mb_->stats() : str_->stats();
+}
+
+namespace {
+void SetEngineError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+}  // namespace
+
+bool SssjEngine::SaveCheckpoint(const std::string& path,
+                                std::string* error) const {
+  if (str_ == nullptr || config_.index != IndexScheme::kL2) {
+    SetEngineError(error, "checkpointing is supported for STR-L2 only");
+    return false;
+  }
+  const auto* index =
+      dynamic_cast<const StreamL2Index*>(&str_->index());
+  if (index == nullptr) {
+    SetEngineError(error, "internal: unexpected index type");
+    return false;
+  }
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    SetEngineError(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  const uint64_t next_id = next_id_;
+  const Timestamp last_ts = str_->last_ts();
+  const uint8_t started = str_->started() ? 1 : 0;
+  f.write(reinterpret_cast<const char*>(&next_id), sizeof(next_id));
+  f.write(reinterpret_cast<const char*>(&last_ts), sizeof(last_ts));
+  f.write(reinterpret_cast<const char*>(&started), sizeof(started));
+  if (!index->Serialize(f) || !f.good()) {
+    SetEngineError(error, "write failure on " + path);
+    return false;
+  }
+  return true;
+}
+
+bool SssjEngine::LoadCheckpoint(const std::string& path, std::string* error) {
+  if (str_ == nullptr || config_.index != IndexScheme::kL2) {
+    SetEngineError(error, "checkpointing is supported for STR-L2 only");
+    return false;
+  }
+  auto* index = dynamic_cast<StreamL2Index*>(str_->mutable_index());
+  if (index == nullptr) {
+    SetEngineError(error, "internal: unexpected index type");
+    return false;
+  }
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    SetEngineError(error, "cannot open " + path);
+    return false;
+  }
+  uint64_t next_id;
+  Timestamp last_ts;
+  uint8_t started;
+  f.read(reinterpret_cast<char*>(&next_id), sizeof(next_id));
+  f.read(reinterpret_cast<char*>(&last_ts), sizeof(last_ts));
+  f.read(reinterpret_cast<char*>(&started), sizeof(started));
+  if (!f.good() || !index->Deserialize(f)) {
+    SetEngineError(error, path + ": invalid or mismatched checkpoint");
+    return false;
+  }
+  next_id_ = next_id;
+  str_->RestoreClock(last_ts, started != 0);
+  return true;
+}
+
+}  // namespace sssj

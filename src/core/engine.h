@@ -1,0 +1,103 @@
+// SssjEngine — the library's public facade. Picks a framework (MB / STR)
+// and an indexing scheme (INV / AP / L2AP / L2), validates inputs, assigns
+// stream ids, and forwards results to a sink.
+//
+//   sssj::EngineConfig cfg;
+//   cfg.framework = sssj::Framework::kStreaming;
+//   cfg.index = sssj::IndexScheme::kL2;
+//   cfg.theta = 0.7;
+//   cfg.lambda = 0.01;
+//   auto engine = sssj::SssjEngine::Create(cfg);
+//   sssj::CallbackSink sink([](const sssj::ResultPair& p) { ... });
+//   engine->Push(ts, vec, &sink);   // repeatedly, in time order
+//   engine->Flush(&sink);           // at end of stream (MB drains windows)
+#ifndef SSSJ_CORE_ENGINE_H_
+#define SSSJ_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/result.h"
+#include "core/similarity.h"
+#include "core/stats.h"
+#include "core/stream_item.h"
+
+namespace sssj {
+
+enum class Framework { kMiniBatch, kStreaming };
+enum class IndexScheme { kInv, kAp, kL2ap, kL2 };
+
+const char* ToString(Framework f);
+const char* ToString(IndexScheme s);
+// Case-insensitive parse ("MB"/"minibatch", "STR"/"streaming"; "INV",
+// "AP", "L2AP", "L2"). Returns false on unknown names.
+bool ParseFramework(const std::string& s, Framework* out);
+bool ParseIndexScheme(const std::string& s, IndexScheme* out);
+
+struct EngineConfig {
+  Framework framework = Framework::kStreaming;
+  IndexScheme index = IndexScheme::kL2;
+  double theta = 0.7;
+  double lambda = 0.01;
+  // When true (default), Push() unit-normalizes input vectors. When false,
+  // non-unit vectors are rejected (the similarity bounds require ||x||=1).
+  bool normalize_inputs = true;
+};
+
+class MiniBatchJoin;
+class StreamingJoin;
+
+class SssjEngine {
+ public:
+  // Returns nullptr for invalid configs: theta outside (0,1], negative
+  // lambda, or the STR-AP combination (omitted by the paper as impractical
+  // — see §5.2 — and not implemented here).
+  static std::unique_ptr<SssjEngine> Create(const EngineConfig& config);
+
+  ~SssjEngine();
+  SssjEngine(const SssjEngine&) = delete;
+  SssjEngine& operator=(const SssjEngine&) = delete;
+
+  // Feeds one vector with its arrival time. Returns false (and rejects the
+  // item) if the vector is empty after cleaning, not normalizable, or the
+  // timestamp decreases. Ids are assigned sequentially from 0.
+  bool Push(Timestamp ts, SparseVector vec, ResultSink* sink);
+
+  // Convenience for pre-built items; the item's id is ignored and
+  // reassigned.
+  bool Push(const StreamItem& item, ResultSink* sink);
+
+  // Drains any buffered state (MB windows). STR emits eagerly, so this is
+  // a no-op for it.
+  void Flush(ResultSink* sink);
+
+  // Id that will be assigned to the next accepted item.
+  VectorId next_id() const { return next_id_; }
+
+  // Checkpoint/restore for long-running streaming jobs. Supported for the
+  // STR-L2 configuration (the paper's recommended index); other configs
+  // return false. A checkpoint captures the live index state, the id
+  // counter, and the stream clock — restoring into an engine created with
+  // the same config and then replaying the remainder of the stream yields
+  // exactly the output an uninterrupted run would have produced (tested).
+  bool SaveCheckpoint(const std::string& path,
+                      std::string* error = nullptr) const;
+  bool LoadCheckpoint(const std::string& path, std::string* error = nullptr);
+
+  const RunStats& stats() const;
+  const DecayParams& params() const { return params_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  SssjEngine(const EngineConfig& config, const DecayParams& params);
+
+  EngineConfig config_;
+  DecayParams params_;
+  VectorId next_id_ = 0;
+  std::unique_ptr<MiniBatchJoin> mb_;
+  std::unique_ptr<StreamingJoin> str_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_CORE_ENGINE_H_

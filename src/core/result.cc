@@ -1,0 +1,28 @@
+#include "core/result.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace sssj {
+
+void ResultPair::Canonicalize() {
+  if (a > b) {
+    std::swap(a, b);
+    std::swap(ta, tb);
+  }
+}
+
+std::string ResultPair::ToString() const {
+  std::ostringstream os;
+  os << "(" << a << ", " << b << ", dot=" << dot << ", sim=" << sim << ")";
+  return os.str();
+}
+
+std::vector<ResultPair> CollectorSink::SortedPairs() const {
+  std::vector<ResultPair> out = pairs_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sssj

@@ -1,0 +1,81 @@
+// Join results and the sinks that consume them.
+#ifndef SSSJ_CORE_RESULT_H_
+#define SSSJ_CORE_RESULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sssj {
+
+// One similar pair. `a` is always the smaller vector id (Canonicalize
+// enforces this), `dot` is the raw content similarity, `sim` the
+// time-decayed similarity that passed the threshold.
+struct ResultPair {
+  VectorId a = 0;
+  VectorId b = 0;
+  Timestamp ta = 0;
+  Timestamp tb = 0;
+  double dot = 0.0;
+  double sim = 0.0;
+
+  void Canonicalize();
+  std::string ToString() const;
+
+  // Identity of the *pair* (ids only), used by tests that compare result
+  // sets across algorithms.
+  friend bool operator==(const ResultPair& x, const ResultPair& y) {
+    return x.a == y.a && x.b == y.b;
+  }
+  friend bool operator<(const ResultPair& x, const ResultPair& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  }
+};
+
+// Consumer of join output. Implementations must tolerate duplicate-free
+// streams only: every algorithm in this library reports each pair once.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void Emit(const ResultPair& pair) = 0;
+};
+
+// Accumulates all pairs in memory (tests, small runs).
+class CollectorSink : public ResultSink {
+ public:
+  void Emit(const ResultPair& pair) override { pairs_.push_back(pair); }
+  const std::vector<ResultPair>& pairs() const { return pairs_; }
+  std::vector<ResultPair> SortedPairs() const;
+  void Clear() { pairs_.clear(); }
+
+ private:
+  std::vector<ResultPair> pairs_;
+};
+
+// Counts pairs without storing them (benchmarks).
+class CountingSink : public ResultSink {
+ public:
+  void Emit(const ResultPair&) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+// Forwards each pair to a callback (applications).
+class CallbackSink : public ResultSink {
+ public:
+  using Callback = std::function<void(const ResultPair&)>;
+  explicit CallbackSink(Callback cb) : cb_(std::move(cb)) {}
+  void Emit(const ResultPair& pair) override { cb_(pair); }
+
+ private:
+  Callback cb_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_CORE_RESULT_H_

@@ -1,0 +1,38 @@
+#include "core/similarity.h"
+
+#include <cmath>
+
+namespace sssj {
+
+double DecayFactor(double lambda, Timestamp ta, Timestamp tb) {
+  return std::exp(-lambda * std::abs(ta - tb));
+}
+
+double TimeDependentSimilarity(const SparseVector& x, const SparseVector& y,
+                               Timestamp tx, Timestamp ty, double lambda) {
+  return x.Dot(y) * DecayFactor(lambda, tx, ty);
+}
+
+double TimeHorizon(double theta, double lambda) {
+  if (lambda == 0.0) return std::numeric_limits<double>::infinity();
+  return std::log(1.0 / theta) / lambda;
+}
+
+bool DecayParams::Make(double theta, double lambda, DecayParams* out) {
+  if (!(theta > 0.0) || theta > 1.0) return false;
+  if (!(lambda >= 0.0) || !std::isfinite(lambda)) return false;
+  out->theta = theta;
+  out->lambda = lambda;
+  out->tau = TimeHorizon(theta, lambda);
+  return true;
+}
+
+bool DecayParams::FromApplicationSpec(double theta, double tau,
+                                      DecayParams* out) {
+  if (!(theta > 0.0) || theta >= 1.0) return false;
+  if (!(tau > 0.0) || !std::isfinite(tau)) return false;
+  const double lambda = std::log(1.0 / theta) / tau;
+  return Make(theta, lambda, out);
+}
+
+}  // namespace sssj

@@ -1,0 +1,45 @@
+// Time-dependent similarity (paper §3) and the derived time horizon.
+//
+//   sim_Δt(x, y) = dot(x, y) · exp(−λ·|t(x) − t(y)|)
+//   τ = λ⁻¹ · ln(1/θ)   (pairs further apart in time can never be similar)
+#ifndef SSSJ_CORE_SIMILARITY_H_
+#define SSSJ_CORE_SIMILARITY_H_
+
+#include <limits>
+
+#include "core/sparse_vector.h"
+#include "core/types.h"
+
+namespace sssj {
+
+// exp(−λ·Δt) with Δt = |ta − tb|.
+double DecayFactor(double lambda, Timestamp ta, Timestamp tb);
+
+// dot(x,y) · exp(−λ·Δt).
+double TimeDependentSimilarity(const SparseVector& x, const SparseVector& y,
+                               Timestamp tx, Timestamp ty, double lambda);
+
+// τ = ln(1/θ)/λ. Returns +inf when λ == 0 (no forgetting) and 0 when θ >= 1
+// and λ > 0 makes every non-simultaneous pair dissimilar... precisely:
+// θ >= 1 → τ = 0 only if λ > 0; θ in (0,1) and λ = 0 → unbounded horizon.
+double TimeHorizon(double theta, double lambda);
+
+// Join parameters, validated. Use Make() or FromApplicationSpec().
+struct DecayParams {
+  double theta = 0.5;   // similarity threshold, in (0, 1]
+  double lambda = 0.0;  // time-decay rate, >= 0
+  double tau = std::numeric_limits<double>::infinity();  // derived horizon
+
+  // Validates and derives tau. Returns false (leaving *out untouched) on
+  // invalid input (theta outside (0,1], negative/non-finite lambda).
+  static bool Make(double theta, double lambda, DecayParams* out);
+
+  // The parameter-setting methodology of §3: pick θ as the minimum
+  // content similarity for simultaneous items, pick τ as the time gap at
+  // which even identical items stop being similar, then λ = τ⁻¹·ln(1/θ).
+  static bool FromApplicationSpec(double theta, double tau, DecayParams* out);
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_CORE_SIMILARITY_H_

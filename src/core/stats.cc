@@ -1,0 +1,38 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sssj {
+
+RunStats& RunStats::operator+=(const RunStats& o) {
+  entries_traversed += o.entries_traversed;
+  candidates_generated += o.candidates_generated;
+  l2_prunes += o.l2_prunes;
+  verify_calls += o.verify_calls;
+  full_dots += o.full_dots;
+  pairs_emitted += o.pairs_emitted;
+  vectors_processed += o.vectors_processed;
+  entries_indexed += o.entries_indexed;
+  entries_pruned += o.entries_pruned;
+  reindex_events += o.reindex_events;
+  reindexed_vectors += o.reindexed_vectors;
+  reindexed_coords += o.reindexed_coords;
+  index_rebuilds += o.index_rebuilds;
+  peak_index_entries = std::max(peak_index_entries, o.peak_index_entries);
+  elapsed_seconds += o.elapsed_seconds;
+  return *this;
+}
+
+std::string RunStats::ToString() const {
+  std::ostringstream os;
+  os << "vectors=" << vectors_processed << " pairs=" << pairs_emitted
+     << " entries=" << entries_traversed << " cands=" << candidates_generated
+     << " dots=" << full_dots << " indexed=" << entries_indexed
+     << " pruned=" << entries_pruned << " reindex=" << reindex_events
+     << " peak_entries=" << peak_index_entries
+     << " time=" << elapsed_seconds << "s";
+  return os.str();
+}
+
+}  // namespace sssj

@@ -1,0 +1,51 @@
+// Fundamental types shared across the sssj library.
+#ifndef SSSJ_CORE_TYPES_H_
+#define SSSJ_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace sssj {
+
+// Dimension (term) identifier. The paper's datasets have up to ~1M
+// dimensions (Table 1), so 32 bits are ample.
+using DimId = uint32_t;
+
+// Vector identifier: position in the stream (monotonically increasing).
+using VectorId = uint64_t;
+
+// Arrival timestamp, in seconds. Streams must be time-ordered
+// (non-decreasing timestamps); all modules check this invariant.
+using Timestamp = double;
+
+inline constexpr VectorId kInvalidVectorId =
+    std::numeric_limits<VectorId>::max();
+
+// One non-zero coordinate of a sparse vector. Similarity-join index bounds
+// (AP's ds1/sz2 in particular) require non-negative weights — the canonical
+// use case is TF-IDF — so SparseVector enforces value > 0.
+struct Coord {
+  DimId dim = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Coord& a, const Coord& b) {
+    return a.dim == b.dim && a.value == b.value;
+  }
+};
+
+// Relative slack added to pruning-bound comparisons ("bound >= theta"
+// becomes "bound >= theta * (1 - kBoundSlack)"). Floating-point drift in
+// incrementally-maintained bounds (e.g. rst -= xj^2) can then only produce
+// extra candidates — which the exact final verification filters out — and
+// never a false negative. The reference L2AP implementation does the same.
+inline constexpr double kBoundSlack = 1e-9;
+
+// A bound comparison that is safe against fp drift: true iff `bound` might
+// still reach `theta`.
+inline bool BoundAtLeast(double bound, double theta) {
+  return bound >= theta * (1.0 - kBoundSlack);
+}
+
+}  // namespace sssj
+
+#endif  // SSSJ_CORE_TYPES_H_

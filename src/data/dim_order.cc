@@ -1,0 +1,101 @@
+#include "data/dim_order.h"
+
+#include <algorithm>
+
+namespace sssj {
+
+const char* ToString(DimOrderStrategy s) {
+  switch (s) {
+    case DimOrderStrategy::kNone:
+      return "none";
+    case DimOrderStrategy::kFrequentFirst:
+      return "frequent-first";
+    case DimOrderStrategy::kRareFirst:
+      return "rare-first";
+    case DimOrderStrategy::kMaxValueDescending:
+      return "maxval-desc";
+  }
+  return "?";
+}
+
+DimensionRemapper DimensionRemapper::Build(const Stream& sample,
+                                           DimOrderStrategy strategy) {
+  DimensionRemapper r(strategy);
+  if (strategy == DimOrderStrategy::kNone) return r;
+
+  struct DimStat {
+    DimId dim;
+    uint64_t freq = 0;
+    double max_val = 0.0;
+  };
+  std::unordered_map<DimId, DimStat> stats;
+  for (const StreamItem& item : sample) {
+    for (const Coord& c : item.vec) {
+      DimStat& s = stats[c.dim];
+      s.dim = c.dim;
+      ++s.freq;
+      s.max_val = std::max(s.max_val, c.value);
+    }
+  }
+  std::vector<DimStat> order;
+  order.reserve(stats.size());
+  for (const auto& [dim, s] : stats) order.push_back(s);
+
+  switch (strategy) {
+    case DimOrderStrategy::kFrequentFirst:
+      std::sort(order.begin(), order.end(),
+                [](const DimStat& a, const DimStat& b) {
+                  return a.freq != b.freq ? a.freq > b.freq : a.dim < b.dim;
+                });
+      break;
+    case DimOrderStrategy::kRareFirst:
+      std::sort(order.begin(), order.end(),
+                [](const DimStat& a, const DimStat& b) {
+                  return a.freq != b.freq ? a.freq < b.freq : a.dim < b.dim;
+                });
+      break;
+    case DimOrderStrategy::kMaxValueDescending:
+      std::sort(order.begin(), order.end(),
+                [](const DimStat& a, const DimStat& b) {
+                  return a.max_val != b.max_val ? a.max_val > b.max_val
+                                                : a.dim < b.dim;
+                });
+      break;
+    case DimOrderStrategy::kNone:
+      break;
+  }
+  DimId next = 0;
+  for (const DimStat& s : order) r.map_[s.dim] = next++;
+  r.next_unseen_ = next;
+  return r;
+}
+
+DimId DimensionRemapper::Map(DimId dim) const {
+  if (strategy_ == DimOrderStrategy::kNone) return dim;
+  auto it = map_.find(dim);
+  if (it != map_.end()) return it->second;
+  // Unseen dims are placed after all mapped ones, offset by their own id
+  // to stay collision-free and deterministic.
+  return next_unseen_ + dim;
+}
+
+SparseVector DimensionRemapper::Remap(const SparseVector& v) const {
+  if (strategy_ == DimOrderStrategy::kNone) return v;
+  std::vector<Coord> coords;
+  coords.reserve(v.nnz());
+  for (const Coord& c : v) coords.push_back(Coord{Map(c.dim), c.value});
+  return SparseVector::FromCoords(std::move(coords));
+}
+
+Stream DimensionRemapper::RemapStream(const Stream& s) const {
+  Stream out;
+  out.reserve(s.size());
+  for (const StreamItem& item : s) {
+    StreamItem copy = item;
+    copy.vec = Remap(item.vec);
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace sssj

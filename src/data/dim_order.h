@@ -1,0 +1,66 @@
+// Dimension-ordering strategies — the paper's first future-work item
+// ("experiment with dimension-ordering strategies and evaluate the
+// cost-benefit trade-off of maintaining a dimension ordering", §8).
+//
+// The prefix-filtering indexes process coordinates in dimension-id order
+// and index the *suffix*; therefore relabeling dimensions changes which
+// coordinates are indexed and how long the scanned posting lists are,
+// while leaving the join output untouched (similarity is permutation-
+// invariant — tested). The classic batch heuristic orders dimensions by
+// decreasing document frequency, so that the indexed suffix is made of
+// *rare* dimensions with short posting lists.
+//
+// In a true stream the frequency table drifts, so a deployment would
+// periodically rebuild the mapping (at a re-indexing-like cost). Here the
+// mapping is built from an observed sample — enough to measure the
+// benefit side of the trade-off (bench_ablation_dim_order); the cost side
+// is the rebuild itself, which equals one stream pass.
+#ifndef SSSJ_DATA_DIM_ORDER_H_
+#define SSSJ_DATA_DIM_ORDER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/stream_item.h"
+
+namespace sssj {
+
+enum class DimOrderStrategy {
+  kNone,                 // identity mapping
+  kFrequentFirst,        // frequent dims get LOW ids → rare dims indexed
+  kRareFirst,            // rare dims get LOW ids → frequent dims indexed
+  kMaxValueDescending,   // dims with large max coordinate first
+};
+
+const char* ToString(DimOrderStrategy s);
+
+class DimensionRemapper {
+ public:
+  // Learns dimension statistics from `sample` and builds the mapping.
+  static DimensionRemapper Build(const Stream& sample,
+                                 DimOrderStrategy strategy);
+
+  // New id for `dim`; dims unseen at Build time keep ids above all mapped
+  // ones (stable, collision-free).
+  DimId Map(DimId dim) const;
+
+  // Rewrites a vector under the mapping (coordinates re-sorted; values and
+  // therefore all similarities unchanged).
+  SparseVector Remap(const SparseVector& v) const;
+  Stream RemapStream(const Stream& s) const;
+
+  DimOrderStrategy strategy() const { return strategy_; }
+  size_t mapped_dims() const { return map_.size(); }
+
+ private:
+  explicit DimensionRemapper(DimOrderStrategy strategy)
+      : strategy_(strategy) {}
+
+  DimOrderStrategy strategy_;
+  std::unordered_map<DimId, DimId> map_;
+  DimId next_unseen_ = 0;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_DATA_DIM_ORDER_H_

@@ -1,0 +1,138 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+namespace sssj {
+
+CorpusGenerator::CorpusGenerator(const CorpusSpec& spec)
+    : spec_(spec),
+      rng_(spec.seed),
+      zipf_(std::max<uint64_t>(spec.num_dims, 1), spec.zipf_exponent) {}
+
+Stream CorpusGenerator::Generate() {
+  Stream out;
+  out.reserve(spec_.num_vectors);
+  while (HasNext()) out.push_back(Next());
+  return out;
+}
+
+StreamItem CorpusGenerator::Next() {
+  StreamItem item;
+  item.id = produced_;
+  item.ts = NextTimestamp();
+
+  const bool clone = !history_.empty() && rng_.NextBool(spec_.near_dup_rate);
+  if (clone) {
+    const size_t pick = rng_.NextBelow(history_.size());
+    item.vec = NearDuplicateOf(history_[pick]);
+  } else {
+    item.vec = FreshVector();
+  }
+
+  history_.push_back(item.vec);
+  if (history_.size() > spec_.near_dup_window) history_.pop_front();
+  ++produced_;
+  return item;
+}
+
+SparseVector CorpusGenerator::FreshVector() {
+  const uint64_t target_nnz =
+      std::max<uint64_t>(1, SamplePoissonCount(spec_.avg_nnz));
+  std::vector<Coord> coords;
+  coords.reserve(target_nnz);
+  std::unordered_set<DimId> used;
+  used.reserve(target_nnz * 2);
+  // Zipf-sampled dims; rejection on duplicates with a bounded number of
+  // attempts, then fall back to uniform fill so density targets hold even
+  // when nnz approaches the effective vocabulary size.
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = target_nnz * 20 + 64;
+  while (used.size() < target_nnz && attempts < max_attempts) {
+    ++attempts;
+    const DimId dim = static_cast<DimId>(zipf_.Sample(rng_));
+    if (!used.insert(dim).second) continue;
+    // TF-like weight: 1 + Geometric tail, mildly skewed.
+    const double tf = 1.0 + std::floor(-2.0 * std::log(1.0 - rng_.NextDouble()));
+    coords.push_back(Coord{dim, tf});
+  }
+  while (used.size() < target_nnz) {
+    const DimId dim = static_cast<DimId>(rng_.NextBelow(spec_.num_dims));
+    if (!used.insert(dim).second) continue;
+    coords.push_back(Coord{dim, 1.0});
+  }
+  return SparseVector::UnitFromCoords(std::move(coords));
+}
+
+SparseVector CorpusGenerator::NearDuplicateOf(const SparseVector& original) {
+  std::vector<Coord> coords;
+  coords.reserve(original.nnz() + 4);
+  const double noise = spec_.near_dup_noise;
+  for (const Coord& c : original) {
+    if (rng_.NextBool(noise * 0.5)) continue;  // drop some coordinates
+    // Jitter the weight by up to ±noise.
+    const double jitter = 1.0 + noise * (2.0 * rng_.NextDouble() - 1.0);
+    coords.push_back(Coord{c.dim, c.value * jitter});
+  }
+  // Insert a few new coordinates, on the same scale as the original's
+  // (the original is unit-normalized, so its mean coordinate is small;
+  // absolute-scale extras would dominate the renormalized clone and
+  // destroy the cosine similarity).
+  const double mean_value = original.sum() / original.nnz();
+  const uint64_t extra = SamplePoissonCount(noise * original.nnz());
+  for (uint64_t i = 0; i < extra; ++i) {
+    const DimId dim = static_cast<DimId>(zipf_.Sample(rng_));
+    coords.push_back(Coord{dim, mean_value * (0.5 + rng_.NextDouble())});
+  }
+  SparseVector v = SparseVector::UnitFromCoords(std::move(coords));
+  if (v.empty()) return FreshVector();  // degenerate clone: start over
+  return v;
+}
+
+Timestamp CorpusGenerator::NextTimestamp() {
+  switch (spec_.arrivals.kind) {
+    case ArrivalModel::Kind::kSequential:
+      if (produced_ > 0) now_ += 1.0 / spec_.arrivals.rate;
+      return now_;
+    case ArrivalModel::Kind::kPoisson:
+      if (produced_ > 0) now_ += rng_.NextExponential(spec_.arrivals.rate);
+      return now_;
+    case ArrivalModel::Kind::kBursty: {
+      if (produced_ > 0) {
+        if (in_burst_) {
+          if (rng_.NextBool(spec_.arrivals.burst_exit_prob)) in_burst_ = false;
+        } else if (rng_.NextBool(spec_.arrivals.burst_prob)) {
+          in_burst_ = true;
+        }
+        const double rate =
+            in_burst_ ? spec_.arrivals.burst_rate : spec_.arrivals.rate;
+        now_ += rng_.NextExponential(rate);
+      }
+      return now_;
+    }
+  }
+  return now_;
+}
+
+uint64_t CorpusGenerator::SamplePoissonCount(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's method.
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng_.NextDouble();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation for large means.
+  const double g = rng_.NextGaussian();
+  const double val = mean + std::sqrt(mean) * g;
+  return val < 0.0 ? 0 : static_cast<uint64_t>(std::llround(val));
+}
+
+}  // namespace sssj

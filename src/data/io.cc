@@ -1,0 +1,189 @@
+#include "data/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace sssj {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'S', 'S', 'J', 'B', 'I', 'N', '1'};
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+bool FinishItem(std::vector<Coord> coords, Timestamp ts, const ReadOptions& opts,
+                Stream* out, std::string* error) {
+  SparseVector vec = SparseVector::FromCoords(std::move(coords));
+  if (opts.normalize) vec.Normalize();
+  if (vec.empty()) {
+    SetError(error, "empty vector after cleaning");
+    return false;
+  }
+  if (opts.require_ordered && !out->empty() && ts < out->back().ts) {
+    SetError(error, "decreasing timestamp");
+    return false;
+  }
+  StreamItem item;
+  item.id = out->size();
+  item.ts = ts;
+  item.vec = std::move(vec);
+  out->push_back(std::move(item));
+  return true;
+}
+
+template <typename T>
+bool WriteRaw(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  return f.good();
+}
+
+template <typename T>
+bool ReadRaw(std::ifstream& f, T* v) {
+  f.read(reinterpret_cast<char*>(v), sizeof(T));
+  return f.good();
+}
+
+}  // namespace
+
+bool WriteTextStream(const Stream& stream, const std::string& path,
+                     std::string* error) {
+  std::ofstream f(path);
+  if (!f) {
+    SetError(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  f.precision(17);
+  f << "# sssj text stream: <ts> <dim>:<value> ...\n";
+  for (const StreamItem& item : stream) {
+    f << item.ts;
+    for (const Coord& c : item.vec) f << ' ' << c.dim << ':' << c.value;
+    f << '\n';
+  }
+  f.flush();
+  if (!f.good()) {
+    SetError(error, "write failure on " + path);
+    return false;
+  }
+  return true;
+}
+
+bool ReadTextStream(const std::string& path, Stream* out,
+                    const ReadOptions& opts, std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  out->clear();
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    Timestamp ts;
+    if (!(ss >> ts)) {
+      SetError(error, path + ":" + std::to_string(lineno) + ": bad timestamp");
+      return false;
+    }
+    std::vector<Coord> coords;
+    std::string tok;
+    while (ss >> tok) {
+      const auto colon = tok.find(':');
+      if (colon == std::string::npos) {
+        SetError(error,
+                 path + ":" + std::to_string(lineno) + ": bad coord " + tok);
+        return false;
+      }
+      Coord c;
+      c.dim = static_cast<DimId>(std::strtoul(tok.c_str(), nullptr, 10));
+      c.value = std::strtod(tok.c_str() + colon + 1, nullptr);
+      coords.push_back(c);
+    }
+    if (!FinishItem(std::move(coords), ts, opts, out, error)) {
+      SetError(error, path + ":" + std::to_string(lineno) + ": " +
+                          (error != nullptr ? *error : "bad item"));
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteBinaryStream(const Stream& stream, const std::string& path,
+                       std::string* error) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    SetError(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  f.write(kMagic, sizeof(kMagic));
+  const uint64_t count = stream.size();
+  WriteRaw(f, count);
+  for (const StreamItem& item : stream) {
+    WriteRaw(f, item.ts);
+    const uint32_t nnz = static_cast<uint32_t>(item.vec.nnz());
+    WriteRaw(f, nnz);
+    for (const Coord& c : item.vec) {
+      WriteRaw(f, c.dim);
+      WriteRaw(f, c.value);
+    }
+  }
+  f.flush();
+  if (!f.good()) {
+    SetError(error, "write failure on " + path);
+    return false;
+  }
+  return true;
+}
+
+bool ReadBinaryStream(const std::string& path, Stream* out,
+                      const ReadOptions& opts, std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  if (!f.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    SetError(error, path + ": not an sssj binary stream");
+    return false;
+  }
+  uint64_t count = 0;
+  if (!ReadRaw(f, &count)) {
+    SetError(error, path + ": truncated header");
+    return false;
+  }
+  out->clear();
+  // Cap the reservation: `count` comes from untrusted input and a
+  // corrupted header must not trigger a huge allocation. The vector still
+  // grows as needed for legitimate large files.
+  out->reserve(static_cast<size_t>(std::min<uint64_t>(count, 1u << 20)));
+  for (uint64_t i = 0; i < count; ++i) {
+    Timestamp ts;
+    uint32_t nnz;
+    if (!ReadRaw(f, &ts) || !ReadRaw(f, &nnz)) {
+      SetError(error, path + ": truncated item header");
+      return false;
+    }
+    std::vector<Coord> coords;
+    coords.reserve(nnz);
+    for (uint32_t k = 0; k < nnz; ++k) {
+      Coord c;
+      if (!ReadRaw(f, &c.dim) || !ReadRaw(f, &c.value)) {
+        SetError(error, path + ": truncated coordinates");
+        return false;
+      }
+      coords.push_back(c);
+    }
+    if (!FinishItem(std::move(coords), ts, opts, out, error)) return false;
+  }
+  return true;
+}
+
+}  // namespace sssj

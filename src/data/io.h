@@ -1,0 +1,43 @@
+// Stream serialization.
+//
+// Text format (one vector per line, '#' starts a comment):
+//   <timestamp> <dim>:<value> <dim>:<value> ...
+//
+// Binary format (the paper ships a text-to-binary converter because the
+// binary form is "more compact and faster to read"; ours is
+// examples/text2bin):
+//   8-byte magic "SSSJBIN1", then u64 item count, then per item:
+//   f64 ts, u32 nnz, nnz × (u32 dim, f64 value). Little-endian.
+//
+// Readers assign sequential ids, validate time order, and (optionally)
+// unit-normalize. All functions return false on I/O or format errors and
+// report the problem via `error` when non-null.
+#ifndef SSSJ_DATA_IO_H_
+#define SSSJ_DATA_IO_H_
+
+#include <string>
+
+#include "core/stream_item.h"
+
+namespace sssj {
+
+struct ReadOptions {
+  bool normalize = true;      // unit-normalize vectors on read
+  bool require_ordered = true;  // fail on decreasing timestamps
+};
+
+bool WriteTextStream(const Stream& stream, const std::string& path,
+                     std::string* error = nullptr);
+bool ReadTextStream(const std::string& path, Stream* out,
+                    const ReadOptions& opts = {},
+                    std::string* error = nullptr);
+
+bool WriteBinaryStream(const Stream& stream, const std::string& path,
+                       std::string* error = nullptr);
+bool ReadBinaryStream(const std::string& path, Stream* out,
+                      const ReadOptions& opts = {},
+                      std::string* error = nullptr);
+
+}  // namespace sssj
+
+#endif  // SSSJ_DATA_IO_H_

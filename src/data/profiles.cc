@@ -1,0 +1,126 @@
+#include "data/profiles.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace sssj {
+
+const char* ToString(DatasetProfile p) {
+  switch (p) {
+    case DatasetProfile::kWebSpam:
+      return "WebSpam";
+    case DatasetProfile::kRcv1:
+      return "RCV1";
+    case DatasetProfile::kBlogs:
+      return "Blogs";
+    case DatasetProfile::kTweets:
+      return "Tweets";
+  }
+  return "?";
+}
+
+bool ParseProfile(const std::string& s, DatasetProfile* out) {
+  std::string l = s;
+  std::transform(l.begin(), l.end(), l.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (l == "webspam") {
+    *out = DatasetProfile::kWebSpam;
+    return true;
+  }
+  if (l == "rcv1") {
+    *out = DatasetProfile::kRcv1;
+    return true;
+  }
+  if (l == "blogs") {
+    *out = DatasetProfile::kBlogs;
+    return true;
+  }
+  if (l == "tweets") {
+    *out = DatasetProfile::kTweets;
+    return true;
+  }
+  return false;
+}
+
+std::vector<DatasetProfile> AllProfiles() {
+  return {DatasetProfile::kWebSpam, DatasetProfile::kRcv1,
+          DatasetProfile::kBlogs, DatasetProfile::kTweets};
+}
+
+PaperDatasetInfo PaperInfo(DatasetProfile p) {
+  switch (p) {
+    case DatasetProfile::kWebSpam:
+      return {"WebSpam", 350000, 680715, 1305000000, 3728.0, "poisson"};
+    case DatasetProfile::kRcv1:
+      return {"RCV1", 804414, 43001, 61000000, 75.72, "sequential"};
+    case DatasetProfile::kBlogs:
+      return {"Blogs", 2532437, 356043, 356000000, 140.40, "publishing date"};
+    case DatasetProfile::kTweets:
+      return {"Tweets", 18266589, 1048576, 173000000, 9.46, "publishing date"};
+  }
+  return {"?", 0, 0, 0, 0.0, "?"};
+}
+
+CorpusSpec MakeProfileSpec(DatasetProfile p, double scale, uint64_t seed) {
+  CorpusSpec spec;
+  spec.seed = seed;
+  const auto scaled = [scale](uint64_t base) {
+    return std::max<uint64_t>(16, static_cast<uint64_t>(
+                                      std::llround(base * scale)));
+  };
+  switch (p) {
+    case DatasetProfile::kWebSpam:
+      // The density outlier: avg |x| two orders of magnitude above Tweets.
+      spec.num_vectors = scaled(1200);
+      spec.num_dims = 30000;
+      spec.avg_nnz = 500;
+      spec.zipf_exponent = 1.02;
+      spec.near_dup_rate = 0.06;  // spam corpora are heavy on near-copies
+      spec.near_dup_noise = 0.10;
+      spec.arrivals.kind = ArrivalModel::Kind::kPoisson;
+      spec.arrivals.rate = 1.0;
+      break;
+    case DatasetProfile::kRcv1:
+      spec.num_vectors = scaled(2500);
+      spec.num_dims = 9000;
+      spec.avg_nnz = 76;
+      spec.zipf_exponent = 1.05;
+      spec.near_dup_rate = 0.05;
+      spec.near_dup_noise = 0.12;
+      spec.arrivals.kind = ArrivalModel::Kind::kSequential;
+      spec.arrivals.rate = 1.0;
+      break;
+    case DatasetProfile::kBlogs:
+      spec.num_vectors = scaled(4000);
+      spec.num_dims = 40000;
+      spec.avg_nnz = 90;
+      spec.zipf_exponent = 1.05;
+      spec.near_dup_rate = 0.04;
+      spec.near_dup_noise = 0.15;
+      spec.arrivals.kind = ArrivalModel::Kind::kBursty;
+      spec.arrivals.rate = 1.0;
+      spec.arrivals.burst_rate = 15.0;
+      break;
+    case DatasetProfile::kTweets:
+      // The sparsity outlier: tiny vectors, huge stream.
+      spec.num_vectors = scaled(8000);
+      spec.num_dims = 60000;
+      spec.avg_nnz = 9.5;
+      spec.zipf_exponent = 1.1;
+      spec.near_dup_rate = 0.08;  // retweets
+      spec.near_dup_noise = 0.08;
+      spec.arrivals.kind = ArrivalModel::Kind::kBursty;
+      spec.arrivals.rate = 2.0;
+      spec.arrivals.burst_rate = 40.0;
+      break;
+  }
+  return spec;
+}
+
+Stream GenerateProfile(DatasetProfile p, double scale, uint64_t seed) {
+  CorpusGenerator gen(MakeProfileSpec(p, scale, seed));
+  return gen.Generate();
+}
+
+}  // namespace sssj

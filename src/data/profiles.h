@@ -1,0 +1,49 @@
+// Scaled-down synthetic counterparts of the paper's four datasets
+// (Table 1). The absolute sizes are laptop-friendly; what is preserved is
+// the *shape*: relative stream length, per-vector density, vocabulary
+// skew, and the timestamp process. Every bench binary takes --scale to
+// multiply the stream length.
+//
+//   Paper dataset |      n |       m | avg |x| | timestamps
+//   --------------+--------+---------+---------+------------------
+//   WebSpam       |  350k  |  680k   | 3728.0  | poisson
+//   RCV1          |  804k  |   43k   |   75.7  | sequential
+//   Blogs         |  2.5M  |  356k   |  140.4  | publishing date
+//   Tweets        | 18.3M  | 1048k   |    9.5  | publishing date
+#ifndef SSSJ_DATA_PROFILES_H_
+#define SSSJ_DATA_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+
+namespace sssj {
+
+enum class DatasetProfile { kWebSpam, kRcv1, kBlogs, kTweets };
+
+const char* ToString(DatasetProfile p);
+bool ParseProfile(const std::string& s, DatasetProfile* out);
+std::vector<DatasetProfile> AllProfiles();
+
+// Paper-reported statistics (for Table 1 side-by-side output).
+struct PaperDatasetInfo {
+  const char* name;
+  uint64_t n;
+  uint64_t m;
+  uint64_t total_nnz;   // Σ|x|, rounded (paper reports M)
+  double avg_nnz;
+  const char* timestamps;
+};
+PaperDatasetInfo PaperInfo(DatasetProfile p);
+
+// Synthetic spec for a profile. `scale` multiplies the stream length
+// (scale=1 ≈ a few thousand vectors, runnable in seconds).
+CorpusSpec MakeProfileSpec(DatasetProfile p, double scale, uint64_t seed);
+
+// Convenience: generate the profile's stream.
+Stream GenerateProfile(DatasetProfile p, double scale, uint64_t seed);
+
+}  // namespace sssj
+
+#endif  // SSSJ_DATA_PROFILES_H_

@@ -1,0 +1,90 @@
+#include "data/text.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace sssj {
+
+std::vector<std::string> Tokenize(const std::string& text, size_t min_len) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char ch : text) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      if (cur.size() >= min_len) tokens.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (cur.size() >= min_len) tokens.push_back(cur);
+  return tokens;
+}
+
+DimId Vocabulary::GetOrAdd(const std::string& token) {
+  auto [it, inserted] = map_.try_emplace(token, static_cast<DimId>(map_.size()));
+  return it->second;
+}
+
+DimId Vocabulary::Find(const std::string& token) const {
+  auto it = map_.find(token);
+  return it == map_.end() ? kMissing : it->second;
+}
+
+std::unordered_map<DimId, uint32_t> TfIdfVectorizer::CountExisting(
+    const std::string& doc) const {
+  std::unordered_map<DimId, uint32_t> counts;
+  for (const std::string& tok : Tokenize(doc)) {
+    const DimId dim = vocab_.Find(tok);
+    if (dim == Vocabulary::kMissing) continue;
+    ++counts[dim];
+  }
+  return counts;
+}
+
+std::unordered_map<DimId, uint32_t> TfIdfVectorizer::CountAndGrow(
+    const std::string& doc) {
+  std::unordered_map<DimId, uint32_t> counts;
+  for (const std::string& tok : Tokenize(doc)) {
+    const DimId dim = vocab_.GetOrAdd(tok);
+    if (dim >= df_.size()) df_.resize(dim + 1, 0);
+    ++counts[dim];
+  }
+  return counts;
+}
+
+void TfIdfVectorizer::Fit(const std::vector<std::string>& docs) {
+  for (const std::string& doc : docs) {
+    auto counts = CountAndGrow(doc);
+    for (const auto& [dim, cnt] : counts) ++df_[dim];
+    ++num_docs_;
+  }
+}
+
+SparseVector TfIdfVectorizer::Transform(const std::string& doc) const {
+  return Vectorize(CountExisting(doc));
+}
+
+SparseVector TfIdfVectorizer::AddAndTransform(const std::string& doc) {
+  auto counts = CountAndGrow(doc);
+  for (const auto& [dim, cnt] : counts) ++df_[dim];
+  ++num_docs_;
+  return Vectorize(counts);
+}
+
+SparseVector TfIdfVectorizer::Vectorize(
+    const std::unordered_map<DimId, uint32_t>& term_counts) const {
+  std::vector<Coord> coords;
+  coords.reserve(term_counts.size());
+  for (const auto& [dim, cnt] : term_counts) {
+    const double df = dim < df_.size() ? df_[dim] : 0;
+    // Smoothed idf; always positive.
+    const double idf =
+        std::log((1.0 + static_cast<double>(num_docs_)) / (1.0 + df)) + 1.0;
+    const double tf = 1.0 + std::log(static_cast<double>(cnt));
+    coords.push_back(Coord{dim, tf * idf});
+  }
+  return SparseVector::UnitFromCoords(std::move(coords));
+}
+
+}  // namespace sssj

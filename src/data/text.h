@@ -1,0 +1,67 @@
+// Minimal text pipeline: tokenizer → vocabulary → TF-IDF → unit vectors.
+// This is the glue that lets the library run on actual documents (the
+// paper's motivating applications are text streams: trend detection and
+// near-duplicate filtering of posts). Both a batch (fit-then-transform)
+// and an online (incremental document frequencies) mode are provided;
+// the online mode is what a true streaming deployment uses.
+#ifndef SSSJ_DATA_TEXT_H_
+#define SSSJ_DATA_TEXT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sparse_vector.h"
+
+namespace sssj {
+
+// Lower-cases and splits on non-alphanumeric characters; tokens shorter
+// than `min_len` are dropped.
+std::vector<std::string> Tokenize(const std::string& text, size_t min_len = 2);
+
+class Vocabulary {
+ public:
+  DimId GetOrAdd(const std::string& token);
+  // Returns kMissing when absent.
+  static constexpr DimId kMissing = static_cast<DimId>(-1);
+  DimId Find(const std::string& token) const;
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::string, DimId> map_;
+};
+
+class TfIdfVectorizer {
+ public:
+  // ----- Batch mode -----
+  // Learns vocabulary + document frequencies from a corpus.
+  void Fit(const std::vector<std::string>& docs);
+  // TF-IDF vector under the fitted statistics; unknown tokens are ignored.
+  // Unit-normalized; empty if the document shares no known token.
+  SparseVector Transform(const std::string& doc) const;
+
+  // ----- Online mode -----
+  // Folds the document into the running statistics, then vectorizes it
+  // under the *updated* statistics. Suitable for unbounded streams.
+  SparseVector AddAndTransform(const std::string& doc);
+
+  size_t vocabulary_size() const { return vocab_.size(); }
+  uint64_t documents_seen() const { return num_docs_; }
+
+ private:
+  SparseVector Vectorize(
+      const std::unordered_map<DimId, uint32_t>& term_counts) const;
+  // Counts tokens already in the vocabulary (read-only).
+  std::unordered_map<DimId, uint32_t> CountExisting(
+      const std::string& doc) const;
+  // Counts tokens, growing the vocabulary for unseen ones.
+  std::unordered_map<DimId, uint32_t> CountAndGrow(const std::string& doc);
+
+  Vocabulary vocab_;
+  std::vector<uint32_t> df_;  // document frequency per dim
+  uint64_t num_docs_ = 0;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_DATA_TEXT_H_

@@ -1,0 +1,52 @@
+// Abstract interface for the batch (static apss) indexing schemes of §4.
+// These are the building blocks the MiniBatch framework composes; the
+// three primitives map 1:1 onto the paper's:
+//   IndConstr-IDX → Construct()
+//   CandGen-IDX + CandVer-IDX → Query()
+//
+// A batch index prunes with the *raw* dot-product threshold θ; the decay
+// filter (ApplyDecay in Algorithm 1) is applied by the framework on top.
+// This is sound because sim_Δt(x,y) ≤ dot(x,y).
+#ifndef SSSJ_INDEX_BATCH_INDEX_H_
+#define SSSJ_INDEX_BATCH_INDEX_H_
+
+#include <vector>
+
+#include "core/result.h"
+#include "core/stats.h"
+#include "core/stream_item.h"
+#include "index/max_vector.h"
+
+namespace sssj {
+
+class BatchIndex {
+ public:
+  virtual ~BatchIndex() = default;
+
+  // Builds the index over `window` (time-ordered items), appending every
+  // intra-window pair with dot >= theta to `pairs` (dot == sim fields hold
+  // the raw dot; the caller applies decay).
+  //
+  // `global_max` must dominate, coordinate-wise, every vector in `window`
+  // AND every vector later passed to Query() — this is the §6.1 requirement
+  // that makes AP-style prefix filtering sound across mini-batch windows.
+  // Indexes that do not use AP bounds ignore it.
+  virtual void Construct(const Stream& window, const MaxVector& global_max,
+                         std::vector<ResultPair>* pairs) = 0;
+
+  // Appends every pair (y in index, x) with dot >= theta.
+  virtual void Query(const StreamItem& x, std::vector<ResultPair>* pairs) = 0;
+
+  virtual void Clear() = 0;
+  virtual const char* name() const = 0;
+
+  RunStats& stats() { return stats_; }
+  const RunStats& stats() const { return stats_; }
+
+ protected:
+  RunStats stats_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_INDEX_BATCH_INDEX_H_

@@ -1,0 +1,63 @@
+#include "index/inv_index.h"
+
+namespace sssj {
+
+void InvIndex::Construct(const Stream& window, const MaxVector& /*unused*/,
+                         std::vector<ResultPair>* pairs) {
+  for (const StreamItem& x : window) {
+    QueryInternal(x, pairs);
+    AddInternal(x);
+  }
+  ++stats_.index_rebuilds;
+}
+
+void InvIndex::Query(const StreamItem& x, std::vector<ResultPair>* pairs) {
+  QueryInternal(x, pairs);
+}
+
+void InvIndex::Clear() {
+  lists_.clear();
+}
+
+void InvIndex::QueryInternal(const StreamItem& x,
+                             std::vector<ResultPair>* pairs) {
+  cands_.Reset();
+  for (const Coord& c : x.vec) {
+    auto it = lists_.find(c.dim);
+    if (it == lists_.end()) continue;
+    for (const PostingEntry& e : it->second) {
+      ++stats_.entries_traversed;
+      CandidateMap::Slot* slot = cands_.FindOrCreate(e.id);
+      if (slot->score == 0.0) {
+        slot->ts = e.ts;
+        cands_.NoteAdmitted();
+        ++stats_.candidates_generated;
+      }
+      slot->score += c.value * e.value;
+    }
+  }
+  cands_.ForEachLive([&](VectorId id, double score, Timestamp ts) {
+    ++stats_.verify_calls;
+    if (score >= theta_) {
+      ResultPair p;
+      p.a = id;
+      p.b = x.id;
+      p.ta = ts;
+      p.tb = x.ts;
+      p.dot = score;
+      p.sim = score;
+      pairs->push_back(p);
+      ++stats_.pairs_emitted;
+    }
+  });
+}
+
+void InvIndex::AddInternal(const StreamItem& x) {
+  for (const Coord& c : x.vec) {
+    lists_[c.dim].push_back(PostingEntry{x.id, c.value, 0.0, x.ts});
+    ++stats_.entries_indexed;
+  }
+  ++stats_.vectors_processed;
+}
+
+}  // namespace sssj

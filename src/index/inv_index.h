@@ -1,0 +1,37 @@
+// Batch inverted index with no pruning (INV, §5.1). Candidate generation
+// already accumulates the exact dot product, so verification is a plain
+// threshold test.
+#ifndef SSSJ_INDEX_INV_INDEX_H_
+#define SSSJ_INDEX_INV_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/batch_index.h"
+#include "index/candidate_map.h"
+#include "index/posting_list.h"
+
+namespace sssj {
+
+class InvIndex : public BatchIndex {
+ public:
+  explicit InvIndex(double theta) : theta_(theta) {}
+
+  void Construct(const Stream& window, const MaxVector& global_max,
+                 std::vector<ResultPair>* pairs) override;
+  void Query(const StreamItem& x, std::vector<ResultPair>* pairs) override;
+  void Clear() override;
+  const char* name() const override { return "INV"; }
+
+ private:
+  void QueryInternal(const StreamItem& x, std::vector<ResultPair>* pairs);
+  void AddInternal(const StreamItem& x);
+
+  double theta_;
+  std::unordered_map<DimId, std::vector<PostingEntry>> lists_;
+  CandidateMap cands_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_INDEX_INV_INDEX_H_

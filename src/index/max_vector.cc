@@ -1,0 +1,4 @@
+// MaxVector and DecayedMaxVector are header-only; this translation unit
+// exists to keep one .cc per module (and to hold any future out-of-line
+// helpers).
+#include "index/max_vector.h"

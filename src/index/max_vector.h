@@ -1,0 +1,120 @@
+// The two per-dimension maximum structures of §5.3.
+//
+// MaxVector       — m: plain per-dimension maximum over all vectors seen.
+//                   Used by the AP b1 index-construction bound. In the
+//                   streaming case its values only ever grow (the paper
+//                   deliberately applies NO decay here, §6.2: decaying m
+//                   would change it constantly and force re-indexing).
+// DecayedMaxVector— m̂λ: time-decayed maximum over *indexed* values,
+//                   m̂λ_j(t) = max_x { x_j · e^{−λ(t−t(x))} }. Because all
+//                   entries decay at the same exponential rate, the argmax
+//                   never changes between insertions, so storing the single
+//                   winning (value, timestamp) pair per dimension is exact.
+#ifndef SSSJ_INDEX_MAX_VECTOR_H_
+#define SSSJ_INDEX_MAX_VECTOR_H_
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sparse_vector.h"
+#include "core/types.h"
+
+namespace sssj {
+
+class MaxVector {
+ public:
+  // Returns true iff the stored maximum increased.
+  bool Update(DimId dim, double value) {
+    auto [it, inserted] = values_.try_emplace(dim, value);
+    if (inserted) return true;
+    if (value > it->second) {
+      it->second = value;
+      return true;
+    }
+    return false;
+  }
+
+  // Updates from all coordinates; appends the dims whose max grew to
+  // `updated_dims` (may be nullptr).
+  void UpdateFrom(const SparseVector& v, std::vector<DimId>* updated_dims) {
+    for (const Coord& c : v) {
+      if (Update(c.dim, c.value) && updated_dims != nullptr) {
+        updated_dims->push_back(c.dim);
+      }
+    }
+  }
+
+  double Get(DimId dim) const {
+    auto it = values_.find(dim);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+
+  void Merge(const MaxVector& other) {
+    for (const auto& [dim, val] : other.values_) Update(dim, val);
+  }
+
+  // dot(x, m) — upper bound on dot(x, y) for any y dominated by m.
+  double Dot(const SparseVector& x) const {
+    double s = 0.0;
+    for (const Coord& c : x) s += c.value * Get(c.dim);
+    return s;
+  }
+
+  size_t size() const { return values_.size(); }
+  void Clear() { values_.clear(); }
+
+ private:
+  std::unordered_map<DimId, double> values_;
+};
+
+class DecayedMaxVector {
+ public:
+  explicit DecayedMaxVector(double lambda) : lambda_(lambda) {}
+
+  // Records an indexed value x_j at time `ts`. `ts` must be >= every
+  // previously recorded timestamp for correctness of the argmax argument —
+  // except during L2AP re-indexing, which inserts *older* items; for those
+  // we compare both candidates at the later of the two timestamps, which is
+  // still exact because exponential decay preserves order.
+  void Update(DimId dim, double value, Timestamp ts) {
+    auto [it, inserted] = values_.try_emplace(dim, Entry{value, ts});
+    if (inserted) return;
+    Entry& e = it->second;
+    // Compare both at time max(ts, e.ts).
+    const Timestamp t = ts > e.ts ? ts : e.ts;
+    const double cur = e.value * std::exp(-lambda_ * (t - e.ts));
+    const double neu = value * std::exp(-lambda_ * (t - ts));
+    if (neu > cur) e = Entry{value, ts};
+  }
+
+  // m̂λ_j(now).
+  double Get(DimId dim, Timestamp now) const {
+    auto it = values_.find(dim);
+    if (it == values_.end()) return 0.0;
+    return it->second.value * std::exp(-lambda_ * (now - it->second.ts));
+  }
+
+  // dot(x, m̂λ(now)) — the streaming rs1 bound (§5.3).
+  double Dot(const SparseVector& x, Timestamp now) const {
+    double s = 0.0;
+    for (const Coord& c : x) s += c.value * Get(c.dim, now);
+    return s;
+  }
+
+  size_t size() const { return values_.size(); }
+  void Clear() { values_.clear(); }
+  double lambda() const { return lambda_; }
+
+ private:
+  struct Entry {
+    double value;
+    Timestamp ts;
+  };
+  std::unordered_map<DimId, Entry> values_;
+  double lambda_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_INDEX_MAX_VECTOR_H_

@@ -1,0 +1,19 @@
+#include "index/posting_list.h"
+
+namespace sssj {
+
+size_t PostingList::CompactExpired(Timestamp cutoff) {
+  const size_t n = entries_.size();
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (entries_[i].ts >= cutoff) {
+      if (w != i) entries_[w] = entries_[i];
+      ++w;
+    }
+  }
+  const size_t removed = n - w;
+  entries_.truncate_back(removed);
+  return removed;
+}
+
+}  // namespace sssj

@@ -1,0 +1,58 @@
+// Posting list backed by a circular buffer (paper §6.2).
+//
+// Entries are appended in arrival order. For the INV and L2 schemes the
+// lists therefore stay sorted by timestamp, which enables the backward-scan
+// optimization: scan newest→oldest during candidate generation and, on the
+// first expired entry, truncate everything older in O(expired) time.
+// The L2AP scheme loses the sorted property (re-indexing appends old items)
+// and must scan forward, compacting expired entries in place.
+#ifndef SSSJ_INDEX_POSTING_LIST_H_
+#define SSSJ_INDEX_POSTING_LIST_H_
+
+#include <cstddef>
+
+#include "core/types.h"
+#include "util/circular_buffer.h"
+
+namespace sssj {
+
+// One posting: vector reference, coordinate value, prefix magnitude
+// ||y'_j|| (the L2AP/L2 addition; unused by INV), and arrival timestamp.
+struct PostingEntry {
+  VectorId id = 0;
+  double value = 0.0;
+  double prefix_norm = 0.0;
+  Timestamp ts = 0.0;
+};
+
+class PostingList {
+ public:
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const PostingEntry& operator[](size_t i) const { return entries_[i]; }
+
+  void Append(const PostingEntry& e) { entries_.push_back(e); }
+
+  // Drops the `n` oldest entries (backward-scan truncation, time-sorted
+  // lists only). Returns n for convenience.
+  size_t TruncateFront(size_t n) {
+    entries_.truncate_front(n);
+    return n;
+  }
+
+  // Removes every entry with ts < cutoff, preserving order (forward
+  // compaction, used by L2AP whose lists are not time-sorted).
+  // Returns the number of removed entries.
+  size_t CompactExpired(Timestamp cutoff);
+
+  void Clear() { entries_.clear(); }
+
+  size_t capacity_bytes() const { return entries_.capacity_bytes(); }
+
+ private:
+  CircularBuffer<PostingEntry> entries_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_INDEX_POSTING_LIST_H_

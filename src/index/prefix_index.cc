@@ -1,0 +1,221 @@
+#include "index/prefix_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sssj {
+
+template <typename Policy>
+void PrefixIndex<Policy>::Construct(const Stream& window,
+                                    const MaxVector& global_max,
+                                    std::vector<ResultPair>* pairs) {
+  m_ = global_max;
+  for (const StreamItem& x : window) {
+    QueryInternal(x, pairs);
+    AddInternal(x);
+  }
+  ++stats_.index_rebuilds;
+}
+
+template <typename Policy>
+void PrefixIndex<Policy>::Query(const StreamItem& x,
+                                std::vector<ResultPair>* pairs) {
+  QueryInternal(x, pairs);
+}
+
+template <typename Policy>
+void PrefixIndex<Policy>::Clear() {
+  lists_.clear();
+  residuals_.Clear();
+  m_.Clear();
+  mhat_.Clear();
+}
+
+template <typename Policy>
+size_t PrefixIndex<Policy>::IndexedEntries() const {
+  size_t n = 0;
+  for (const auto& [dim, list] : lists_) n += list.size();
+  return n;
+}
+
+// CandGen (Algorithm 3) + CandVer (Algorithm 4), no time decay.
+template <typename Policy>
+void PrefixIndex<Policy>::QueryInternal(const StreamItem& x,
+                                        std::vector<ResultPair>* pairs) {
+  const SparseVector& v = x.vec;
+  if (v.empty()) return;
+  cands_.Reset();
+
+  // Prefix magnitudes ||x'_j||: norm of coordinates strictly before
+  // position i.
+  const size_t n = v.nnz();
+  prefix_norms_.assign(n, 0.0);
+  {
+    double sq = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      prefix_norms_[i] = std::sqrt(sq);
+      sq += v.coord(i).value * v.coord(i).value;
+    }
+  }
+
+  // sz1 = θ / vm_x: minimum "weight capacity" |y|·vm_y of a viable y.
+  const double sz1 = Policy::kAp ? theta_ / v.max_value() : 0.0;
+  double rs1 = Policy::kAp ? mhat_.Dot(v) : 0.0;
+  double rst = v.norm() * v.norm();
+
+  for (size_t i = n; i-- > 0;) {  // reverse coordinate order
+    const Coord& c = v.coord(i);
+    const double rs2 = std::sqrt(std::max(rst, 0.0));
+    auto it = lists_.find(c.dim);
+    if (it != lists_.end()) {
+      double remscore = rs2;
+      if constexpr (Policy::kAp) {
+        remscore = Policy::kL2 ? std::min(rs1, rs2) : rs1;
+      }
+      const bool admit_more = BoundAtLeast(remscore, theta_);
+      for (const PostingEntry& e : it->second) {
+        ++stats_.entries_traversed;
+        if constexpr (Policy::kAp) {
+          // Size filter: |y|·vm_y ≥ sz1 is necessary for dot(x,y) ≥ θ.
+          const ResidualRecord* rec = residuals_.Find(e.id);
+          if (rec == nullptr || !BoundAtLeast(rec->nnz * rec->vm, sz1)) {
+            continue;
+          }
+        }
+        CandidateMap::Slot* slot = cands_.FindOrCreate(e.id);
+        if (slot->score < 0.0) continue;  // l2-pruned earlier: final
+        if (slot->score == 0.0) {
+          if (!admit_more) continue;
+          slot->ts = e.ts;
+          cands_.NoteAdmitted();
+          ++stats_.candidates_generated;
+        }
+        slot->score += c.value * e.value;
+        if constexpr (Policy::kL2) {
+          const double l2bound =
+              slot->score + prefix_norms_[i] * e.prefix_norm;
+          if (!BoundAtLeast(l2bound, theta_)) {
+            slot->score = CandidateMap::kPruned;
+            ++stats_.l2_prunes;
+          }
+        }
+      }
+    }
+    if constexpr (Policy::kAp) rs1 -= c.value * mhat_.Get(c.dim);
+    rst -= c.value * c.value;
+  }
+
+  // CandVer.
+  cands_.ForEachLive([&](VectorId id, double score, Timestamp ts) {
+    ++stats_.verify_calls;
+    const ResidualRecord* rec = residuals_.Find(id);
+    if (rec == nullptr) return;  // defensive; every indexed y has a record
+    const double ps1 = score + rec->q;
+    if (!BoundAtLeast(ps1, theta_)) return;
+    if constexpr (Policy::kAp) {
+      const SparseVector& yp = rec->prefix;
+      const double ds1 =
+          score + std::min(v.max_value() * yp.sum(), yp.max_value() * v.sum());
+      if (!BoundAtLeast(ds1, theta_)) return;
+      const double sz2 =
+          score + static_cast<double>(std::min(v.nnz(), yp.nnz())) *
+                      v.max_value() * yp.max_value();
+      if (!BoundAtLeast(sz2, theta_)) return;
+    }
+    ++stats_.full_dots;
+    const double s = score + v.Dot(rec->prefix);
+    if (s >= theta_) {
+      ResultPair p;
+      p.a = id;
+      p.b = x.id;
+      p.ta = ts;
+      p.tb = x.ts;
+      p.dot = s;
+      p.sim = s;
+      pairs->push_back(p);
+      ++stats_.pairs_emitted;
+    }
+  });
+}
+
+// IndConstr (Algorithm 2).
+template <typename Policy>
+void PrefixIndex<Policy>::AddInternal(const StreamItem& x) {
+  const SparseVector& v = x.vec;
+  ++stats_.vectors_processed;
+  if (v.empty()) return;
+
+  double b1 = 0.0;
+  double bt = 0.0;
+  bool first_indexed = true;
+  double running_sq = 0.0;  // for ||x'_j|| stored in posting entries
+
+  // m̂ must dominate *every* coordinate of every vector in the index —
+  // including un-indexed residual prefixes — because the rs1 admission
+  // bound in CandGen covers residual contributions in the scanned dims
+  // (§3: "m̂ refers to the vector m restricted to the dataset that is
+  // already indexed", i.e. restricted by vector, not by coordinate).
+  if constexpr (Policy::kAp) {
+    mhat_.UpdateFrom(v, nullptr);
+  }
+
+  for (size_t i = 0; i < v.nnz(); ++i) {
+    const Coord& c = v.coord(i);
+    const double pn = std::sqrt(running_sq);  // ||x'_j|| before this coord
+    double pscore;  // bound BEFORE adding coord i (Algorithm 2 line 9)
+    if constexpr (Policy::kAp && Policy::kL2) {
+      pscore = std::min(b1, std::sqrt(bt));
+    } else if constexpr (Policy::kAp) {
+      pscore = b1;
+    } else {
+      pscore = std::sqrt(bt);
+    }
+
+    if constexpr (Policy::kAp) {
+      // The paper (Algorithm 2 line 10) caps m_j at vm_x, inheriting
+      // Bayardo's bound. That cap is only sound when vectors are processed
+      // in decreasing max-weight order — false for time-ordered streams
+      // and for cross-window MB queries — and can cause false negatives
+      // (see DESIGN.md deviation 6 and the VmCapCounterexample test). We
+      // therefore use the uncapped, unconditionally safe form.
+      b1 += c.value * m_.Get(c.dim);
+    }
+    bt += c.value * c.value;
+    running_sq = bt;
+
+    double bound;
+    if constexpr (Policy::kAp && Policy::kL2) {
+      bound = std::min(b1, std::sqrt(bt));
+    } else if constexpr (Policy::kAp) {
+      bound = b1;
+    } else {
+      bound = std::sqrt(bt);
+    }
+
+    if (BoundAtLeast(bound, theta_)) {
+      if (first_indexed) {
+        ResidualRecord rec;
+        rec.prefix = v.Prefix(i);
+        rec.q = pscore;
+        rec.ts = x.ts;
+        rec.vm = v.max_value();
+        rec.sum = v.sum();
+        rec.nnz = static_cast<uint32_t>(v.nnz());
+        residuals_.Insert(x.id, std::move(rec));
+        first_indexed = false;
+      }
+      lists_[c.dim].push_back(PostingEntry{x.id, c.value, pn, x.ts});
+      ++stats_.entries_indexed;
+    }
+  }
+  // With a valid global max vector, min{b1, b2} reaches ||x|| = 1 ≥ θ by
+  // the last coordinate, so every vector is indexed at least once. If the
+  // caller violated the MaxVector precondition this does not hold, and
+  // recall is undefined (documented in batch_index.h).
+}
+
+template class PrefixIndex<ApPolicy>;
+template class PrefixIndex<L2apPolicy>;
+template class PrefixIndex<L2Policy>;
+
+}  // namespace sssj

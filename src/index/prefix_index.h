@@ -1,0 +1,77 @@
+// Prefix-filtering batch indexes: AP (Bayardo et al.), L2AP (Anastasiu &
+// Karypis), and the paper's L2 — one implementation parameterized by a
+// bounds policy, mirroring the paper's red/green pseudocode convention
+// (Algorithms 2–4):
+//   * red lines  (AP bounds: b1, sz1, rs1, ds1, sz2) — enabled by kAp;
+//   * green lines (ℓ2 bounds: b2, rs2, l2bound)      — enabled by kL2;
+//   * L2AP enables both, AP only red, L2 only green.
+#ifndef SSSJ_INDEX_PREFIX_INDEX_H_
+#define SSSJ_INDEX_PREFIX_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/batch_index.h"
+#include "index/candidate_map.h"
+#include "index/posting_list.h"
+#include "index/residual_store.h"
+
+namespace sssj {
+
+struct ApPolicy {
+  static constexpr bool kAp = true;
+  static constexpr bool kL2 = false;
+  static constexpr const char* kName = "AP";
+};
+
+struct L2apPolicy {
+  static constexpr bool kAp = true;
+  static constexpr bool kL2 = true;
+  static constexpr const char* kName = "L2AP";
+};
+
+struct L2Policy {
+  static constexpr bool kAp = false;
+  static constexpr bool kL2 = true;
+  static constexpr const char* kName = "L2";
+};
+
+template <typename Policy>
+class PrefixIndex : public BatchIndex {
+ public:
+  explicit PrefixIndex(double theta) : theta_(theta) {}
+
+  void Construct(const Stream& window, const MaxVector& global_max,
+                 std::vector<ResultPair>* pairs) override;
+  void Query(const StreamItem& x, std::vector<ResultPair>* pairs) override;
+  void Clear() override;
+  const char* name() const override { return Policy::kName; }
+
+  // Number of posting entries currently held (tests: index-size reduction
+  // vs INV is the whole point of prefix filtering).
+  size_t IndexedEntries() const;
+
+ private:
+  void QueryInternal(const StreamItem& x, std::vector<ResultPair>* pairs);
+  void AddInternal(const StreamItem& x);
+
+  double theta_;
+  std::unordered_map<DimId, std::vector<PostingEntry>> lists_;
+  ResidualStore residuals_;
+  MaxVector m_;     // global max (dominates window + future queries)
+  MaxVector mhat_;  // max over *indexed* coordinate values (rs1 bound)
+  CandidateMap cands_;
+  std::vector<double> prefix_norms_;  // scratch: ||x'_j|| per position
+};
+
+using ApIndex = PrefixIndex<ApPolicy>;
+using L2apIndex = PrefixIndex<L2apPolicy>;
+using L2Index = PrefixIndex<L2Policy>;
+
+extern template class PrefixIndex<ApPolicy>;
+extern template class PrefixIndex<L2apPolicy>;
+extern template class PrefixIndex<L2Policy>;
+
+}  // namespace sssj
+
+#endif  // SSSJ_INDEX_PREFIX_INDEX_H_

@@ -1,0 +1,42 @@
+#include "index/residual_store.h"
+
+namespace sssj {
+
+ResidualRecord& ResidualStore::Insert(VectorId id, ResidualRecord rec) {
+  ResidualRecord& stored = map_.insert(id, std::move(rec));
+  if (track_prefix_dims_) RegisterPrefixDims(id, stored.prefix);
+  return stored;
+}
+
+void ResidualStore::ExpireOlderThan(Timestamp cutoff) {
+  while (!map_.empty() && map_.front().second.ts < cutoff) {
+    map_.pop_front();
+  }
+  // prefix_dims_ entries pointing at dropped ids are cleaned lazily.
+}
+
+void ResidualStore::Clear() {
+  map_.clear();
+  prefix_dims_.clear();
+}
+
+size_t ResidualStore::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [id, rec] : map_) {
+    bytes += sizeof(VectorId) + sizeof(ResidualRecord) +
+             rec.prefix.nnz() * sizeof(Coord);
+  }
+  for (const auto& [dim, ids] : prefix_dims_) {
+    bytes += sizeof(DimId) + ids.capacity() * sizeof(VectorId);
+  }
+  return bytes;
+}
+
+void ResidualStore::RegisterPrefixDims(VectorId id,
+                                       const SparseVector& prefix) {
+  for (const Coord& c : prefix) {
+    prefix_dims_[c.dim].push_back(id);
+  }
+}
+
+}  // namespace sssj

@@ -1,0 +1,57 @@
+// Abstract interface for the streaming indexes used by the STR framework
+// (Algorithm 5): a single, fully-online index with time filtering built in.
+#ifndef SSSJ_INDEX_STREAM_INDEX_H_
+#define SSSJ_INDEX_STREAM_INDEX_H_
+
+#include "core/result.h"
+#include "core/similarity.h"
+#include "core/stats.h"
+#include "core/stream_item.h"
+
+namespace sssj {
+
+class StreamIndex {
+ public:
+  virtual ~StreamIndex() = default;
+
+  // Processes one arrival: emits every pair (y, x) with y earlier in the
+  // stream and sim_Δt(x,y) ≥ θ, then inserts x into the index
+  // (IndConstr-IDX-STR, Algorithm 6). Arrival timestamps must be
+  // non-decreasing — enforced by the StreamingJoin wrapper.
+  virtual void ProcessArrival(const StreamItem& x, ResultSink* sink) = 0;
+
+  virtual void Clear() = 0;
+  virtual const char* name() const = 0;
+
+  // Posting entries currently alive (appended and not yet time-pruned);
+  // the memory-footprint signal of the paper's STR-vs-MB discussion.
+  virtual size_t live_posting_entries() const = 0;
+
+  // Approximate resident bytes of the index structures (posting-list
+  // backing buffers + residual store). The paper reports that when STR
+  // fails it fails on memory (§7): this is the number to watch.
+  virtual size_t MemoryBytes() const { return 0; }
+
+  RunStats& stats() { return stats_; }
+  const RunStats& stats() const { return stats_; }
+
+ protected:
+  void NoteIndexed(size_t n) {
+    live_entries_ += n;
+    stats_.entries_indexed += n;
+    if (live_entries_ > stats_.peak_index_entries) {
+      stats_.peak_index_entries = live_entries_;
+    }
+  }
+  void NotePruned(size_t n) {
+    live_entries_ -= n;
+    stats_.entries_pruned += n;
+  }
+
+  RunStats stats_;
+  size_t live_entries_ = 0;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_INDEX_STREAM_INDEX_H_

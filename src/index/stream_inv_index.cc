@@ -1,0 +1,65 @@
+#include "index/stream_inv_index.h"
+
+#include <cmath>
+
+namespace sssj {
+
+void StreamInvIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
+  const Timestamp cutoff = x.ts - params_.tau;
+  ++stats_.vectors_processed;
+
+  // Candidate generation with lazy time filtering.
+  cands_.Reset();
+  for (const Coord& c : x.vec) {
+    auto it = lists_.find(c.dim);
+    if (it == lists_.end()) continue;
+    PostingList& list = it->second;
+    size_t idx = list.size();
+    while (idx-- > 0) {
+      const PostingEntry& e = list[idx];
+      if (e.ts < cutoff) {
+        NotePruned(list.TruncateFront(idx + 1));
+        break;
+      }
+      ++stats_.entries_traversed;
+      CandidateMap::Slot* slot = cands_.FindOrCreate(e.id);
+      if (slot->score == 0.0) {
+        slot->ts = e.ts;
+        cands_.NoteAdmitted();
+        ++stats_.candidates_generated;
+      }
+      slot->score += c.value * e.value;
+    }
+  }
+
+  // Verification: the accumulated score is the exact dot product.
+  cands_.ForEachLive([&](VectorId id, double score, Timestamp ts) {
+    ++stats_.verify_calls;
+    const double sim = score * DecayFactor(params_.lambda, x.ts, ts);
+    if (sim >= params_.theta) {
+      ResultPair p;
+      p.a = id;
+      p.b = x.id;
+      p.ta = ts;
+      p.tb = x.ts;
+      p.dot = score;
+      p.sim = sim;
+      p.Canonicalize();
+      sink->Emit(p);
+      ++stats_.pairs_emitted;
+    }
+  });
+
+  // Index construction: append everything (no prefix filtering).
+  for (const Coord& c : x.vec) {
+    lists_[c.dim].Append(PostingEntry{x.id, c.value, 0.0, x.ts});
+  }
+  NoteIndexed(x.vec.nnz());
+}
+
+void StreamInvIndex::Clear() {
+  lists_.clear();
+  live_entries_ = 0;
+}
+
+}  // namespace sssj

@@ -1,0 +1,42 @@
+// STR-INV (§5.1): streaming inverted index with no similarity pruning.
+// Posting lists are time-sorted, so candidate generation scans each list
+// backwards (newest first) and, upon meeting the first expired entry,
+// truncates that entry and everything older in one O(expired) operation.
+// Candidate generation accumulates the exact dot product, so verification
+// is just the decayed threshold test.
+#ifndef SSSJ_INDEX_STREAM_INV_INDEX_H_
+#define SSSJ_INDEX_STREAM_INV_INDEX_H_
+
+#include <unordered_map>
+
+#include "index/candidate_map.h"
+#include "index/posting_list.h"
+#include "index/stream_index.h"
+
+namespace sssj {
+
+class StreamInvIndex : public StreamIndex {
+ public:
+  explicit StreamInvIndex(const DecayParams& params) : params_(params) {}
+
+  void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
+  void Clear() override;
+  const char* name() const override { return "INV"; }
+  size_t live_posting_entries() const override { return live_entries_; }
+  size_t MemoryBytes() const override {
+    size_t bytes = 0;
+    for (const auto& [dim, list] : lists_) {
+      bytes += sizeof(DimId) + list.capacity_bytes();
+    }
+    return bytes;
+  }
+
+ private:
+  DecayParams params_;
+  std::unordered_map<DimId, PostingList> lists_;
+  CandidateMap cands_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_INDEX_STREAM_INV_INDEX_H_

@@ -1,0 +1,257 @@
+#include "index/stream_l2_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace sssj {
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'S', 'S', 'S', 'J', 'C', 'K', 'P', '1'};
+
+template <typename T>
+void PutRaw(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(T));
+  return is.good();
+}
+
+}  // namespace
+
+void StreamL2Index::ProcessArrival(const StreamItem& x, ResultSink* sink) {
+  const SparseVector& v = x.vec;
+  const Timestamp cutoff = x.ts - params_.tau;
+  ++stats_.vectors_processed;
+  residuals_.ExpireOlderThan(cutoff);
+  if (v.empty()) return;
+
+  // ---- Candidate generation (Algorithm 7, green lines) ----
+  cands_.Reset();
+  const size_t n = v.nnz();
+  prefix_norms_.assign(n, 0.0);
+  {
+    double sq = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      prefix_norms_[i] = std::sqrt(sq);
+      sq += v.coord(i).value * v.coord(i).value;
+    }
+  }
+
+  double rst = v.norm() * v.norm();
+  for (size_t i = n; i-- > 0;) {  // reverse coordinate order
+    const Coord& c = v.coord(i);
+    const double rs2 = std::sqrt(std::max(rst, 0.0));
+    auto it = lists_.find(c.dim);
+    if (it != lists_.end()) {
+      PostingList& list = it->second;
+      size_t idx = list.size();
+      while (idx-- > 0) {  // newest → oldest
+        const PostingEntry& e = list[idx];
+        if (e.ts < cutoff) {
+          NotePruned(list.TruncateFront(idx + 1));
+          break;
+        }
+        ++stats_.entries_traversed;
+        const double decay = std::exp(-params_.lambda * (x.ts - e.ts));
+        CandidateMap::Slot* slot = cands_.FindOrCreate(e.id);
+        if (slot->score < 0.0) continue;  // l2-pruned: final
+        if (slot->score == 0.0) {
+          // remscore = rs2 · e^{−λΔt} (line 7, AP part disabled).
+          if (options_.use_remscore_bound &&
+              !BoundAtLeast(rs2 * decay, params_.theta)) {
+            continue;
+          }
+          slot->ts = e.ts;
+          cands_.NoteAdmitted();
+          ++stats_.candidates_generated;
+        }
+        slot->score += c.value * e.value;
+        if (options_.use_l2bound) {
+          const double l2bound =
+              slot->score + prefix_norms_[i] * e.prefix_norm * decay;
+          if (!BoundAtLeast(l2bound, params_.theta)) {
+            slot->score = CandidateMap::kPruned;
+            ++stats_.l2_prunes;
+          }
+        }
+      }
+    }
+    rst -= c.value * c.value;
+  }
+
+  // ---- Candidate verification (Algorithm 8, green lines) ----
+  cands_.ForEachLive([&](VectorId id, double score, Timestamp ts) {
+    ++stats_.verify_calls;
+    const ResidualRecord* rec = residuals_.Find(id);
+    if (rec == nullptr) return;  // defensive: record outlives its postings
+    const double decay = std::exp(-params_.lambda * (x.ts - ts));
+    if (options_.use_ps1_bound) {
+      const double ps1 = (score + rec->q) * decay;
+      if (!BoundAtLeast(ps1, params_.theta)) return;
+    }
+    ++stats_.full_dots;
+    const double s = score + v.Dot(rec->prefix);
+    const double sim = s * decay;
+    if (sim >= params_.theta) {
+      ResultPair p;
+      p.a = id;
+      p.b = x.id;
+      p.ta = ts;
+      p.tb = x.ts;
+      p.dot = s;
+      p.sim = sim;
+      p.Canonicalize();
+      sink->Emit(p);
+      ++stats_.pairs_emitted;
+    }
+  });
+
+  // ---- Index construction (Algorithm 6, green lines) ----
+  double bt = 0.0;
+  bool first_indexed = true;
+  size_t appended = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Coord& c = v.coord(i);
+    const double pscore = std::sqrt(bt);  // b2 before this coordinate
+    bt += c.value * c.value;
+    const double b2 = std::sqrt(bt);
+    if (BoundAtLeast(b2, params_.theta)) {
+      if (first_indexed) {
+        ResidualRecord rec;
+        rec.prefix = v.Prefix(i);
+        rec.q = pscore;
+        rec.ts = x.ts;
+        rec.vm = v.max_value();
+        rec.sum = v.sum();
+        rec.nnz = static_cast<uint32_t>(n);
+        residuals_.Insert(x.id, std::move(rec));
+        first_indexed = false;
+      }
+      lists_[c.dim].Append(
+          PostingEntry{x.id, c.value, prefix_norms_[i], x.ts});
+      ++appended;
+    }
+  }
+  NoteIndexed(appended);
+}
+
+void StreamL2Index::Clear() {
+  lists_.clear();
+  residuals_.Clear();
+  live_entries_ = 0;
+}
+
+bool StreamL2Index::Serialize(std::ostream& os) const {
+  os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutRaw(os, params_.theta);
+  PutRaw(os, params_.lambda);
+  PutRaw(os, static_cast<uint64_t>(live_entries_));
+
+  PutRaw(os, static_cast<uint64_t>(lists_.size()));
+  for (const auto& [dim, list] : lists_) {
+    PutRaw(os, dim);
+    PutRaw(os, static_cast<uint64_t>(list.size()));
+    for (size_t i = 0; i < list.size(); ++i) {
+      const PostingEntry& e = list[i];
+      PutRaw(os, e.id);
+      PutRaw(os, e.value);
+      PutRaw(os, e.prefix_norm);
+      PutRaw(os, e.ts);
+    }
+  }
+
+  PutRaw(os, static_cast<uint64_t>(residuals_.size()));
+  // LinkedHashMap iterates in insertion (= time) order; preserving it is
+  // required for the O(1) expiry on restore.
+  residuals_.ForEachInOrder([&os](VectorId id, const ResidualRecord& rec) {
+    PutRaw(os, id);
+    PutRaw(os, rec.ts);
+    PutRaw(os, rec.q);
+    PutRaw(os, rec.vm);
+    PutRaw(os, rec.sum);
+    PutRaw(os, rec.nnz);
+    PutRaw(os, static_cast<uint64_t>(rec.prefix.nnz()));
+    for (const Coord& c : rec.prefix) {
+      PutRaw(os, c.dim);
+      PutRaw(os, c.value);
+    }
+  });
+  return os.good();
+}
+
+bool StreamL2Index::Deserialize(std::istream& is) {
+  Clear();
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is.good() ||
+      std::memcmp(magic, kCheckpointMagic, sizeof(kCheckpointMagic)) != 0) {
+    return false;
+  }
+  double theta, lambda;
+  uint64_t live;
+  if (!GetRaw(is, &theta) || !GetRaw(is, &lambda) || !GetRaw(is, &live)) {
+    return false;
+  }
+  if (theta != params_.theta || lambda != params_.lambda) return false;
+
+  uint64_t num_lists;
+  if (!GetRaw(is, &num_lists)) return false;
+  for (uint64_t l = 0; l < num_lists; ++l) {
+    DimId dim;
+    uint64_t len;
+    if (!GetRaw(is, &dim) || !GetRaw(is, &len)) {
+      Clear();
+      return false;
+    }
+    PostingList& list = lists_[dim];
+    for (uint64_t i = 0; i < len; ++i) {
+      PostingEntry e;
+      if (!GetRaw(is, &e.id) || !GetRaw(is, &e.value) ||
+          !GetRaw(is, &e.prefix_norm) || !GetRaw(is, &e.ts)) {
+        Clear();
+        return false;
+      }
+      list.Append(e);
+    }
+  }
+
+  uint64_t num_residuals;
+  if (!GetRaw(is, &num_residuals)) {
+    Clear();
+    return false;
+  }
+  for (uint64_t r = 0; r < num_residuals; ++r) {
+    VectorId id;
+    ResidualRecord rec;
+    uint64_t prefix_len;
+    if (!GetRaw(is, &id) || !GetRaw(is, &rec.ts) || !GetRaw(is, &rec.q) ||
+        !GetRaw(is, &rec.vm) || !GetRaw(is, &rec.sum) ||
+        !GetRaw(is, &rec.nnz) || !GetRaw(is, &prefix_len)) {
+      Clear();
+      return false;
+    }
+    std::vector<Coord> coords;
+    coords.reserve(static_cast<size_t>(std::min<uint64_t>(prefix_len, 1u << 20)));
+    for (uint64_t k = 0; k < prefix_len; ++k) {
+      Coord c;
+      if (!GetRaw(is, &c.dim) || !GetRaw(is, &c.value)) {
+        Clear();
+        return false;
+      }
+      coords.push_back(c);
+    }
+    rec.prefix = SparseVector::FromCoords(std::move(coords));
+    residuals_.Insert(id, std::move(rec));
+  }
+  live_entries_ = static_cast<size_t>(live);
+  return true;
+}
+
+}  // namespace sssj

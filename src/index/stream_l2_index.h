@@ -1,0 +1,74 @@
+// STR-L2 (§5.4) — the paper's main contribution. Uses only the ℓ2 bounds
+// (b2 for index construction; rs2, l2bound for candidate generation; ps1
+// for verification), all of which depend exclusively on the query and
+// candidate vectors — never on stream-wide statistics. Consequently:
+//   * no max vector m(t) has to be maintained, so no re-indexing ever
+//     happens,
+//   * posting lists stay time-sorted, enabling the backward-scan +
+//     O(1) truncation optimization of §6.2,
+//   * the decay factor tightens every bound (Appendix A).
+#ifndef SSSJ_INDEX_STREAM_L2_INDEX_H_
+#define SSSJ_INDEX_STREAM_L2_INDEX_H_
+
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "index/candidate_map.h"
+#include "index/posting_list.h"
+#include "index/residual_store.h"
+#include "index/stream_index.h"
+
+namespace sssj {
+
+// Ablation switches for the three ℓ2 pruning rules. Disabling a rule never
+// changes the output (each rule only skips provably-dissimilar work); it
+// changes how much work is done — which is exactly what the ablation bench
+// measures. All enabled by default.
+struct L2IndexOptions {
+  bool use_remscore_bound = true;  // admission: rs2·e^{−λΔt} ≥ θ (Alg 7 l.7)
+  bool use_l2bound = true;         // early prune: C + ||x'||·||y'||·e^{−λΔt}
+  bool use_ps1_bound = true;       // verification: (C + Q)·e^{−λΔt} ≥ θ
+};
+
+class StreamL2Index : public StreamIndex {
+ public:
+  explicit StreamL2Index(const DecayParams& params,
+                         const L2IndexOptions& options = {})
+      : params_(params), options_(options) {}
+
+  void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
+  void Clear() override;
+  const char* name() const override { return "L2"; }
+  size_t live_posting_entries() const override { return live_entries_; }
+  size_t MemoryBytes() const override {
+    size_t bytes = residuals_.ApproxBytes();
+    for (const auto& [dim, list] : lists_) {
+      bytes += sizeof(DimId) + list.capacity_bytes();
+    }
+    return bytes;
+  }
+
+  size_t residual_count() const { return residuals_.size(); }
+
+  // Checkpointing: serializes the complete live state (posting lists,
+  // residual store, live-entry counter) so a streaming job can be resumed
+  // after a restart. Counters in stats() are per-process and are NOT part
+  // of the checkpoint. Deserialize replaces the index state; it fails
+  // (returning false, state cleared) on format or parameter mismatch —
+  // a checkpoint is only valid for the same (θ, λ).
+  bool Serialize(std::ostream& os) const;
+  bool Deserialize(std::istream& is);
+
+ private:
+  DecayParams params_;
+  L2IndexOptions options_;
+  std::unordered_map<DimId, PostingList> lists_;
+  ResidualStore residuals_;
+  CandidateMap cands_;
+  std::vector<double> prefix_norms_;  // scratch
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_INDEX_STREAM_L2_INDEX_H_

@@ -1,0 +1,110 @@
+#include "stream/minibatch.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace sssj {
+
+MiniBatchJoin::MiniBatchJoin(const DecayParams& params, IndexFactory factory,
+                             double window_factor)
+    : params_(params),
+      factory_(std::move(factory)),
+      window_len_(params.tau * std::max(window_factor, 1.0)) {}
+
+namespace {
+// End of the window anchored at `start`. For the degenerate τ = 0 (θ = 1
+// with λ > 0: only simultaneous pairs can qualify) the window is the
+// smallest half-open interval containing `start`, so equal timestamps
+// share a window and any later timestamp closes it.
+Timestamp WindowEndFor(Timestamp start, double tau) {
+  if (tau > 0.0) return start + tau;  // +inf tau → window never closes
+  return std::nextafter(start, std::numeric_limits<Timestamp>::infinity());
+}
+}  // namespace
+
+bool MiniBatchJoin::Push(const StreamItem& x, ResultSink* sink) {
+  if (started_ && x.ts < last_ts_) return false;
+  if (!started_) {
+    started_ = true;
+    window_end_ = WindowEndFor(x.ts, window_len_);
+  }
+  last_ts_ = x.ts;
+  if (x.ts >= window_end_) {
+    // x starts a new window. O(1) advance, even across long silent gaps:
+    CloseWindow(sink);
+    if (window_len_ > 0.0 && x.ts < window_end_ + window_len_) {
+      // x lands in the window adjacent to the one just closed — the only
+      // case where pairs may span the boundary.
+      window_end_ += window_len_;
+    } else {
+      // The gap exceeds a full window: nothing in the buffered window can
+      // pair with x, so flush it too and re-anchor at x.
+      CloseWindow(sink);
+      window_end_ = WindowEndFor(x.ts, window_len_);
+    }
+  }
+  cur_.push_back(x);
+  ++stats_.vectors_processed;
+  return true;
+}
+
+void MiniBatchJoin::Flush(ResultSink* sink) {
+  // First close indexes W_{k−1} and queries it with W_k; the second close
+  // indexes the final window (its intra-window pairs).
+  CloseWindow(sink);
+  CloseWindow(sink);
+  started_ = false;
+  window_end_ = 0.0;
+  last_ts_ = 0.0;
+}
+
+void MiniBatchJoin::CloseWindow(ResultSink* sink) {
+  if (prev_.empty() && cur_.empty()) return;
+
+  // Global max vector over both windows (§6.1): makes AP prefix filtering
+  // sound for queries coming from the current window.
+  MaxVector m;
+  for (const StreamItem& item : prev_) m.UpdateFrom(item.vec, nullptr);
+  for (const StreamItem& item : cur_) m.UpdateFrom(item.vec, nullptr);
+
+  std::unique_ptr<BatchIndex> index = factory_();
+  scratch_pairs_.clear();
+  index->Construct(prev_, m, &scratch_pairs_);
+  EmitWithDecay(scratch_pairs_, sink);
+
+  for (const StreamItem& x : cur_) {
+    scratch_pairs_.clear();
+    index->Query(x, &scratch_pairs_);
+    EmitWithDecay(scratch_pairs_, sink);
+  }
+
+  // Fold the per-window index statistics into the aggregate; the index —
+  // and all its posting lists — is then dropped wholesale. A batch index
+  // only ever grows, so its entry count at close time is its peak; the
+  // aggregate keeps the max across windows.
+  RunStats idx_stats = index->stats();
+  idx_stats.vectors_processed = 0;  // already counted in Push
+  idx_stats.pairs_emitted = 0;      // counted post-decay in EmitWithDecay
+  idx_stats.peak_index_entries = idx_stats.entries_indexed;
+  stats_ += idx_stats;
+
+  prev_ = std::move(cur_);
+  cur_.clear();
+}
+
+void MiniBatchJoin::EmitWithDecay(const std::vector<ResultPair>& raw,
+                                  ResultSink* sink) {
+  for (const ResultPair& r : raw) {
+    const double sim = r.dot * DecayFactor(params_.lambda, r.ta, r.tb);
+    if (sim >= params_.theta) {
+      ResultPair p = r;
+      p.sim = sim;
+      p.Canonicalize();
+      sink->Emit(p);
+      ++stats_.pairs_emitted;
+    }
+  }
+}
+
+}  // namespace sssj

@@ -1,0 +1,3 @@
+// StreamingJoin is header-only; see streaming.h. This translation unit
+// keeps the module's .cc anchor for future out-of-line code.
+#include "stream/streaming.h"

@@ -1,0 +1,58 @@
+// STR-IDX — the Streaming framework (Algorithm 5). A thin, validating
+// wrapper over a StreamIndex: each arrival is joined against the online
+// index and then inserted into it; results are reported immediately (no
+// reporting delay, unlike MB).
+#ifndef SSSJ_STREAM_STREAMING_H_
+#define SSSJ_STREAM_STREAMING_H_
+
+#include <memory>
+
+#include "core/result.h"
+#include "core/similarity.h"
+#include "core/stats.h"
+#include "core/stream_item.h"
+#include "index/stream_index.h"
+
+namespace sssj {
+
+class StreamingJoin {
+ public:
+  StreamingJoin(const DecayParams& params, std::unique_ptr<StreamIndex> index)
+      : params_(params), index_(std::move(index)) {}
+
+  // Feeds one arrival; pairs are emitted synchronously. Returns false on a
+  // time-order violation (item rejected).
+  bool Push(const StreamItem& x, ResultSink* sink) {
+    if (started_ && x.ts < last_ts_) return false;
+    started_ = true;
+    last_ts_ = x.ts;
+    index_->ProcessArrival(x, sink);
+    return true;
+  }
+
+  // STR has no buffered state to drain; provided for API symmetry with MB.
+  void Flush(ResultSink* /*sink*/) {}
+
+  const RunStats& stats() const { return index_->stats(); }
+  const DecayParams& params() const { return params_; }
+  const StreamIndex& index() const { return *index_; }
+  StreamIndex* mutable_index() { return index_.get(); }
+
+  // Clock state, exposed for checkpoint/restore (engine.cc).
+  Timestamp last_ts() const { return last_ts_; }
+  bool started() const { return started_; }
+  void RestoreClock(Timestamp last_ts, bool started) {
+    last_ts_ = last_ts;
+    started_ = started;
+  }
+
+ private:
+  DecayParams params_;
+  std::unique_ptr<StreamIndex> index_;
+  Timestamp last_ts_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_STREAM_STREAMING_H_

@@ -1,0 +1,120 @@
+// Generic circular buffer with amortized O(1) push_back and O(1)
+// pop_front / truncate_front, used as the backing store for posting lists
+// (paper §6.2: "we implement posting lists using a circular byte buffer.
+// When the buffer becomes full we double its capacity, while when its size
+// drops below 1/4 we halve it.").
+#ifndef SSSJ_UTIL_CIRCULAR_BUFFER_H_
+#define SSSJ_UTIL_CIRCULAR_BUFFER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sssj {
+
+template <typename T>
+class CircularBuffer {
+ public:
+  CircularBuffer() : data_(kInitialCapacity) {}
+  explicit CircularBuffer(size_t initial_capacity)
+      : data_(RoundUpPow2(initial_capacity)) {}
+
+  CircularBuffer(const CircularBuffer&) = default;
+  CircularBuffer& operator=(const CircularBuffer&) = default;
+  CircularBuffer(CircularBuffer&&) noexcept = default;
+  CircularBuffer& operator=(CircularBuffer&&) noexcept = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return data_.size(); }
+
+  // Element i counted from the front (oldest). Precondition: i < size().
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[Mask(head_ + i)];
+  }
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data_[Mask(head_ + i)];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+  T& front() { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+
+  void push_back(T value) {
+    if (size_ == data_.size()) Grow();
+    data_[Mask(head_ + size_)] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    data_[head_] = T();  // release resources held by the slot, if any
+    head_ = Mask(head_ + 1);
+    --size_;
+    MaybeShrink();
+  }
+
+  // Drops the `n` oldest elements. O(n) destruction, O(1) bookkeeping.
+  void truncate_front(size_t n) {
+    assert(n <= size_);
+    for (size_t i = 0; i < n; ++i) data_[Mask(head_ + i)] = T();
+    head_ = Mask(head_ + n);
+    size_ -= n;
+    MaybeShrink();
+  }
+
+  // Drops the `n` newest elements (used by in-place compaction).
+  void truncate_back(size_t n) {
+    assert(n <= size_);
+    for (size_t i = 0; i < n; ++i) data_[Mask(head_ + size_ - 1 - i)] = T();
+    size_ -= n;
+    MaybeShrink();
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) data_[Mask(head_ + i)] = T();
+    head_ = 0;
+    size_ = 0;
+  }
+
+  // Memory footprint of the backing store, in bytes.
+  size_t capacity_bytes() const { return data_.size() * sizeof(T); }
+
+ private:
+  static constexpr size_t kInitialCapacity = 8;
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t c = kInitialCapacity;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  size_t Mask(size_t i) const { return i & (data_.size() - 1); }
+
+  void Grow() { Rebuild(data_.size() * 2); }
+
+  void MaybeShrink() {
+    if (data_.size() > kInitialCapacity && size_ < data_.size() / 4) {
+      Rebuild(data_.size() / 2);
+    }
+  }
+
+  void Rebuild(size_t new_capacity) {
+    std::vector<T> next(new_capacity);
+    for (size_t i = 0; i < size_; ++i) next[i] = std::move(data_[Mask(head_ + i)]);
+    data_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> data_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_UTIL_CIRCULAR_BUFFER_H_

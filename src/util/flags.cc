@@ -1,0 +1,76 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sssj {
+
+Flags::Flags(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      entries_.push_back({arg.substr(0, eq), arg.substr(eq + 1), true});
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      entries_.push_back({arg, argv[i + 1], true});
+      ++i;
+    } else {
+      entries_.push_back({arg, "", false});
+    }
+  }
+}
+
+const Flags::Entry* Flags::Find(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+bool Flags::Has(const std::string& name) const { return Find(name) != nullptr; }
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& def) const {
+  const Entry* e = Find(name);
+  return (e != nullptr && e->has_value) ? e->value : def;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  const Entry* e = Find(name);
+  if (e == nullptr || !e->has_value) return def;
+  return std::strtoll(e->value.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  const Entry* e = Find(name);
+  if (e == nullptr || !e->has_value) return def;
+  return std::strtod(e->value.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  const Entry* e = Find(name);
+  if (e == nullptr) return def;
+  if (!e->has_value) return true;
+  return e->value == "1" || e->value == "true" || e->value == "yes";
+}
+
+std::vector<double> Flags::GetDoubleList(const std::string& name,
+                                         const std::vector<double>& def) const {
+  const Entry* e = Find(name);
+  if (e == nullptr || !e->has_value) return def;
+  std::vector<double> out;
+  std::stringstream ss(e->value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtod(item.c_str(), nullptr));
+  }
+  return out;
+}
+
+}  // namespace sssj

@@ -1,0 +1,45 @@
+// Minimal command-line flag parser for the bench/example binaries.
+// Syntax: --name=value or --name value; bare --name sets a bool flag true.
+// Unknown flags are collected so binaries can report them; positional
+// arguments are preserved.
+#ifndef SSSJ_UTIL_FLAGS_H_
+#define SSSJ_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sssj {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+  // Comma-separated list of doubles, e.g. --theta-list=0.5,0.7,0.9.
+  std::vector<double> GetDoubleList(const std::string& name,
+                                    const std::vector<double>& def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string value;
+    bool has_value;
+  };
+  const Entry* Find(const std::string& name) const;
+
+  std::string program_;
+  std::vector<Entry> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_UTIL_FLAGS_H_

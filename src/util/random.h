@@ -1,0 +1,92 @@
+// Small, fast, reproducible PRNG (xoshiro256**, seeded via splitmix64).
+// Used by the synthetic data generators and the property tests; std::mt19937
+// is avoided for speed and cross-platform reproducibility of streams.
+#ifndef SSSJ_UTIL_RANDOM_H_
+#define SSSJ_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace sssj {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 seeding, per Blackman & Vigna's recommendation.
+    uint64_t z = seed;
+    for (auto& s : s_) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform in [0, n). Precondition: n > 0.
+  uint64_t NextBelow(uint64_t n) {
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = (~n + 1) % n;
+      while (l < t) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform in [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Exponential with rate `rate` (mean 1/rate).
+  double NextExponential(double rate) {
+    double u;
+    do {
+      u = NextDouble();
+    } while (u == 0.0);
+    return -std::log(u) / rate;
+  }
+
+  // Standard normal (Box–Muller; wastes one variate for simplicity).
+  double NextGaussian() {
+    double u1;
+    do {
+      u1 = NextDouble();
+    } while (u1 == 0.0);
+    double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_UTIL_RANDOM_H_

@@ -1,0 +1,40 @@
+// Monotonic wall-clock stopwatch used by the bench harness and by the
+// per-run time budget of Table 2.
+#ifndef SSSJ_UTIL_TIMER_H_
+#define SSSJ_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sssj {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_UTIL_TIMER_H_

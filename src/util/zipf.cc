@@ -1,0 +1,44 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+namespace sssj {
+
+namespace {
+// H(x) = ∫ t^-s dt with the s=1 singularity handled by log.
+double HImpl(double x, double s) {
+  if (s == 1.0) return std::log(x);
+  return std::pow(x, 1.0 - s) / (1.0 - s);
+}
+double HinvImpl(double x, double s) {
+  if (s == 1.0) return std::exp(x);
+  return std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  // Shifted by 1: internal support is [1, n] (rank+1).
+  h_x1_ = HImpl(1.5, s_) - 1.0;  // H(x_1) where x_1 = 1.5 minus pmf(1)
+  h_n_ = HImpl(static_cast<double>(n_) + 0.5, s_);
+  threshold_ = 2.0 - HinvImpl(HImpl(2.5, s_) - std::pow(2.0, -s_), s_);
+}
+
+double ZipfSampler::H(double x) const { return HImpl(x, s_); }
+double ZipfSampler::Hinv(double x) const { return HinvImpl(x, s_); }
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = Hinv(u);
+    const double k = std::floor(x + 0.5);
+    if (k - x <= threshold_) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+    if (u >= H(k + 0.5) - std::pow(k, -s_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace sssj

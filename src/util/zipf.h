@@ -1,0 +1,43 @@
+// Bounded Zipf(s, n) sampler over {0, …, n−1} using rejection inversion
+// (Hörmann & Derflinger, "Rejection-inversion to generate variates from
+// monotone discrete distributions", 1996). O(n)-free setup, O(1) expected
+// time per sample, works for any exponent s > 0, s ≠ 1 handled uniformly.
+//
+// Term frequencies in text corpora are famously Zipf-distributed; the
+// synthetic corpus generator uses this to match the dimension-popularity
+// skew of the paper's datasets (posting-list length distribution is the
+// main driver of index behaviour).
+#ifndef SSSJ_UTIL_ZIPF_H_
+#define SSSJ_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace sssj {
+
+class ZipfSampler {
+ public:
+  // n: support size (ranks 0..n-1, rank 0 most popular); s: exponent (> 0).
+  ZipfSampler(uint64_t n, double s);
+
+  // Draws a rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;     // integral of x^-s (generalized)
+  double Hinv(double x) const;  // inverse of H
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_UTIL_ZIPF_H_

@@ -1,0 +1,94 @@
+#include "core/apss.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/brute_force.h"
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::PairSet;
+using ::sssj::testing::UnitVec;
+
+std::vector<SparseVector> RandomData(size_t n, uint64_t seed) {
+  ::sssj::testing::RandomStreamSpec spec;
+  spec.n = n;
+  spec.dims = 40;
+  spec.max_nnz = 7;
+  spec.seed = seed;
+  std::vector<SparseVector> data;
+  for (auto& item : ::sssj::testing::RandomStream(spec)) {
+    data.push_back(std::move(item.vec));
+  }
+  return data;
+}
+
+class BatchApssTest
+    : public ::testing::TestWithParam<std::tuple<IndexScheme, double>> {};
+
+TEST_P(BatchApssTest, MatchesBruteForce) {
+  const auto [scheme, theta] = GetParam();
+  const auto data = RandomData(250, 7);
+
+  CollectorSink oracle;
+  BruteForceBatchJoin(data, theta, &oracle);
+  const auto got = BatchApss(data, theta, scheme);
+
+  const auto got_set = PairSet(got);
+  const double eps = 1e-9;
+  for (const ResultPair& p : oracle.pairs()) {
+    if (p.dot >= theta + eps) {
+      EXPECT_TRUE(got_set.count({p.a, p.b})) << ToString(scheme);
+    }
+  }
+  const auto want = PairSet(oracle.pairs());
+  for (const ResultPair& p : got) {
+    EXPECT_TRUE(want.count({p.a, p.b})) << ToString(scheme);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchApssTest,
+    ::testing::Combine(::testing::Values(IndexScheme::kInv, IndexScheme::kAp,
+                                         IndexScheme::kL2ap,
+                                         IndexScheme::kL2),
+                       ::testing::Values(0.4, 0.7, 0.95)));
+
+TEST(BatchApssTest, ResultsAreSortedAndCanonical) {
+  const auto data = RandomData(150, 9);
+  const auto pairs = BatchApss(data, 0.5, IndexScheme::kL2);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_LT(pairs[i].a, pairs[i].b);
+    if (i > 0) {
+      EXPECT_TRUE(pairs[i - 1] < pairs[i]);
+    }
+  }
+}
+
+TEST(BatchApssTest, AllSchemesAgree) {
+  const auto data = RandomData(200, 11);
+  const auto reference = BatchApss(data, 0.6, IndexScheme::kInv);
+  for (IndexScheme s :
+       {IndexScheme::kAp, IndexScheme::kL2ap, IndexScheme::kL2}) {
+    EXPECT_EQ(PairSet(BatchApss(data, 0.6, s)), PairSet(reference))
+        << ToString(s);
+  }
+}
+
+TEST(BatchApssTest, EmptyAndSingletonInputs) {
+  EXPECT_TRUE(BatchApss({}, 0.5, IndexScheme::kL2).empty());
+  EXPECT_TRUE(
+      BatchApss({UnitVec({{1, 1.0}})}, 0.5, IndexScheme::kL2ap).empty());
+}
+
+TEST(BatchApssTest, IdenticalVectorsAllPair) {
+  std::vector<SparseVector> data(5, UnitVec({{1, 1.0}, {2, 2.0}}));
+  const auto pairs = BatchApss(data, 0.99, IndexScheme::kL2);
+  EXPECT_EQ(pairs.size(), 10u);  // 5 choose 2
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,207 @@
+// Batch indexes (INV, AP, L2AP, L2) against the exact batch oracle, plus
+// scheme-specific structural properties (index-size reduction, residuals).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "index/inv_index.h"
+#include "index/prefix_index.h"
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::Item;
+using ::sssj::testing::PairSet;
+using ::sssj::testing::RandomStream;
+using ::sssj::testing::RandomStreamSpec;
+using ::sssj::testing::UnitVec;
+
+enum class Scheme { kInv, kAp, kL2ap, kL2 };
+
+std::unique_ptr<BatchIndex> Make(Scheme s, double theta) {
+  switch (s) {
+    case Scheme::kInv:
+      return std::make_unique<InvIndex>(theta);
+    case Scheme::kAp:
+      return std::make_unique<ApIndex>(theta);
+    case Scheme::kL2ap:
+      return std::make_unique<L2apIndex>(theta);
+    case Scheme::kL2:
+      return std::make_unique<L2Index>(theta);
+  }
+  return nullptr;
+}
+
+MaxVector MaxOf(const Stream& s) {
+  MaxVector m;
+  for (const StreamItem& item : s) m.UpdateFrom(item.vec, nullptr);
+  return m;
+}
+
+class BatchIndexParamTest
+    : public ::testing::TestWithParam<std::tuple<Scheme, double, uint64_t>> {};
+
+// Construct() must report exactly the pairs the brute-force batch join
+// finds (modulo an ε band at the threshold).
+TEST_P(BatchIndexParamTest, ConstructMatchesBatchOracle) {
+  const auto [scheme, theta, seed] = GetParam();
+  RandomStreamSpec spec;
+  spec.n = 250;
+  spec.dims = 40;
+  spec.max_nnz = 7;
+  spec.seed = seed;
+  Stream stream = RandomStream(spec);
+
+  std::vector<SparseVector> data;
+  for (const auto& item : stream) data.push_back(item.vec);
+  CollectorSink oracle;
+  BruteForceBatchJoin(data, theta, &oracle);
+
+  auto index = Make(scheme, theta);
+  std::vector<ResultPair> pairs;
+  index->Construct(stream, MaxOf(stream), &pairs);
+
+  const auto got = PairSet(pairs);
+  const double eps = 1e-9;
+  for (const ResultPair& p : oracle.pairs()) {
+    if (p.dot >= theta + eps) {
+      EXPECT_TRUE(got.count({p.a, p.b}))
+          << "missing " << p.ToString() << " scheme=" << index->name();
+    }
+  }
+  const auto want = PairSet(oracle.pairs());
+  for (const ResultPair& p : pairs) {
+    EXPECT_TRUE(want.count({p.a, p.b}))
+        << "spurious " << p.ToString() << " scheme=" << index->name();
+    EXPECT_GE(p.dot, theta - eps);
+  }
+  EXPECT_EQ(got.size(), pairs.size()) << "duplicates from " << index->name();
+}
+
+// Query() after Construct() must find cross-set pairs exactly.
+TEST_P(BatchIndexParamTest, QueryMatchesOracle) {
+  const auto [scheme, theta, seed] = GetParam();
+  RandomStreamSpec spec;
+  spec.n = 160;
+  spec.dims = 30;
+  spec.max_nnz = 6;
+  spec.seed = seed + 1000;
+  Stream all = RandomStream(spec);
+  Stream indexed(all.begin(), all.begin() + 80);
+  Stream queries(all.begin() + 80, all.end());
+
+  // Global max must cover index AND queries (§6.1).
+  auto index = Make(scheme, theta);
+  std::vector<ResultPair> ignore;
+  index->Construct(indexed, MaxOf(all), &ignore);
+
+  std::vector<ResultPair> pairs;
+  for (const StreamItem& q : queries) index->Query(q, &pairs);
+
+  const auto got = PairSet(pairs);
+  const double eps = 1e-9;
+  for (const StreamItem& y : indexed) {
+    for (const StreamItem& x : queries) {
+      const double d = y.vec.Dot(x.vec);
+      if (d >= theta + eps) {
+        EXPECT_TRUE(got.count({y.id, x.id}))
+            << "missing (" << y.id << "," << x.id << ") dot=" << d
+            << " scheme=" << index->name();
+      } else if (d < theta - eps) {
+        EXPECT_FALSE(got.count({y.id, x.id}))
+            << "spurious (" << y.id << "," << x.id << ") dot=" << d
+            << " scheme=" << index->name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchIndexParamTest,
+    ::testing::Combine(::testing::Values(Scheme::kInv, Scheme::kAp,
+                                         Scheme::kL2ap, Scheme::kL2),
+                       ::testing::Values(0.3, 0.5, 0.7, 0.9, 0.99),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(BatchIndexTest, PrefixFilteringShrinksIndex) {
+  RandomStreamSpec spec;
+  spec.n = 300;
+  spec.dims = 60;
+  spec.max_nnz = 8;
+  spec.seed = 5;
+  Stream stream = RandomStream(spec);
+  const MaxVector m = MaxOf(stream);
+
+  size_t total_coords = 0;
+  for (const auto& item : stream) total_coords += item.vec.nnz();
+
+  L2apIndex l2ap(0.9);
+  L2Index l2(0.9);
+  std::vector<ResultPair> ignore;
+  l2ap.Construct(stream, m, &ignore);
+  ignore.clear();
+  l2.Construct(stream, m, &ignore);
+
+  // Both prefix filters must index strictly fewer coordinates than INV
+  // would (INV indexes everything), and L2AP (more bounds) at most as many
+  // as L2.
+  EXPECT_LT(l2ap.IndexedEntries(), total_coords);
+  EXPECT_LT(l2.IndexedEntries(), total_coords);
+  EXPECT_LE(l2ap.IndexedEntries(), l2.IndexedEntries());
+}
+
+TEST(BatchIndexTest, HighThetaIndexesFewerEntries) {
+  RandomStreamSpec spec;
+  spec.n = 200;
+  spec.dims = 50;
+  spec.seed = 6;
+  Stream stream = RandomStream(spec);
+  const MaxVector m = MaxOf(stream);
+
+  L2Index low(0.5), high(0.95);
+  std::vector<ResultPair> ignore;
+  low.Construct(stream, m, &ignore);
+  ignore.clear();
+  high.Construct(stream, m, &ignore);
+  EXPECT_LT(high.IndexedEntries(), low.IndexedEntries());
+}
+
+TEST(BatchIndexTest, PruningReducesTraversedEntries) {
+  RandomStreamSpec spec;
+  spec.n = 300;
+  spec.dims = 40;
+  spec.seed = 7;
+  Stream stream = RandomStream(spec);
+  const MaxVector m = MaxOf(stream);
+
+  InvIndex inv(0.9);
+  L2Index l2(0.9);
+  std::vector<ResultPair> ignore;
+  inv.Construct(stream, m, &ignore);
+  ignore.clear();
+  l2.Construct(stream, m, &ignore);
+  EXPECT_LT(l2.stats().entries_traversed, inv.stats().entries_traversed);
+}
+
+TEST(BatchIndexTest, EmptyWindowConstructs) {
+  L2Index index(0.8);
+  std::vector<ResultPair> pairs;
+  index.Construct({}, MaxVector(), &pairs);
+  EXPECT_TRUE(pairs.empty());
+  // A query against an empty index finds nothing.
+  index.Query(Item(0, 0.0, UnitVec({{1, 1.0}})), &pairs);
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(BatchIndexTest, SingletonWindowHasNoPairs) {
+  Stream s = {Item(0, 0.0, UnitVec({{1, 1.0}, {2, 2.0}}))};
+  L2apIndex index(0.5);
+  std::vector<ResultPair> pairs;
+  index.Construct(s, MaxOf(s), &pairs);
+  EXPECT_TRUE(pairs.empty());
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,102 @@
+#include "core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::Item;
+using ::sssj::testing::PairSet;
+using ::sssj::testing::UnitVec;
+
+TEST(BruteForceBatchTest, FindsIdenticalPair) {
+  std::vector<SparseVector> data = {UnitVec({{0, 1.0}, {1, 1.0}}),
+                                    UnitVec({{0, 1.0}, {1, 1.0}}),
+                                    UnitVec({{5, 1.0}})};
+  CollectorSink sink;
+  BruteForceBatchJoin(data, 0.9, &sink);
+  ASSERT_EQ(sink.pairs().size(), 1u);
+  EXPECT_EQ(sink.pairs()[0].a, 0u);
+  EXPECT_EQ(sink.pairs()[0].b, 1u);
+  EXPECT_NEAR(sink.pairs()[0].dot, 1.0, 1e-12);
+}
+
+TEST(BruteForceBatchTest, ThresholdIsInclusive) {
+  // dot = cos 45° between {1,0} and normalized {1,1}.
+  std::vector<SparseVector> data = {UnitVec({{0, 1.0}}),
+                                    UnitVec({{0, 1.0}, {1, 1.0}})};
+  const double dot = data[0].Dot(data[1]);
+  CollectorSink at, above;
+  BruteForceBatchJoin(data, dot, &at);
+  BruteForceBatchJoin(data, dot + 1e-9, &above);
+  EXPECT_EQ(at.pairs().size(), 1u);
+  EXPECT_TRUE(above.pairs().empty());
+}
+
+TEST(BruteForceStreamTest, DecayFiltersDistantPairs) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.1, &params));
+  // Identical vectors: pairs within the horizon are similar, the pair
+  // spanning 1.2·τ is not (sim = θ^1.2 < θ).
+  SparseVector v = UnitVec({{0, 1.0}});
+  Stream s = {Item(0, 0.0, v), Item(1, params.tau * 0.5, v),
+              Item(2, params.tau * 1.2, v)};
+  CollectorSink sink;
+  BruteForceStreamJoin(s, params, &sink);
+  const auto got = PairSet(sink.pairs());
+  EXPECT_TRUE(got.count({0, 1}));   // Δt = 0.5τ
+  EXPECT_TRUE(got.count({1, 2}));   // Δt = 0.7τ
+  EXPECT_FALSE(got.count({0, 2}));  // Δt = 1.2τ > τ
+}
+
+TEST(BruteForceStreamTest, ExactHorizonBoundaryIncluded) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.1, &params));
+  SparseVector v = UnitVec({{0, 1.0}});
+  Stream s = {Item(0, 0.0, v), Item(1, params.tau, v)};
+  CollectorSink sink;
+  BruteForceStreamJoin(s, params, &sink);
+  // sim = e^{−λτ} = θ exactly → inclusive threshold reports it.
+  ASSERT_EQ(sink.pairs().size(), 1u);
+  EXPECT_NEAR(sink.pairs()[0].sim, 0.5, 1e-9);
+}
+
+TEST(BruteForceStreamTest, PairsAreCanonicalized) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.0, &params));
+  SparseVector v = UnitVec({{0, 1.0}});
+  Stream s = {Item(3, 0.0, v), Item(7, 1.0, v)};
+  CollectorSink sink;
+  BruteForceStreamJoin(s, params, &sink);
+  ASSERT_EQ(sink.pairs().size(), 1u);
+  EXPECT_LT(sink.pairs()[0].a, sink.pairs()[0].b);
+  EXPECT_DOUBLE_EQ(sink.pairs()[0].ta, 0.0);
+  EXPECT_DOUBLE_EQ(sink.pairs()[0].tb, 1.0);
+}
+
+TEST(BruteForceStreamTest, LambdaZeroJoinsWholeStream) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.99, 0.0, &params));
+  SparseVector v = UnitVec({{0, 1.0}});
+  Stream s;
+  for (int i = 0; i < 10; ++i) s.push_back(Item(i, i * 1000.0, v));
+  CollectorSink sink;
+  BruteForceStreamJoin(s, params, &sink);
+  EXPECT_EQ(sink.pairs().size(), 45u);  // 10 choose 2
+}
+
+TEST(BruteForceStreamTest, SortedHelperSorts) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.0, &params));
+  SparseVector v = UnitVec({{0, 1.0}});
+  Stream s = {Item(0, 0.0, v), Item(1, 0.0, v), Item(2, 0.0, v)};
+  const auto pairs = BruteForceStreamJoinSorted(s, params);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_TRUE(pairs[0] < pairs[1]);
+  EXPECT_TRUE(pairs[1] < pairs[2]);
+}
+
+}  // namespace
+}  // namespace sssj

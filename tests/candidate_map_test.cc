@@ -1,0 +1,115 @@
+#include "index/candidate_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.h"
+
+namespace sssj {
+namespace {
+
+TEST(CandidateMapTest, FreshSlotIsZero) {
+  CandidateMap m;
+  m.Reset();
+  CandidateMap::Slot* s = m.FindOrCreate(42);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->score, 0.0);
+  EXPECT_EQ(s->id, 42u);
+}
+
+TEST(CandidateMapTest, AccumulationPersistsWithinGeneration) {
+  CandidateMap m;
+  m.Reset();
+  m.FindOrCreate(1)->score += 0.25;
+  m.FindOrCreate(1)->score += 0.5;
+  EXPECT_DOUBLE_EQ(m.FindOrCreate(1)->score, 0.75);
+}
+
+TEST(CandidateMapTest, ResetInvalidatesAllSlots) {
+  CandidateMap m;
+  m.Reset();
+  m.FindOrCreate(1)->score = 1.0;
+  m.FindOrCreate(2)->score = 2.0;
+  m.Reset();
+  EXPECT_EQ(m.FindOrCreate(1)->score, 0.0);
+  EXPECT_EQ(m.FindOrCreate(2)->score, 0.0);
+}
+
+TEST(CandidateMapTest, PrunedSentinelExcludedFromLiveIteration) {
+  CandidateMap m;
+  m.Reset();
+  m.FindOrCreate(1)->score = 0.5;
+  m.FindOrCreate(2)->score = CandidateMap::kPruned;
+  m.FindOrCreate(3)->score = 0.7;
+  std::map<VectorId, double> seen;
+  m.ForEachLive([&](VectorId id, double score, Timestamp) {
+    seen[id] = score;
+  });
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[1], 0.5);
+  EXPECT_DOUBLE_EQ(seen[3], 0.7);
+}
+
+TEST(CandidateMapTest, TimestampCarriedThrough) {
+  CandidateMap m;
+  m.Reset();
+  CandidateMap::Slot* s = m.FindOrCreate(9);
+  s->ts = 123.5;
+  s->score = 1.0;
+  m.ForEachLive([&](VectorId id, double, Timestamp ts) {
+    EXPECT_EQ(id, 9u);
+    EXPECT_DOUBLE_EQ(ts, 123.5);
+  });
+}
+
+TEST(CandidateMapTest, GrowsBeyondInitialCapacity) {
+  CandidateMap m(16);
+  m.Reset();
+  for (VectorId id = 0; id < 10000; ++id) {
+    m.FindOrCreate(id)->score = static_cast<double>(id) + 1.0;
+  }
+  // All still retrievable after growth.
+  for (VectorId id = 0; id < 10000; ++id) {
+    ASSERT_DOUBLE_EQ(m.FindOrCreate(id)->score, static_cast<double>(id) + 1.0);
+  }
+  size_t live = 0;
+  m.ForEachLive([&](VectorId, double, Timestamp) { ++live; });
+  EXPECT_EQ(live, 10000u);
+}
+
+TEST(CandidateMapTest, AdmittedCounter) {
+  CandidateMap m;
+  m.Reset();
+  m.NoteAdmitted();
+  m.NoteAdmitted();
+  EXPECT_EQ(m.admitted(), 2u);
+  m.Reset();
+  EXPECT_EQ(m.admitted(), 0u);
+}
+
+TEST(CandidateMapTest, ManyGenerationsStayIsolated) {
+  CandidateMap m(32);
+  Rng rng(5);
+  for (int gen = 0; gen < 500; ++gen) {
+    m.Reset();
+    std::map<VectorId, double> oracle;
+    const int k = 1 + static_cast<int>(rng.NextBelow(50));
+    for (int i = 0; i < k; ++i) {
+      const VectorId id = rng.NextBelow(1000);
+      const double add = rng.NextDouble();
+      m.FindOrCreate(id)->score += add;
+      oracle[id] += add;
+    }
+    std::map<VectorId, double> got;
+    m.ForEachLive(
+        [&](VectorId id, double score, Timestamp) { got[id] = score; });
+    ASSERT_EQ(got.size(), oracle.size());
+    for (const auto& [id, score] : oracle) {
+      ASSERT_NEAR(got[id], score, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,155 @@
+// Checkpoint/restore of the STR-L2 index: a resumed job must produce
+// exactly the output of an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/engine.h"
+#include "index/stream_l2_index.h"
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::PairSet;
+using ::sssj::testing::RandomStream;
+using ::sssj::testing::RandomStreamSpec;
+using ::sssj::testing::UnitVec;
+
+Stream TestStream() {
+  RandomStreamSpec spec;
+  spec.n = 400;
+  spec.dims = 30;
+  spec.max_nnz = 6;
+  spec.seed = 500;
+  return RandomStream(spec);
+}
+
+TEST(CheckpointTest, IndexRoundTripResumesExactly) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &params));
+  const Stream stream = TestStream();
+  const size_t cut = stream.size() / 2;
+
+  // Uninterrupted reference.
+  StreamL2Index ref(params);
+  CollectorSink ref_sink;
+  for (const StreamItem& item : stream) ref.ProcessArrival(item, &ref_sink);
+
+  // Run half, serialize, restore into a fresh index, run the rest.
+  StreamL2Index first(params);
+  CollectorSink sink_a;
+  for (size_t i = 0; i < cut; ++i) first.ProcessArrival(stream[i], &sink_a);
+  std::stringstream buffer;
+  ASSERT_TRUE(first.Serialize(buffer));
+
+  StreamL2Index second(params);
+  ASSERT_TRUE(second.Deserialize(buffer));
+  EXPECT_EQ(second.live_posting_entries(), first.live_posting_entries());
+  EXPECT_EQ(second.residual_count(), first.residual_count());
+  CollectorSink sink_b;
+  for (size_t i = cut; i < stream.size(); ++i) {
+    second.ProcessArrival(stream[i], &sink_b);
+  }
+
+  std::vector<ResultPair> resumed = sink_a.pairs();
+  resumed.insert(resumed.end(), sink_b.pairs().begin(), sink_b.pairs().end());
+  EXPECT_EQ(PairSet(resumed), PairSet(ref_sink.pairs()));
+  EXPECT_EQ(resumed.size(), ref_sink.pairs().size());
+}
+
+TEST(CheckpointTest, DeserializeRejectsParameterMismatch) {
+  DecayParams a, b;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &a));
+  ASSERT_TRUE(DecayParams::Make(0.7, 0.02, &b));
+  StreamL2Index index_a(a);
+  CollectorSink sink;
+  index_a.ProcessArrival(
+      ::sssj::testing::Item(0, 0.0, UnitVec({{1, 1.0}})), &sink);
+  std::stringstream buffer;
+  ASSERT_TRUE(index_a.Serialize(buffer));
+  StreamL2Index index_b(b);
+  EXPECT_FALSE(index_b.Deserialize(buffer));
+  EXPECT_EQ(index_b.live_posting_entries(), 0u);  // cleared on failure
+}
+
+TEST(CheckpointTest, DeserializeRejectsGarbage) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &params));
+  StreamL2Index index(params);
+  std::stringstream buffer("definitely not a checkpoint");
+  EXPECT_FALSE(index.Deserialize(buffer));
+}
+
+TEST(CheckpointTest, EngineRoundTripThroughFile) {
+  EngineConfig cfg;
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kL2;
+  cfg.theta = 0.6;
+  cfg.lambda = 0.02;
+  cfg.normalize_inputs = false;
+  const Stream stream = TestStream();
+  const size_t cut = stream.size() / 3;
+  const std::string path = ::testing::TempDir() + "/sssj_engine.ckp";
+
+  // Reference.
+  auto ref = SssjEngine::Create(cfg);
+  CollectorSink ref_sink;
+  for (const StreamItem& item : stream) {
+    ref->Push(item.ts, item.vec, &ref_sink);
+  }
+
+  // Interrupted + resumed.
+  CollectorSink sink;
+  {
+    auto engine = SssjEngine::Create(cfg);
+    for (size_t i = 0; i < cut; ++i) {
+      engine->Push(stream[i].ts, stream[i].vec, &sink);
+    }
+    std::string err;
+    ASSERT_TRUE(engine->SaveCheckpoint(path, &err)) << err;
+  }
+  {
+    auto engine = SssjEngine::Create(cfg);
+    std::string err;
+    ASSERT_TRUE(engine->LoadCheckpoint(path, &err)) << err;
+    EXPECT_EQ(engine->next_id(), cut);
+    // Time order is still enforced after restore.
+    EXPECT_FALSE(
+        engine->Push(stream[cut].ts - 100.0, stream[cut].vec, &sink));
+    for (size_t i = cut; i < stream.size(); ++i) {
+      ASSERT_TRUE(engine->Push(stream[i].ts, stream[i].vec, &sink));
+    }
+  }
+  EXPECT_EQ(PairSet(sink.pairs()), PairSet(ref_sink.pairs()));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, UnsupportedConfigsRefuse) {
+  EngineConfig cfg;
+  cfg.framework = Framework::kMiniBatch;
+  cfg.index = IndexScheme::kL2;
+  auto mb = SssjEngine::Create(cfg);
+  std::string err;
+  EXPECT_FALSE(mb->SaveCheckpoint("/tmp/x.ckp", &err));
+  EXPECT_FALSE(err.empty());
+
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kL2ap;
+  auto l2ap = SssjEngine::Create(cfg);
+  EXPECT_FALSE(l2ap->SaveCheckpoint("/tmp/x.ckp", &err));
+}
+
+TEST(CheckpointTest, EmptyIndexRoundTrips) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.1, &params));
+  StreamL2Index a(params), b(params);
+  std::stringstream buffer;
+  ASSERT_TRUE(a.Serialize(buffer));
+  ASSERT_TRUE(b.Deserialize(buffer));
+  EXPECT_EQ(b.live_posting_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace sssj

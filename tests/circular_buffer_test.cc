@@ -1,0 +1,140 @@
+#include "util/circular_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "util/random.h"
+
+namespace sssj {
+namespace {
+
+TEST(CircularBufferTest, StartsEmpty) {
+  CircularBuffer<int> b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(CircularBufferTest, PushBackAndIndex) {
+  CircularBuffer<int> b;
+  for (int i = 0; i < 5; ++i) b.push_back(i * 10);
+  ASSERT_EQ(b.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(b[i], static_cast<int>(i) * 10);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 40);
+}
+
+TEST(CircularBufferTest, GrowsPastInitialCapacity) {
+  CircularBuffer<int> b;
+  for (int i = 0; i < 1000; ++i) b.push_back(i);
+  ASSERT_EQ(b.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(b[i], i);
+}
+
+TEST(CircularBufferTest, PopFrontAdvances) {
+  CircularBuffer<int> b;
+  for (int i = 0; i < 4; ++i) b.push_back(i);
+  b.pop_front();
+  b.pop_front();
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.front(), 2);
+}
+
+TEST(CircularBufferTest, WrapsAroundAfterInterleavedOps) {
+  CircularBuffer<int> b;
+  // Force the head pointer to wrap repeatedly.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 7; ++i) b.push_back(round * 100 + i);
+    for (int i = 0; i < 6; ++i) b.pop_front();
+  }
+  ASSERT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.back(), 99 * 100 + 6);
+}
+
+TEST(CircularBufferTest, TruncateFrontDropsOldest) {
+  CircularBuffer<int> b;
+  for (int i = 0; i < 10; ++i) b.push_back(i);
+  b.truncate_front(7);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 7);
+  EXPECT_EQ(b[2], 9);
+}
+
+TEST(CircularBufferTest, TruncateBackDropsNewest) {
+  CircularBuffer<int> b;
+  for (int i = 0; i < 10; ++i) b.push_back(i);
+  b.truncate_back(4);
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b.back(), 5);
+}
+
+TEST(CircularBufferTest, TruncateAllLeavesEmpty) {
+  CircularBuffer<int> b;
+  for (int i = 0; i < 5; ++i) b.push_back(i);
+  b.truncate_front(5);
+  EXPECT_TRUE(b.empty());
+  b.push_back(42);
+  EXPECT_EQ(b.front(), 42);
+}
+
+TEST(CircularBufferTest, ShrinksWhenSparse) {
+  CircularBuffer<int> b;
+  for (int i = 0; i < 1024; ++i) b.push_back(i);
+  const size_t big = b.capacity();
+  b.truncate_front(1020);
+  EXPECT_LT(b.capacity(), big);  // §6.2: halve when below 1/4 occupancy
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 1020);
+  EXPECT_EQ(b[3], 1023);
+}
+
+TEST(CircularBufferTest, ClearResets) {
+  CircularBuffer<int> b;
+  for (int i = 0; i < 20; ++i) b.push_back(i);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  b.push_back(7);
+  EXPECT_EQ(b.front(), 7);
+}
+
+TEST(CircularBufferTest, MutableIndexing) {
+  CircularBuffer<int> b;
+  b.push_back(1);
+  b.push_back(2);
+  b[0] = 100;
+  EXPECT_EQ(b.front(), 100);
+}
+
+TEST(CircularBufferTest, RandomizedAgainstDeque) {
+  CircularBuffer<int> b;
+  std::deque<int> oracle;
+  Rng rng(7);
+  int next = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 55 || oracle.empty()) {
+      b.push_back(next);
+      oracle.push_back(next);
+      ++next;
+    } else if (op < 75) {
+      b.pop_front();
+      oracle.pop_front();
+    } else if (op < 90) {
+      const size_t n = rng.NextBelow(oracle.size() + 1);
+      b.truncate_front(n);
+      oracle.erase(oracle.begin(), oracle.begin() + n);
+    } else {
+      const size_t n = rng.NextBelow(oracle.size() + 1);
+      b.truncate_back(n);
+      oracle.erase(oracle.end() - n, oracle.end());
+    }
+    ASSERT_EQ(b.size(), oracle.size());
+    if (!oracle.empty()) {
+      const size_t probe = rng.NextBelow(oracle.size());
+      ASSERT_EQ(b[probe], oracle[probe]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sssj

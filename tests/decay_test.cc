@@ -1,0 +1,197 @@
+// DecayFunction families and the generalized streaming indexes built on
+// them (the paper's future-work extension), verified against the
+// generalized brute-force oracle.
+#include "core/decay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "index/decayed_stream_index.h"
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::Item;
+using ::sssj::testing::PairSet;
+using ::sssj::testing::RandomStream;
+using ::sssj::testing::RandomStreamSpec;
+using ::sssj::testing::UnitVec;
+
+TEST(DecayFunctionTest, ExponentialMatchesClosedForm) {
+  const DecayFunction f = DecayFunction::Exponential(0.2);
+  EXPECT_DOUBLE_EQ(f.Eval(0.0), 1.0);
+  EXPECT_NEAR(f.Eval(5.0), std::exp(-1.0), 1e-15);
+  EXPECT_NEAR(f.Horizon(0.5), std::log(2.0) / 0.2, 1e-12);
+}
+
+TEST(DecayFunctionTest, PolynomialMatchesClosedForm) {
+  const DecayFunction f = DecayFunction::Polynomial(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(f.Eval(0.0), 1.0);
+  EXPECT_NEAR(f.Eval(4.0), 0.25, 1e-15);  // (1+1)^-2
+  // Horizon: f(τ) = θ.
+  const double tau = f.Horizon(0.25);
+  EXPECT_NEAR(f.Eval(tau), 0.25, 1e-12);
+}
+
+TEST(DecayFunctionTest, SlidingWindowIsStep) {
+  const DecayFunction f = DecayFunction::SlidingWindow(10.0);
+  EXPECT_DOUBLE_EQ(f.Eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.Eval(10.0), 1.0);  // boundary inclusive
+  EXPECT_DOUBLE_EQ(f.Eval(10.0001), 0.0);
+  EXPECT_DOUBLE_EQ(f.Horizon(0.7), 10.0);
+}
+
+TEST(DecayFunctionTest, AllFamiliesMonotoneAndBounded) {
+  const std::vector<DecayFunction> fams = {
+      DecayFunction::Exponential(0.05),
+      DecayFunction::Polynomial(1.5, 2.0),
+      DecayFunction::SlidingWindow(7.0),
+  };
+  for (const DecayFunction& f : fams) {
+    double prev = 1.0;
+    for (double dt = 0.0; dt <= 50.0; dt += 0.5) {
+      const double v = f.Eval(dt);
+      EXPECT_LE(v, prev + 1e-15) << f.ToString() << " at " << dt;
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      prev = v;
+    }
+  }
+}
+
+TEST(DecayFunctionTest, HorizonIsCorrectCutoff) {
+  // Eval(horizon) >= theta and Eval(horizon·1.01) < theta for strictly
+  // decreasing families.
+  for (const DecayFunction& f : {DecayFunction::Exponential(0.1),
+                                 DecayFunction::Polynomial(2.0, 3.0)}) {
+    for (double theta : {0.3, 0.6, 0.9}) {
+      const double tau = f.Horizon(theta);
+      EXPECT_GE(f.Eval(tau) + 1e-12, theta) << f.ToString();
+      EXPECT_LT(f.Eval(tau * 1.01), theta) << f.ToString();
+    }
+  }
+}
+
+TEST(DecayFunctionTest, ZeroRateMeansInfiniteHorizon) {
+  EXPECT_TRUE(std::isinf(DecayFunction::Exponential(0.0).Horizon(0.5)));
+  EXPECT_TRUE(std::isinf(DecayFunction::Polynomial(0.0).Horizon(0.5)));
+}
+
+TEST(DecayFunctionTest, NegativeGapTreatedAsAbsolute) {
+  const DecayFunction f = DecayFunction::Exponential(0.1);
+  EXPECT_DOUBLE_EQ(f.Eval(-3.0), f.Eval(3.0));
+}
+
+// Exponential generalized indexes must agree exactly with the dedicated
+// STR implementation's semantics (same oracle).
+TEST(GeneralizedIndexTest, ExponentialReducesToPaperSemantics) {
+  RandomStreamSpec spec;
+  spec.n = 250;
+  spec.dims = 30;
+  spec.seed = 71;
+  const Stream stream = RandomStream(spec);
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.05, &params));
+  const DecayFunction f = DecayFunction::Exponential(params.lambda);
+
+  GeneralDecayL2Index index(params.theta, f);
+  CollectorSink sink;
+  for (const StreamItem& item : stream) index.ProcessArrival(item, &sink);
+
+  CollectorSink oracle;
+  BruteForceStreamJoin(stream, params, &oracle);
+  EXPECT_EQ(PairSet(sink.pairs()), PairSet(oracle.pairs()));
+}
+
+enum class GenScheme { kInv, kL2 };
+
+class GeneralizedIndexParamTest
+    : public ::testing::TestWithParam<
+          std::tuple<GenScheme, int /*decay family*/, double, uint64_t>> {};
+
+TEST_P(GeneralizedIndexParamTest, MatchesGeneralizedOracle) {
+  const auto [scheme, family, theta, seed] = GetParam();
+  const DecayFunction f =
+      family == 0   ? DecayFunction::Exponential(0.03)
+      : family == 1 ? DecayFunction::Polynomial(1.2, 5.0)
+                    : DecayFunction::SlidingWindow(25.0);
+
+  RandomStreamSpec spec;
+  spec.n = 250;
+  spec.dims = 30;
+  spec.max_gap = 2.0;
+  spec.seed = seed;
+  const Stream stream = RandomStream(spec);
+
+  CollectorSink sink;
+  if (scheme == GenScheme::kInv) {
+    GeneralDecayInvIndex index(theta, f);
+    for (const StreamItem& item : stream) index.ProcessArrival(item, &sink);
+  } else {
+    GeneralDecayL2Index index(theta, f);
+    for (const StreamItem& item : stream) index.ProcessArrival(item, &sink);
+  }
+
+  CollectorSink oracle;
+  BruteForceDecayJoin(stream, theta, f, &oracle);
+
+  const auto got = PairSet(sink.pairs());
+  const auto want_pairs = oracle.pairs();
+  const double eps = 1e-9;
+  for (const ResultPair& p : want_pairs) {
+    if (p.sim >= theta + eps) {
+      EXPECT_TRUE(got.count({p.a, p.b}))
+          << "missing " << p.ToString() << " under " << f.ToString();
+    }
+  }
+  const auto want = PairSet(want_pairs);
+  for (const ResultPair& p : sink.pairs()) {
+    EXPECT_TRUE(want.count({p.a, p.b}))
+        << "spurious " << p.ToString() << " under " << f.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneralizedIndexParamTest,
+    ::testing::Combine(::testing::Values(GenScheme::kInv, GenScheme::kL2),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(0.4, 0.7, 0.9),
+                       ::testing::Values(81u, 82u)));
+
+// The sliding-window family makes GeneralDecayL2Index a classic windowed
+// similarity join: a pair inside the window is judged by pure cosine.
+TEST(GeneralizedIndexTest, SlidingWindowKeepsFullSimilarityInWindow) {
+  const DecayFunction f = DecayFunction::SlidingWindow(5.0);
+  GeneralDecayL2Index index(0.9, f);
+  CollectorSink sink;
+  SparseVector v = UnitVec({{1, 1.0}, {2, 1.0}});
+  index.ProcessArrival(Item(0, 0.0, v), &sink);
+  index.ProcessArrival(Item(1, 4.9, v), &sink);   // inside window: sim = 1
+  index.ProcessArrival(Item(2, 10.5, v), &sink);  // outside both windows? 10.5-4.9=5.6 > 5
+  ASSERT_EQ(sink.pairs().size(), 1u);
+  EXPECT_NEAR(sink.pairs()[0].sim, 1.0, 1e-12);
+}
+
+TEST(GeneralizedIndexTest, PolynomialHasHeavierTailBeyondHorizon) {
+  // Calibrate both families to the same horizon at θ = 0.5. Within the
+  // horizon the exponential dominates (log-poly is convex, below the
+  // chord); beyond it the polynomial's heavy tail keeps more similarity —
+  // the qualitative difference an application picks the family by.
+  const double theta = 0.5;
+  const DecayFunction exp_f = DecayFunction::Exponential(0.1);
+  const double tau = exp_f.Horizon(theta);
+  const double alpha = 1.0;
+  const double scale = tau / (std::pow(theta, -1.0 / alpha) - 1.0);
+  const DecayFunction poly_f = DecayFunction::Polynomial(alpha, scale);
+  ASSERT_NEAR(poly_f.Horizon(theta), tau, 1e-9);
+  EXPECT_DOUBLE_EQ(poly_f.Eval(0.0), exp_f.Eval(0.0));
+  EXPECT_LT(poly_f.Eval(tau / 2), exp_f.Eval(tau / 2));  // convex in-horizon
+  EXPECT_GT(poly_f.Eval(3 * tau), exp_f.Eval(3 * tau));  // heavy tail
+  EXPECT_GT(poly_f.Eval(10 * tau), exp_f.Eval(10 * tau));
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,134 @@
+// Dimension-ordering strategies: mapping correctness, join invariance
+// (results identical under any permutation), and the expected work shifts.
+#include "data/dim_order.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/profiles.h"
+#include "index/stream_l2_index.h"
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::PairSet;
+using ::sssj::testing::RandomStream;
+using ::sssj::testing::RandomStreamSpec;
+using ::sssj::testing::UnitVec;
+
+Stream SkewedStream() {
+  RandomStreamSpec spec;
+  spec.n = 300;
+  spec.dims = 50;
+  spec.max_nnz = 8;
+  spec.seed = 91;
+  return RandomStream(spec);
+}
+
+TEST(DimOrderTest, NoneIsIdentity) {
+  const Stream s = SkewedStream();
+  const auto r = DimensionRemapper::Build(s, DimOrderStrategy::kNone);
+  EXPECT_EQ(r.Map(0), 0u);
+  EXPECT_EQ(r.Map(12345), 12345u);
+  EXPECT_EQ(r.Remap(s[0].vec), s[0].vec);
+}
+
+TEST(DimOrderTest, MappingIsBijectiveOnSeenDims) {
+  const Stream s = SkewedStream();
+  for (DimOrderStrategy strat :
+       {DimOrderStrategy::kFrequentFirst, DimOrderStrategy::kRareFirst,
+        DimOrderStrategy::kMaxValueDescending}) {
+    const auto r = DimensionRemapper::Build(s, strat);
+    std::set<DimId> images;
+    for (DimId d = 0; d < 50; ++d) images.insert(r.Map(d));
+    EXPECT_EQ(images.size(), 50u) << ToString(strat);
+  }
+}
+
+TEST(DimOrderTest, FrequentFirstPutsPopularDimsLow) {
+  // Build a stream where dim 7 is in every vector and dim 33 in one.
+  Stream s;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Coord> coords = {{7, 1.0},
+                                 {static_cast<DimId>(10 + i % 20), 1.0}};
+    if (i == 0) coords.push_back({33, 1.0});
+    s.push_back(::sssj::testing::Item(i, i, UnitVec(std::move(coords))));
+  }
+  const auto freq_first =
+      DimensionRemapper::Build(s, DimOrderStrategy::kFrequentFirst);
+  EXPECT_EQ(freq_first.Map(7), 0u);
+  EXPECT_GT(freq_first.Map(33), freq_first.Map(7));
+  const auto rare_first =
+      DimensionRemapper::Build(s, DimOrderStrategy::kRareFirst);
+  EXPECT_LT(rare_first.Map(33), rare_first.Map(7));
+}
+
+TEST(DimOrderTest, UnseenDimsDoNotCollide) {
+  const Stream s = SkewedStream();
+  const auto r =
+      DimensionRemapper::Build(s, DimOrderStrategy::kFrequentFirst);
+  std::set<DimId> images;
+  for (DimId d = 0; d < 200; ++d) {  // dims 50..199 unseen
+    EXPECT_TRUE(images.insert(r.Map(d)).second) << "collision at " << d;
+  }
+}
+
+TEST(DimOrderTest, RemapPreservesSimilarities) {
+  const Stream s = SkewedStream();
+  const auto r =
+      DimensionRemapper::Build(s, DimOrderStrategy::kFrequentFirst);
+  const Stream remapped = r.RemapStream(s);
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t j = i + 1; j < 20; ++j) {
+      EXPECT_NEAR(s[i].vec.Dot(s[j].vec),
+                  remapped[i].vec.Dot(remapped[j].vec), 1e-12);
+    }
+  }
+}
+
+TEST(DimOrderTest, JoinOutputInvariantUnderReordering) {
+  const Stream s = SkewedStream();
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &params));
+
+  const auto run = [&](const Stream& stream) {
+    StreamL2Index index(params);
+    CollectorSink sink;
+    for (const StreamItem& item : stream) index.ProcessArrival(item, &sink);
+    return PairSet(sink.pairs());
+  };
+
+  const auto baseline = run(s);
+  for (DimOrderStrategy strat :
+       {DimOrderStrategy::kFrequentFirst, DimOrderStrategy::kRareFirst,
+        DimOrderStrategy::kMaxValueDescending}) {
+    const auto r = DimensionRemapper::Build(s, strat);
+    EXPECT_EQ(run(r.RemapStream(s)), baseline) << ToString(strat);
+  }
+}
+
+TEST(DimOrderTest, FrequentFirstReducesIndexedWorkOnSkewedData) {
+  // On Zipf-skewed data, putting frequent dims first (→ indexed suffix
+  // holds rare dims) should traverse fewer posting entries than the
+  // opposite ordering.
+  const Stream s = GenerateProfile(DatasetProfile::kRcv1, 0.15, 5);
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.7, 0.01, &params));
+
+  const auto entries = [&](DimOrderStrategy strat) {
+    const auto r = DimensionRemapper::Build(s, strat);
+    StreamL2Index index(params);
+    CollectorSink sink;
+    for (const StreamItem& item : r.RemapStream(s)) {
+      index.ProcessArrival(item, &sink);
+    }
+    return index.stats().entries_traversed;
+  };
+
+  EXPECT_LT(entries(DimOrderStrategy::kFrequentFirst),
+            entries(DimOrderStrategy::kRareFirst));
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,173 @@
+// SssjEngine facade: config validation, input cleaning, id assignment, and
+// end-to-end equivalence with the oracle through the public API.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::ExpectMatchesOracle;
+using ::sssj::testing::RandomStream;
+using ::sssj::testing::RandomStreamSpec;
+using ::sssj::testing::RawVec;
+using ::sssj::testing::UnitVec;
+
+TEST(EngineTest, CreateRejectsInvalidTheta) {
+  EngineConfig cfg;
+  cfg.theta = 0.0;
+  EXPECT_EQ(SssjEngine::Create(cfg), nullptr);
+  cfg.theta = 1.5;
+  EXPECT_EQ(SssjEngine::Create(cfg), nullptr);
+}
+
+TEST(EngineTest, CreateRejectsNegativeLambda) {
+  EngineConfig cfg;
+  cfg.lambda = -1.0;
+  EXPECT_EQ(SssjEngine::Create(cfg), nullptr);
+}
+
+TEST(EngineTest, CreateRejectsStreamingAp) {
+  EngineConfig cfg;
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kAp;
+  EXPECT_EQ(SssjEngine::Create(cfg), nullptr);
+}
+
+TEST(EngineTest, CreateAcceptsMiniBatchAp) {
+  EngineConfig cfg;
+  cfg.framework = Framework::kMiniBatch;
+  cfg.index = IndexScheme::kAp;
+  EXPECT_NE(SssjEngine::Create(cfg), nullptr);
+}
+
+TEST(EngineTest, AllSupportedCombinationsConstruct) {
+  for (Framework fw : {Framework::kMiniBatch, Framework::kStreaming}) {
+    for (IndexScheme ix : {IndexScheme::kInv, IndexScheme::kL2ap,
+                           IndexScheme::kL2}) {
+      EngineConfig cfg;
+      cfg.framework = fw;
+      cfg.index = ix;
+      EXPECT_NE(SssjEngine::Create(cfg), nullptr)
+          << ToString(fw) << "-" << ToString(ix);
+    }
+  }
+}
+
+TEST(EngineTest, PushNormalizesInputsByDefault) {
+  EngineConfig cfg;
+  cfg.theta = 0.99;
+  cfg.lambda = 0.01;
+  auto engine = SssjEngine::Create(cfg);
+  CollectorSink sink;
+  // Same direction, different magnitudes → cosine 1 after normalization.
+  EXPECT_TRUE(engine->Push(0.0, RawVec({{1, 2.0}, {2, 4.0}}), &sink));
+  EXPECT_TRUE(engine->Push(0.1, RawVec({{1, 5.0}, {2, 10.0}}), &sink));
+  engine->Flush(&sink);
+  ASSERT_EQ(sink.pairs().size(), 1u);
+  EXPECT_NEAR(sink.pairs()[0].dot, 1.0, 1e-9);
+}
+
+TEST(EngineTest, PushRejectsNonUnitWhenNormalizationDisabled) {
+  EngineConfig cfg;
+  cfg.normalize_inputs = false;
+  auto engine = SssjEngine::Create(cfg);
+  CollectorSink sink;
+  EXPECT_FALSE(engine->Push(0.0, RawVec({{1, 2.0}}), &sink));
+  EXPECT_TRUE(engine->Push(0.0, UnitVec({{1, 2.0}}), &sink));
+}
+
+TEST(EngineTest, PushRejectsEmptyAndNonFinite) {
+  auto engine = SssjEngine::Create(EngineConfig{});
+  CollectorSink sink;
+  EXPECT_FALSE(engine->Push(0.0, SparseVector(), &sink));
+  EXPECT_FALSE(engine->Push(0.0, RawVec({{1, -3.0}}), &sink));  // cleaned away
+  EXPECT_FALSE(engine->Push(std::nan(""), UnitVec({{1, 1.0}}), &sink));
+}
+
+TEST(EngineTest, RejectedPushDoesNotConsumeId) {
+  auto engine = SssjEngine::Create(EngineConfig{});
+  CollectorSink sink;
+  EXPECT_EQ(engine->next_id(), 0u);
+  engine->Push(0.0, SparseVector(), &sink);  // rejected
+  EXPECT_EQ(engine->next_id(), 0u);
+  engine->Push(0.0, UnitVec({{1, 1.0}}), &sink);
+  EXPECT_EQ(engine->next_id(), 1u);
+}
+
+TEST(EngineTest, OutOfOrderTimestampRejected) {
+  auto engine = SssjEngine::Create(EngineConfig{});
+  CollectorSink sink;
+  EXPECT_TRUE(engine->Push(10.0, UnitVec({{1, 1.0}}), &sink));
+  EXPECT_FALSE(engine->Push(9.0, UnitVec({{1, 1.0}}), &sink));
+  EXPECT_TRUE(engine->Push(10.0, UnitVec({{1, 1.0}}), &sink));
+}
+
+TEST(EngineTest, EndToEndMatchesOracleBothFrameworks) {
+  RandomStreamSpec spec;
+  spec.n = 250;
+  spec.dims = 30;
+  spec.seed = 44;
+  const Stream stream = RandomStream(spec);
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.05, &params));
+
+  for (Framework fw : {Framework::kMiniBatch, Framework::kStreaming}) {
+    EngineConfig cfg;
+    cfg.framework = fw;
+    cfg.index = IndexScheme::kL2;
+    cfg.theta = params.theta;
+    cfg.lambda = params.lambda;
+    auto engine = SssjEngine::Create(cfg);
+    CollectorSink sink;
+    for (const StreamItem& item : stream) {
+      ASSERT_TRUE(engine->Push(item.ts, item.vec, &sink));
+    }
+    engine->Flush(&sink);
+    ExpectMatchesOracle(stream, params, sink.pairs());
+    EXPECT_EQ(engine->stats().vectors_processed, stream.size());
+  }
+}
+
+TEST(EngineTest, ParseAndToStringRoundTrip) {
+  Framework fw;
+  EXPECT_TRUE(ParseFramework("MB", &fw));
+  EXPECT_EQ(fw, Framework::kMiniBatch);
+  EXPECT_TRUE(ParseFramework("streaming", &fw));
+  EXPECT_EQ(fw, Framework::kStreaming);
+  EXPECT_FALSE(ParseFramework("bogus", &fw));
+
+  IndexScheme ix;
+  EXPECT_TRUE(ParseIndexScheme("l2ap", &ix));
+  EXPECT_EQ(ix, IndexScheme::kL2ap);
+  EXPECT_TRUE(ParseIndexScheme("INV", &ix));
+  EXPECT_EQ(ix, IndexScheme::kInv);
+  EXPECT_TRUE(ParseIndexScheme("L2", &ix));
+  EXPECT_EQ(ix, IndexScheme::kL2);
+  EXPECT_TRUE(ParseIndexScheme("ap", &ix));
+  EXPECT_EQ(ix, IndexScheme::kAp);
+  EXPECT_FALSE(ParseIndexScheme("l3", &ix));
+
+  EXPECT_STREQ(ToString(Framework::kMiniBatch), "MB");
+  EXPECT_STREQ(ToString(IndexScheme::kL2ap), "L2AP");
+}
+
+TEST(EngineTest, CallbackSinkReceivesPairs) {
+  EngineConfig cfg;
+  cfg.theta = 0.9;
+  auto engine = SssjEngine::Create(cfg);
+  int calls = 0;
+  CallbackSink sink([&](const ResultPair& p) {
+    ++calls;
+    EXPECT_LT(p.a, p.b);
+  });
+  engine->Push(0.0, UnitVec({{1, 1.0}}), &sink);
+  engine->Push(0.01, UnitVec({{1, 1.0}}), &sink);
+  engine->Flush(&sink);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,212 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/profiles.h"
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedCount) {
+  CorpusSpec spec;
+  spec.num_vectors = 137;
+  CorpusGenerator gen(spec);
+  Stream s = gen.Generate();
+  EXPECT_EQ(s.size(), 137u);
+  EXPECT_FALSE(gen.HasNext());
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  CorpusSpec spec;
+  spec.num_vectors = 50;
+  spec.seed = 9;
+  Stream a = CorpusGenerator(spec).Generate();
+  Stream b = CorpusGenerator(spec).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ts, b[i].ts);
+    EXPECT_EQ(a[i].vec, b[i].vec);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  CorpusSpec spec;
+  spec.num_vectors = 20;
+  spec.seed = 1;
+  Stream a = CorpusGenerator(spec).Generate();
+  spec.seed = 2;
+  Stream b = CorpusGenerator(spec).Generate();
+  int diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff += !(a[i].vec == b[i].vec);
+  EXPECT_GT(diff, 10);
+}
+
+TEST(GeneratorTest, StreamIsTimeOrderedWithIncreasingIds) {
+  for (auto kind : {ArrivalModel::Kind::kSequential,
+                    ArrivalModel::Kind::kPoisson,
+                    ArrivalModel::Kind::kBursty}) {
+    CorpusSpec spec;
+    spec.num_vectors = 400;
+    spec.arrivals.kind = kind;
+    Stream s = CorpusGenerator(spec).Generate();
+    EXPECT_TRUE(IsTimeOrdered(s));
+  }
+}
+
+TEST(GeneratorTest, VectorsAreUnitNormalized) {
+  CorpusSpec spec;
+  spec.num_vectors = 100;
+  Stream s = CorpusGenerator(spec).Generate();
+  for (const auto& item : s) {
+    EXPECT_TRUE(item.vec.IsUnit()) << item.id;
+  }
+}
+
+TEST(GeneratorTest, AverageNnzNearTarget) {
+  CorpusSpec spec;
+  spec.num_vectors = 800;
+  spec.num_dims = 50000;
+  spec.avg_nnz = 40;
+  spec.near_dup_rate = 0.0;
+  Stream s = CorpusGenerator(spec).Generate();
+  double total = 0;
+  for (const auto& item : s) total += item.vec.nnz();
+  EXPECT_NEAR(total / s.size(), 40.0, 4.0);
+}
+
+TEST(GeneratorTest, SequentialArrivalsAreEquallySpaced) {
+  CorpusSpec spec;
+  spec.num_vectors = 10;
+  spec.arrivals.kind = ArrivalModel::Kind::kSequential;
+  spec.arrivals.rate = 2.0;
+  Stream s = CorpusGenerator(spec).Generate();
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_NEAR(s[i].ts - s[i - 1].ts, 0.5, 1e-12);
+  }
+}
+
+TEST(GeneratorTest, PoissonArrivalsHaveTargetRate) {
+  CorpusSpec spec;
+  spec.num_vectors = 5000;
+  spec.arrivals.kind = ArrivalModel::Kind::kPoisson;
+  spec.arrivals.rate = 4.0;
+  Stream s = CorpusGenerator(spec).Generate();
+  const double span = s.back().ts - s.front().ts;
+  EXPECT_NEAR(s.size() / span, 4.0, 0.4);
+}
+
+TEST(GeneratorTest, BurstyArrivalsAreOverdispersed) {
+  // The Markov-modulated process must have a higher variance/mean ratio of
+  // inter-arrival gaps than a plain Poisson process with the same calm
+  // rate would.
+  CorpusSpec spec;
+  spec.num_vectors = 5000;
+  spec.arrivals.kind = ArrivalModel::Kind::kBursty;
+  spec.arrivals.rate = 1.0;
+  spec.arrivals.burst_rate = 50.0;
+  spec.arrivals.burst_prob = 0.05;
+  spec.arrivals.burst_exit_prob = 0.1;
+  Stream s = CorpusGenerator(spec).Generate();
+  double mean = 0, sq = 0;
+  const size_t n = s.size() - 1;
+  for (size_t i = 1; i < s.size(); ++i) {
+    const double gap = s[i].ts - s[i - 1].ts;
+    mean += gap;
+    sq += gap * gap;
+  }
+  mean /= n;
+  const double var = sq / n - mean * mean;
+  // Exponential gaps have CV² = var/mean² = 1; bursty must exceed it.
+  EXPECT_GT(var / (mean * mean), 1.5);
+}
+
+TEST(GeneratorTest, NearDuplicatesCreateSimilarPairs) {
+  CorpusSpec spec;
+  spec.num_vectors = 300;
+  spec.num_dims = 5000;
+  spec.avg_nnz = 30;
+  spec.near_dup_rate = 0.3;
+  spec.near_dup_noise = 0.05;
+  Stream s = CorpusGenerator(spec).Generate();
+  // Count pairs with cosine >= 0.8 among nearby items.
+  int similar = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t j = i + 1; j < std::min(s.size(), i + 40); ++j) {
+      if (s[i].vec.Dot(s[j].vec) >= 0.8) ++similar;
+    }
+  }
+  EXPECT_GT(similar, 20);
+}
+
+TEST(GeneratorTest, ZeroDupRateYieldsFewSimilarPairs) {
+  CorpusSpec spec;
+  spec.num_vectors = 300;
+  spec.num_dims = 5000;
+  spec.avg_nnz = 30;
+  spec.near_dup_rate = 0.0;
+  Stream s = CorpusGenerator(spec).Generate();
+  int similar = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t j = i + 1; j < s.size(); ++j) {
+      if (s[i].vec.Dot(s[j].vec) >= 0.9) ++similar;
+    }
+  }
+  EXPECT_LT(similar, 5);
+}
+
+TEST(ProfilesTest, AllProfilesGenerate) {
+  for (DatasetProfile p : AllProfiles()) {
+    Stream s = GenerateProfile(p, 0.02, 1);
+    EXPECT_GT(s.size(), 10u) << ToString(p);
+    EXPECT_TRUE(IsTimeOrdered(s)) << ToString(p);
+  }
+}
+
+TEST(ProfilesTest, DensityOrderingMatchesPaper) {
+  // WebSpam ≫ Blogs ≈ RCV1 ≫ Tweets in avg nnz (Table 1 ordering).
+  auto avg_nnz = [](DatasetProfile p) {
+    Stream s = GenerateProfile(p, 0.05, 3);
+    double total = 0;
+    for (const auto& item : s) total += item.vec.nnz();
+    return total / s.size();
+  };
+  const double webspam = avg_nnz(DatasetProfile::kWebSpam);
+  const double rcv1 = avg_nnz(DatasetProfile::kRcv1);
+  const double tweets = avg_nnz(DatasetProfile::kTweets);
+  EXPECT_GT(webspam, 4 * rcv1);
+  EXPECT_GT(rcv1, 3 * tweets);
+}
+
+TEST(ProfilesTest, ScaleMultipliesStreamLength) {
+  const auto small = MakeProfileSpec(DatasetProfile::kRcv1, 0.1, 1);
+  const auto big = MakeProfileSpec(DatasetProfile::kRcv1, 1.0, 1);
+  EXPECT_NEAR(static_cast<double>(big.num_vectors) / small.num_vectors, 10.0,
+              1.0);
+}
+
+TEST(ProfilesTest, ParseRoundTrip) {
+  for (DatasetProfile p : AllProfiles()) {
+    DatasetProfile out;
+    EXPECT_TRUE(ParseProfile(ToString(p), &out));
+    EXPECT_EQ(out, p);
+  }
+  DatasetProfile out;
+  EXPECT_FALSE(ParseProfile("nope", &out));
+}
+
+TEST(ProfilesTest, TimestampKindsMatchPaper) {
+  EXPECT_EQ(MakeProfileSpec(DatasetProfile::kWebSpam, 1, 1).arrivals.kind,
+            ArrivalModel::Kind::kPoisson);
+  EXPECT_EQ(MakeProfileSpec(DatasetProfile::kRcv1, 1, 1).arrivals.kind,
+            ArrivalModel::Kind::kSequential);
+  EXPECT_EQ(MakeProfileSpec(DatasetProfile::kBlogs, 1, 1).arrivals.kind,
+            ArrivalModel::Kind::kBursty);
+  EXPECT_EQ(MakeProfileSpec(DatasetProfile::kTweets, 1, 1).arrivals.kind,
+            ArrivalModel::Kind::kBursty);
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,119 @@
+// Tests for the bench_common layer: RunJoin semantics (validity, budget,
+// stats plumbing), formatting, and the paper parameter grids.
+#include "bench_common/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_common/sweep.h"
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::RandomStream;
+using ::sssj::testing::RandomStreamSpec;
+
+Stream SmallStream() {
+  RandomStreamSpec spec;
+  spec.n = 150;
+  spec.dims = 25;
+  spec.seed = 3;
+  return RandomStream(spec);
+}
+
+TEST(RunJoinTest, CompletesAndCountsPairs) {
+  RunConfig cfg;
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kL2;
+  cfg.theta = 0.5;
+  cfg.lambda = 0.01;
+  const RunResult r = RunJoin(SmallStream(), cfg);
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_EQ(r.stats.pairs_emitted, r.pairs);
+  EXPECT_EQ(r.stats.vectors_processed, 150u);
+}
+
+TEST(RunJoinTest, InvalidConfigReportsInvalid) {
+  RunConfig cfg;
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kAp;  // STR-AP unsupported
+  const RunResult r = RunJoin(SmallStream(), cfg);
+  EXPECT_FALSE(r.valid);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(RunJoinTest, ZeroBudgetAbortsRun) {
+  RunConfig cfg;
+  cfg.framework = Framework::kMiniBatch;
+  cfg.index = IndexScheme::kInv;
+  cfg.theta = 0.5;
+  cfg.lambda = 0.0001;
+  cfg.budget_seconds = 0.0;
+  const RunResult r = RunJoin(SmallStream(), cfg);
+  EXPECT_TRUE(r.valid);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(RunJoinTest, MbAndStrAgreeOnPairCount) {
+  const Stream stream = SmallStream();
+  RunConfig cfg;
+  cfg.index = IndexScheme::kL2ap;
+  cfg.theta = 0.6;
+  cfg.lambda = 0.05;
+  cfg.framework = Framework::kMiniBatch;
+  const RunResult mb = RunJoin(stream, cfg);
+  cfg.framework = Framework::kStreaming;
+  const RunResult str = RunJoin(stream, cfg);
+  EXPECT_EQ(mb.pairs, str.pairs);
+}
+
+TEST(FormatTest, FixedAndScientific) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.7, 0), "3");
+  EXPECT_EQ(FormatSci(0.0001, 0), "1e-04");
+}
+
+TEST(TablePrinterTest, AlignedOutputHasHeaderAndRule) {
+  TablePrinter t({"col_a", "b"}, /*tsv=*/false);
+  t.AddRow({"1", "22"});
+  t.AddRow({"333", "4"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("col_a"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(TablePrinterTest, TsvOutputIsTabSeparated) {
+  TablePrinter t({"x", "y"}, /*tsv=*/true);
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(os.str(), "x\ty\n1\t2\n");
+}
+
+TEST(SweepTest, PaperGridsMatchEvaluationSection) {
+  // §7: θ ∈ [0.5, 0.99] (6 values) and λ ∈ [1e-4, 1e-1] exponentially
+  // increasing (4 values) — "the 24 configurations" of Table 2.
+  const auto thetas = PaperThetas();
+  const auto lambdas = PaperLambdas();
+  EXPECT_EQ(thetas.size() * lambdas.size(), 24u);
+  EXPECT_DOUBLE_EQ(thetas.front(), 0.5);
+  EXPECT_DOUBLE_EQ(thetas.back(), 0.99);
+  EXPECT_DOUBLE_EQ(lambdas.front(), 1e-4);
+  EXPECT_DOUBLE_EQ(lambdas.back(), 1e-1);
+  for (size_t i = 1; i < lambdas.size(); ++i) {
+    EXPECT_NEAR(lambdas[i] / lambdas[i - 1], 10.0, 1e-9);
+  }
+  // Evaluation matrix: {INV, L2AP, L2} × {MB, STR}.
+  EXPECT_EQ(PaperIndexSchemes().size(), 3u);
+  EXPECT_EQ(BothFrameworks().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sssj

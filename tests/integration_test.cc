@@ -1,0 +1,147 @@
+// Cross-cutting integration tests: batch↔streaming consistency at λ = 0,
+// MB window-boundary ties, long-stream soak, and the full tool-pipeline
+// contract (generator → io → engine).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/apss.h"
+#include "core/engine.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::Item;
+using ::sssj::testing::PairSet;
+using ::sssj::testing::RandomStream;
+using ::sssj::testing::RandomStreamSpec;
+using ::sssj::testing::UnitVec;
+
+// λ = 0 makes the streaming problem the classic apss; STR with an
+// unbounded horizon must produce exactly BatchApss's output.
+TEST(IntegrationTest, LambdaZeroStreamingEqualsBatchApss) {
+  RandomStreamSpec spec;
+  spec.n = 220;
+  spec.dims = 35;
+  spec.seed = 61;
+  const Stream stream = RandomStream(spec);
+  std::vector<SparseVector> data;
+  for (const auto& item : stream) data.push_back(item.vec);
+
+  const auto batch = BatchApss(data, 0.6, IndexScheme::kL2ap);
+
+  EngineConfig cfg;
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kL2;
+  cfg.theta = 0.6;
+  cfg.lambda = 0.0;
+  cfg.normalize_inputs = false;
+  auto engine = SssjEngine::Create(cfg);
+  CollectorSink sink;
+  for (const auto& item : stream) {
+    ASSERT_TRUE(engine->Push(item.ts, item.vec, &sink));
+  }
+  EXPECT_EQ(PairSet(sink.pairs()), PairSet(batch));
+}
+
+// Items landing exactly on MB window boundaries (ties with window_end).
+TEST(IntegrationTest, MiniBatchBoundaryTies) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.8, 0.01, &params));  // τ ≈ 22.3
+  SparseVector v = UnitVec({{1, 1.0}, {2, 1.0}});
+  // Items at 0, τ (exactly), τ (tie), 2τ (exactly).
+  Stream stream = {Item(0, 0.0, v), Item(1, params.tau, v),
+                   Item(2, params.tau, v), Item(3, 2 * params.tau, v)};
+  EngineConfig cfg;
+  cfg.framework = Framework::kMiniBatch;
+  cfg.index = IndexScheme::kL2;
+  cfg.theta = params.theta;
+  cfg.lambda = params.lambda;
+  cfg.normalize_inputs = false;
+  auto engine = SssjEngine::Create(cfg);
+  CollectorSink sink;
+  for (const auto& item : stream) {
+    ASSERT_TRUE(engine->Push(item.ts, item.vec, &sink));
+  }
+  engine->Flush(&sink);
+  ::sssj::testing::ExpectMatchesOracle(stream, params, sink.pairs());
+}
+
+// Soak: a long stream with a short horizon must keep memory bounded and
+// agree with STR-INV on the pair count (two very different code paths).
+TEST(IntegrationTest, LongStreamSoakBoundedMemoryAndAgreement) {
+  CorpusSpec spec;
+  spec.num_vectors = 6000;
+  spec.num_dims = 3000;
+  spec.avg_nnz = 12;
+  spec.near_dup_rate = 0.1;
+  spec.seed = 77;
+  const Stream stream = CorpusGenerator(spec).Generate();
+
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.7, 0.05, &params));  // τ ≈ 7.1
+
+  uint64_t counts[2];
+  size_t peaks[2];
+  int k = 0;
+  for (IndexScheme ix : {IndexScheme::kL2, IndexScheme::kInv}) {
+    EngineConfig cfg;
+    cfg.framework = Framework::kStreaming;
+    cfg.index = ix;
+    cfg.theta = params.theta;
+    cfg.lambda = params.lambda;
+    cfg.normalize_inputs = false;
+    auto engine = SssjEngine::Create(cfg);
+    CountingSink sink;
+    for (const auto& item : stream) {
+      ASSERT_TRUE(engine->Push(item.ts, item.vec, &sink));
+    }
+    counts[k] = sink.count();
+    peaks[k] = engine->stats().peak_index_entries;
+    ++k;
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  // τ ≈ 7.1 time units ≈ 7 vectors ≈ 85 in-horizon postings, but pruning
+  // is lazy (§6.2): untouched lists retain expired entries, so the live
+  // count is larger. The claim that matters: bounded far below the
+  // 6000 × 12 = 72 000 total postings a forgetting-free index would hold.
+  EXPECT_LT(peaks[0], 8000u);
+  EXPECT_LT(peaks[1], 8000u);
+}
+
+// Full pipeline: generate → write text → read → join must equal joining
+// the in-memory stream directly.
+TEST(IntegrationTest, FileRoundTripPreservesJoin) {
+  CorpusSpec spec;
+  spec.num_vectors = 300;
+  spec.num_dims = 2000;
+  spec.avg_nnz = 15;
+  spec.near_dup_rate = 0.15;
+  spec.seed = 88;
+  const Stream stream = CorpusGenerator(spec).Generate();
+  const std::string path = ::testing::TempDir() + "/sssj_integration.txt";
+  ASSERT_TRUE(WriteTextStream(stream, path));
+  Stream loaded;
+  ASSERT_TRUE(ReadTextStream(path, &loaded));
+  std::remove(path.c_str());
+
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.8, 0.01, &params));
+  const auto run = [&](const Stream& s) {
+    EngineConfig cfg;
+    cfg.theta = params.theta;
+    cfg.lambda = params.lambda;
+    cfg.normalize_inputs = false;
+    auto engine = SssjEngine::Create(cfg);
+    CollectorSink sink;
+    for (const auto& item : s) engine->Push(item.ts, item.vec, &sink);
+    return PairSet(sink.pairs());
+  };
+  EXPECT_EQ(run(stream), run(loaded));
+}
+
+}  // namespace
+}  // namespace sssj

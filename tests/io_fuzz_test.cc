@@ -1,0 +1,96 @@
+// Robustness: the binary/text readers must reject arbitrary garbage
+// gracefully (error return, no crash, no runaway allocation).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/io.h"
+#include "util/random.h"
+
+namespace sssj {
+namespace {
+
+std::string TempPath(int i) {
+  return ::testing::TempDir() + "/sssj_fuzz_" + std::to_string(i);
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(IoFuzzTest, RandomBytesNeverCrashBinaryReader) {
+  Rng rng(1234);
+  for (int round = 0; round < 50; ++round) {
+    const size_t len = rng.NextBelow(512);
+    std::string bytes;
+    for (size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    const std::string path = TempPath(round);
+    WriteBytes(path, bytes);
+    Stream s;
+    std::string err;
+    // Any outcome but a crash is acceptable; garbage virtually never
+    // carries the magic, so expect failure.
+    EXPECT_FALSE(ReadBinaryStream(path, &s, {}, &err));
+    std::remove(path.c_str());
+  }
+}
+
+TEST(IoFuzzTest, ValidMagicWithGarbageBodyFailsCleanly) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    std::string bytes = "SSSJBIN1";
+    const size_t len = rng.NextBelow(256);
+    for (size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    const std::string path = TempPath(1000 + round);
+    WriteBytes(path, bytes);
+    Stream s;
+    std::string err;
+    ReadBinaryStream(path, &s, {}, &err);  // must simply return
+    std::remove(path.c_str());
+  }
+}
+
+TEST(IoFuzzTest, HugeDeclaredCountDoesNotPreallocate) {
+  // Header claims 2^60 items but the file ends immediately: the reader
+  // must fail on the first truncated item, not allocate for the claim.
+  std::string bytes = "SSSJBIN1";
+  const uint64_t huge = 1ull << 60;
+  bytes.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  const std::string path = TempPath(2000);
+  WriteBytes(path, bytes);
+  Stream s;
+  std::string err;
+  EXPECT_FALSE(ReadBinaryStream(path, &s, {}, &err));
+  std::remove(path.c_str());
+}
+
+TEST(IoFuzzTest, RandomTextLinesNeverCrashTextReader) {
+  Rng rng(7);
+  const char alphabet[] = "0123456789.:- #abcxyz\t";
+  for (int round = 0; round < 50; ++round) {
+    std::string content;
+    const int lines = 1 + static_cast<int>(rng.NextBelow(10));
+    for (int l = 0; l < lines; ++l) {
+      const size_t len = rng.NextBelow(80);
+      for (size_t i = 0; i < len; ++i) {
+        content.push_back(alphabet[rng.NextBelow(sizeof(alphabet) - 1)]);
+      }
+      content.push_back('\n');
+    }
+    const std::string path = TempPath(3000 + round);
+    WriteBytes(path, content);
+    Stream s;
+    std::string err;
+    ReadTextStream(path, &s, {}, &err);  // either outcome; no crash
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,193 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/generator.h"
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::Item;
+using ::sssj::testing::UnitVec;
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/sssj_io_" + name;
+  }
+
+  Stream SampleStream() {
+    CorpusSpec spec;
+    spec.num_vectors = 60;
+    spec.num_dims = 500;
+    spec.avg_nnz = 12;
+    spec.seed = 4;
+    return CorpusGenerator(spec).Generate();
+  }
+
+  static void ExpectStreamsEqual(const Stream& a, const Stream& b,
+                                 double tol) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(b[i].id, i);
+      EXPECT_NEAR(a[i].ts, b[i].ts, tol);
+      ASSERT_EQ(a[i].vec.nnz(), b[i].vec.nnz()) << "item " << i;
+      for (size_t k = 0; k < a[i].vec.nnz(); ++k) {
+        EXPECT_EQ(a[i].vec.coord(k).dim, b[i].vec.coord(k).dim);
+        EXPECT_NEAR(a[i].vec.coord(k).value, b[i].vec.coord(k).value, tol);
+      }
+    }
+  }
+};
+
+TEST_F(IoTest, TextRoundTrip) {
+  const Stream original = SampleStream();
+  const std::string path = TempPath("round.txt");
+  std::string err;
+  ASSERT_TRUE(WriteTextStream(original, path, &err)) << err;
+  Stream loaded;
+  ASSERT_TRUE(ReadTextStream(path, &loaded, {}, &err)) << err;
+  ExpectStreamsEqual(original, loaded, 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRoundTripIsExact) {
+  const Stream original = SampleStream();
+  const std::string path = TempPath("round.bin");
+  std::string err;
+  ASSERT_TRUE(WriteBinaryStream(original, path, &err)) << err;
+  Stream loaded;
+  ASSERT_TRUE(ReadBinaryStream(path, &loaded, {}, &err)) << err;
+  ExpectStreamsEqual(original, loaded, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, TextToBinaryConversionPreservesStream) {
+  const Stream original = SampleStream();
+  const std::string tpath = TempPath("conv.txt");
+  const std::string bpath = TempPath("conv.bin");
+  ASSERT_TRUE(WriteTextStream(original, tpath));
+  Stream from_text;
+  ASSERT_TRUE(ReadTextStream(tpath, &from_text));
+  ASSERT_TRUE(WriteBinaryStream(from_text, bpath));
+  Stream from_bin;
+  ASSERT_TRUE(ReadBinaryStream(bpath, &from_bin));
+  ExpectStreamsEqual(from_text, from_bin, 0.0);
+  std::remove(tpath.c_str());
+  std::remove(bpath.c_str());
+}
+
+TEST_F(IoTest, ReadMissingFileFails) {
+  Stream s;
+  std::string err;
+  EXPECT_FALSE(ReadTextStream("/nonexistent/sssj.txt", &s, {}, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(ReadBinaryStream("/nonexistent/sssj.bin", &s, {}, &err));
+}
+
+TEST_F(IoTest, TextCommentsAndBlankLinesSkipped) {
+  const std::string path = TempPath("comments.txt");
+  {
+    std::ofstream f(path);
+    f << "# comment\n\n1.5 3:0.6 4:0.8\n# another\n2.5 3:1.0\n";
+  }
+  Stream s;
+  std::string err;
+  ASSERT_TRUE(ReadTextStream(path, &s, {}, &err)) << err;
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].ts, 1.5);
+  EXPECT_EQ(s[0].vec.nnz(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, TextMalformedCoordFails) {
+  const std::string path = TempPath("bad.txt");
+  {
+    std::ofstream f(path);
+    f << "1.0 3=0.5\n";
+  }
+  Stream s;
+  std::string err;
+  EXPECT_FALSE(ReadTextStream(path, &s, {}, &err));
+  EXPECT_NE(err.find("bad coord"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, OutOfOrderTimestampsRejectedWhenRequired) {
+  const std::string path = TempPath("ooo.txt");
+  {
+    std::ofstream f(path);
+    f << "2.0 1:1.0\n1.0 1:1.0\n";
+  }
+  Stream s;
+  std::string err;
+  EXPECT_FALSE(ReadTextStream(path, &s, {}, &err));
+  ReadOptions opts;
+  opts.require_ordered = false;
+  EXPECT_TRUE(ReadTextStream(path, &s, opts, &err)) << err;
+  EXPECT_EQ(s.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, NormalizationOnReadIsOptional) {
+  const std::string path = TempPath("norm.txt");
+  {
+    std::ofstream f(path);
+    f << "0.0 1:3.0 2:4.0\n";
+  }
+  Stream normalized, raw;
+  ASSERT_TRUE(ReadTextStream(path, &normalized));
+  ReadOptions opts;
+  opts.normalize = false;
+  ASSERT_TRUE(ReadTextStream(path, &raw, opts));
+  EXPECT_TRUE(normalized[0].vec.IsUnit());
+  EXPECT_DOUBLE_EQ(raw[0].vec.norm(), 5.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRejectsWrongMagic) {
+  const std::string path = TempPath("magic.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTSSSJ!garbage";
+  }
+  Stream s;
+  std::string err;
+  EXPECT_FALSE(ReadBinaryStream(path, &s, {}, &err));
+  EXPECT_NE(err.find("not an sssj binary"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedFile) {
+  const Stream original = SampleStream();
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(WriteBinaryStream(original, path));
+  // Truncate the file in the middle.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size() / 2));
+  }
+  Stream s;
+  std::string err;
+  EXPECT_FALSE(ReadBinaryStream(path, &s, {}, &err));
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, EmptyStreamRoundTrips) {
+  const std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(WriteBinaryStream({}, path));
+  Stream s = {Item(0, 0.0, UnitVec({{1, 1.0}}))};  // must be cleared
+  ASSERT_TRUE(ReadBinaryStream(path, &s));
+  EXPECT_TRUE(s.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,117 @@
+#include "index/max_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::UnitVec;
+
+TEST(MaxVectorTest, UpdateTracksMaximum) {
+  MaxVector m;
+  EXPECT_TRUE(m.Update(1, 0.5));
+  EXPECT_FALSE(m.Update(1, 0.3));
+  EXPECT_TRUE(m.Update(1, 0.9));
+  EXPECT_DOUBLE_EQ(m.Get(1), 0.9);
+  EXPECT_DOUBLE_EQ(m.Get(2), 0.0);
+}
+
+TEST(MaxVectorTest, UpdateFromVectorReportsGrownDims) {
+  MaxVector m;
+  m.Update(1, 0.9);
+  std::vector<DimId> grown;
+  m.UpdateFrom(UnitVec({{1, 0.1}, {2, 0.9}, {3, 0.4}}), &grown);
+  // dim 1 did not grow (0.9 stored, update is smaller after normalization).
+  ASSERT_EQ(grown.size(), 2u);
+  EXPECT_EQ(grown[0], 2u);
+  EXPECT_EQ(grown[1], 3u);
+}
+
+TEST(MaxVectorTest, MergeTakesPointwiseMax) {
+  MaxVector a, b;
+  a.Update(1, 0.5);
+  a.Update(2, 0.9);
+  b.Update(1, 0.7);
+  b.Update(3, 0.2);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Get(1), 0.7);
+  EXPECT_DOUBLE_EQ(a.Get(2), 0.9);
+  EXPECT_DOUBLE_EQ(a.Get(3), 0.2);
+}
+
+TEST(MaxVectorTest, DotUpperBoundsAnyDominatedVector) {
+  MaxVector m;
+  SparseVector a = UnitVec({{1, 0.6}, {2, 0.8}});
+  SparseVector b = UnitVec({{1, 0.9}, {3, 0.3}});
+  m.UpdateFrom(a, nullptr);
+  m.UpdateFrom(b, nullptr);
+  SparseVector q = UnitVec({{1, 0.5}, {2, 0.5}, {3, 0.5}});
+  EXPECT_GE(m.Dot(q) + 1e-12, q.Dot(a));
+  EXPECT_GE(m.Dot(q) + 1e-12, q.Dot(b));
+}
+
+// The decayed max must equal the brute-force definition
+// m̂λ_j(t) = max_x { x_j e^{−λ(t−t(x))} } at every probe time.
+TEST(DecayedMaxVectorTest, MatchesBruteForceDefinition) {
+  const double lambda = 0.3;
+  DecayedMaxVector m(lambda);
+  Rng rng(21);
+  std::vector<std::pair<double, Timestamp>> inserted;  // (value, ts), dim 0
+  Timestamp now = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    now += rng.NextDouble();
+    const double val = rng.NextDouble();
+    m.Update(0, val, now);
+    inserted.emplace_back(val, now);
+    const Timestamp probe = now + rng.NextDouble() * 2.0;
+    double expected = 0.0;
+    for (const auto& [v, ts] : inserted) {
+      expected = std::max(expected, v * std::exp(-lambda * (probe - ts)));
+    }
+    ASSERT_NEAR(m.Get(0, probe), expected, 1e-12) << "at step " << i;
+  }
+}
+
+TEST(DecayedMaxVectorTest, OutOfOrderInsertIsExact) {
+  // Re-indexing inserts older items; the argmax comparison must still be
+  // exact (exponential decay preserves order).
+  const double lambda = 0.5;
+  DecayedMaxVector m(lambda);
+  m.Update(0, 0.5, 10.0);
+  m.Update(0, 0.9, 4.0);  // older, larger raw value
+  // At t=10: 0.9·e^{-3} ≈ 0.0448 < 0.5 → the newer entry wins.
+  EXPECT_NEAR(m.Get(0, 10.0), 0.5, 1e-12);
+  // A dominant old value must win instead.
+  m.Update(0, 50.0, 4.0);
+  EXPECT_NEAR(m.Get(0, 10.0), 50.0 * std::exp(-lambda * 6.0), 1e-12);
+}
+
+TEST(DecayedMaxVectorTest, DotAccumulatesPerDimension) {
+  DecayedMaxVector m(0.1);
+  m.Update(1, 0.4, 0.0);
+  m.Update(2, 0.6, 0.0);
+  SparseVector q = UnitVec({{1, 1.0}, {2, 1.0}});
+  const double expect = q.coord(0).value * 0.4 * std::exp(-0.1 * 5.0) +
+                        q.coord(1).value * 0.6 * std::exp(-0.1 * 5.0);
+  EXPECT_NEAR(m.Dot(q, 5.0), expect, 1e-12);
+}
+
+TEST(DecayedMaxVectorTest, MissingDimIsZero) {
+  DecayedMaxVector m(0.1);
+  EXPECT_DOUBLE_EQ(m.Get(77, 100.0), 0.0);
+}
+
+TEST(DecayedMaxVectorTest, LambdaZeroNeverDecays) {
+  DecayedMaxVector m(0.0);
+  m.Update(0, 0.7, 0.0);
+  EXPECT_DOUBLE_EQ(m.Get(0, 1e9), 0.7);
+}
+
+}  // namespace
+}  // namespace sssj

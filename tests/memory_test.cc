@@ -1,0 +1,93 @@
+// Memory-footprint accounting: the signal behind the paper's observation
+// that STR fails by memory while MB fails by time (§7).
+#include <gtest/gtest.h>
+
+#include "index/stream_inv_index.h"
+#include "index/stream_l2_index.h"
+#include "index/stream_l2ap_index.h"
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::Item;
+using ::sssj::testing::UnitVec;
+
+TEST(MemoryTest, EmptyIndexReportsNoEntries) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.1, &params));
+  StreamL2Index index(params);
+  EXPECT_EQ(index.live_posting_entries(), 0u);
+}
+
+TEST(MemoryTest, FootprintGrowsWithArrivals) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.0001, &params));  // huge horizon
+  StreamL2Index index(params);
+  CollectorSink sink;
+  size_t prev = index.MemoryBytes();
+  for (int i = 0; i < 200; ++i) {
+    index.ProcessArrival(
+        Item(i, i * 0.1,
+             UnitVec({{static_cast<DimId>(i % 40), 1.0},
+                      {static_cast<DimId>(40 + i % 17), 1.0}})),
+        &sink);
+  }
+  EXPECT_GT(index.MemoryBytes(), prev);
+  EXPECT_GT(index.live_posting_entries(), 100u);
+}
+
+TEST(MemoryTest, TimeFilteringBoundsFootprint) {
+  // With a short horizon and a repetitive stream, memory must plateau:
+  // the circular buffers shrink as old entries are truncated.
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.5, &params));  // τ ≈ 1.39
+  StreamL2Index index(params);
+  CollectorSink sink;
+  SparseVector v = UnitVec({{0, 1.0}, {1, 1.0}, {2, 1.0}});
+  size_t at_1k = 0;
+  for (int i = 0; i < 2000; ++i) {
+    index.ProcessArrival(Item(i, i * 1.0, v), &sink);
+    if (i == 999) at_1k = index.MemoryBytes();
+  }
+  // No more than modest growth in the second thousand arrivals.
+  EXPECT_LE(index.MemoryBytes(), at_1k * 2);
+  EXPECT_LE(index.live_posting_entries(), 12u);
+}
+
+TEST(MemoryTest, AllStreamIndexesReportBytes) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.01, &params));
+  StreamInvIndex inv(params);
+  StreamL2Index l2(params);
+  StreamL2apIndex l2ap(params);
+  CollectorSink sink;
+  SparseVector v = UnitVec({{0, 1.0}, {1, 2.0}});
+  for (StreamIndex* idx :
+       std::vector<StreamIndex*>{&inv, &l2, &l2ap}) {
+    idx->ProcessArrival(Item(0, 0.0, v), &sink);
+    EXPECT_GT(idx->MemoryBytes(), 0u) << idx->name();
+  }
+}
+
+TEST(MemoryTest, PeakEntriesTrackedAcrossPruning) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 1.0, &params));  // τ ≈ 0.69
+  StreamInvIndex index(params);
+  CollectorSink sink;
+  SparseVector v = UnitVec({{0, 1.0}, {1, 1.0}});
+  // Burst at t≈0 builds up entries, then a sparse tail prunes them.
+  for (int i = 0; i < 50; ++i) {
+    index.ProcessArrival(Item(i, i * 0.01, v), &sink);
+  }
+  const uint64_t peak = index.stats().peak_index_entries;
+  EXPECT_GE(peak, 50u);
+  for (int i = 0; i < 20; ++i) {
+    index.ProcessArrival(Item(50 + i, 10.0 + i * 5.0, v), &sink);
+  }
+  EXPECT_LT(index.live_posting_entries(), 10u);
+  EXPECT_EQ(index.stats().peak_index_entries, peak);  // peak is sticky
+}
+
+}  // namespace
+}  // namespace sssj

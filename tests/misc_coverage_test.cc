@@ -1,0 +1,146 @@
+// Small behaviors not covered elsewhere: result formatting, stats string,
+// decay names, profile metadata, candidate-map growth with sentinels,
+// container copy semantics, TF-IDF determinism.
+#include <gtest/gtest.h>
+
+#include "core/decay.h"
+#include "core/result.h"
+#include "core/stats.h"
+#include "data/profiles.h"
+#include "data/text.h"
+#include "index/candidate_map.h"
+#include "tests/test_util.h"
+#include "util/circular_buffer.h"
+
+namespace sssj {
+namespace {
+
+TEST(ResultPairTest, CanonicalizeSwapsIdsAndTimestamps) {
+  ResultPair p;
+  p.a = 9;
+  p.b = 4;
+  p.ta = 90.0;
+  p.tb = 40.0;
+  p.Canonicalize();
+  EXPECT_EQ(p.a, 4u);
+  EXPECT_EQ(p.b, 9u);
+  EXPECT_DOUBLE_EQ(p.ta, 40.0);
+  EXPECT_DOUBLE_EQ(p.tb, 90.0);
+  p.Canonicalize();  // idempotent
+  EXPECT_EQ(p.a, 4u);
+}
+
+TEST(ResultPairTest, ToStringMentionsIdsAndScores) {
+  ResultPair p;
+  p.a = 1;
+  p.b = 2;
+  p.dot = 0.75;
+  p.sim = 0.5;
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("0.75"), std::string::npos);
+}
+
+TEST(ResultPairTest, OrderingIsByIds) {
+  ResultPair a, b;
+  a.a = 1;
+  a.b = 5;
+  b.a = 1;
+  b.b = 7;
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  b.b = 5;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(DecayFunctionTest, ToStringNamesTheFamily) {
+  EXPECT_NE(DecayFunction::Exponential(0.5).ToString().find("lambda=0.5"),
+            std::string::npos);
+  EXPECT_NE(DecayFunction::Polynomial(2.0, 3.0).ToString().find("poly"),
+            std::string::npos);
+  EXPECT_NE(DecayFunction::SlidingWindow(7.0).ToString().find("window"),
+            std::string::npos);
+}
+
+TEST(ProfilesTest, PaperInfoMatchesTable1) {
+  // Spot-check the transcription of Table 1.
+  const auto ws = PaperInfo(DatasetProfile::kWebSpam);
+  EXPECT_EQ(ws.n, 350000u);
+  EXPECT_EQ(ws.m, 680715u);
+  EXPECT_DOUBLE_EQ(ws.avg_nnz, 3728.0);
+  const auto tw = PaperInfo(DatasetProfile::kTweets);
+  EXPECT_EQ(tw.n, 18266589u);
+  EXPECT_STREQ(tw.timestamps, "publishing date");
+}
+
+TEST(CandidateMapTest, GrowthPreservesPrunedSentinels) {
+  CandidateMap m(16);
+  m.Reset();
+  m.FindOrCreate(7)->score = CandidateMap::kPruned;
+  for (VectorId id = 100; id < 400; ++id) {  // forces several growths
+    m.FindOrCreate(id)->score = 0.5;
+  }
+  EXPECT_LT(m.FindOrCreate(7)->score, 0.0);  // still pruned
+  size_t live = 0;
+  m.ForEachLive([&](VectorId, double, Timestamp) { ++live; });
+  EXPECT_EQ(live, 300u);
+}
+
+TEST(CircularBufferTest, CopyIsIndependent) {
+  CircularBuffer<int> a;
+  for (int i = 0; i < 20; ++i) a.push_back(i);
+  a.truncate_front(5);
+  CircularBuffer<int> b = a;
+  a.clear();
+  ASSERT_EQ(b.size(), 15u);
+  EXPECT_EQ(b.front(), 5);
+  EXPECT_EQ(b.back(), 19);
+}
+
+TEST(CircularBufferTest, MoveTransfersContents) {
+  CircularBuffer<int> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  CircularBuffer<int> b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(b.front(), 0);
+}
+
+TEST(RunStatsTest, ToStringListsAllHeadlineCounters) {
+  RunStats s;
+  s.vectors_processed = 1;
+  s.candidates_generated = 2;
+  s.entries_indexed = 3;
+  s.reindex_events = 4;
+  const std::string str = s.ToString();
+  for (const char* key :
+       {"vectors=", "cands=", "indexed=", "reindex=", "peak_entries="}) {
+    EXPECT_NE(str.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(TfIdfTest, TransformIsDeterministic) {
+  TfIdfVectorizer a, b;
+  const std::vector<std::string> corpus = {"alpha beta gamma",
+                                           "beta gamma delta",
+                                           "gamma delta epsilon"};
+  a.Fit(corpus);
+  b.Fit(corpus);
+  const SparseVector va = a.Transform("alpha gamma");
+  const SparseVector vb = b.Transform("alpha gamma");
+  EXPECT_EQ(va, vb);
+}
+
+TEST(StreamItemTest, IsTimeOrderedValidation) {
+  using ::sssj::testing::Item;
+  using ::sssj::testing::UnitVec;
+  SparseVector v = UnitVec({{0, 1.0}});
+  Stream good = {Item(0, 1.0, v), Item(1, 1.0, v), Item(2, 2.0, v)};
+  EXPECT_TRUE(IsTimeOrdered(good));
+  Stream bad_ts = {Item(0, 2.0, v), Item(1, 1.0, v)};
+  EXPECT_FALSE(IsTimeOrdered(bad_ts));
+  Stream bad_ids = {Item(5, 1.0, v), Item(5, 2.0, v)};
+  EXPECT_FALSE(IsTimeOrdered(bad_ids));
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,83 @@
+#include "index/posting_list.h"
+
+#include <gtest/gtest.h>
+
+namespace sssj {
+namespace {
+
+PostingEntry E(VectorId id, Timestamp ts, double val = 1.0) {
+  return PostingEntry{id, val, 0.0, ts};
+}
+
+TEST(PostingListTest, AppendKeepsOrder) {
+  PostingList list;
+  list.Append(E(1, 1.0));
+  list.Append(E(2, 2.0));
+  list.Append(E(3, 3.0));
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].id, 1u);
+  EXPECT_EQ(list[2].id, 3u);
+}
+
+TEST(PostingListTest, TruncateFrontDropsOldest) {
+  PostingList list;
+  for (int i = 0; i < 10; ++i) list.Append(E(i, i));
+  EXPECT_EQ(list.TruncateFront(4), 4u);
+  ASSERT_EQ(list.size(), 6u);
+  EXPECT_EQ(list[0].id, 4u);
+}
+
+TEST(PostingListTest, CompactExpiredPreservesOrderOfSurvivors) {
+  PostingList list;
+  // Out-of-order timestamps, as after L2AP re-indexing.
+  list.Append(E(1, 10.0));
+  list.Append(E(2, 3.0));   // expired
+  list.Append(E(3, 12.0));
+  list.Append(E(4, 1.0));   // expired
+  list.Append(E(5, 11.0));
+  EXPECT_EQ(list.CompactExpired(5.0), 2u);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].id, 1u);
+  EXPECT_EQ(list[1].id, 3u);
+  EXPECT_EQ(list[2].id, 5u);
+}
+
+TEST(PostingListTest, CompactExpiredNoopWhenAllLive) {
+  PostingList list;
+  for (int i = 0; i < 5; ++i) list.Append(E(i, 100.0 + i));
+  EXPECT_EQ(list.CompactExpired(50.0), 0u);
+  EXPECT_EQ(list.size(), 5u);
+}
+
+TEST(PostingListTest, CompactExpiredCanEmpty) {
+  PostingList list;
+  for (int i = 0; i < 5; ++i) list.Append(E(i, i));
+  EXPECT_EQ(list.CompactExpired(100.0), 5u);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(PostingListTest, BoundaryTimestampIsKept) {
+  // Entries with ts == cutoff are within the horizon (the paper prunes
+  // strictly-older items: Δt > τ).
+  PostingList list;
+  list.Append(E(1, 5.0));
+  EXPECT_EQ(list.CompactExpired(5.0), 0u);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(PostingListTest, EntriesCarryPrefixNorm) {
+  PostingList list;
+  list.Append(PostingEntry{7, 0.5, 0.25, 1.0});
+  EXPECT_DOUBLE_EQ(list[0].prefix_norm, 0.25);
+  EXPECT_DOUBLE_EQ(list[0].value, 0.5);
+}
+
+TEST(PostingListTest, ClearEmpties) {
+  PostingList list;
+  list.Append(E(1, 1.0));
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,107 @@
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::UnitVec;
+
+TEST(SimilarityTest, DecayFactorIsOneAtZeroGap) {
+  EXPECT_DOUBLE_EQ(DecayFactor(0.5, 10.0, 10.0), 1.0);
+}
+
+TEST(SimilarityTest, DecayFactorIsSymmetricInTime) {
+  EXPECT_DOUBLE_EQ(DecayFactor(0.3, 1.0, 5.0), DecayFactor(0.3, 5.0, 1.0));
+}
+
+TEST(SimilarityTest, DecayFactorMatchesClosedForm) {
+  EXPECT_NEAR(DecayFactor(0.1, 0.0, 7.0), std::exp(-0.7), 1e-15);
+}
+
+TEST(SimilarityTest, ZeroLambdaRevertsToDotProduct) {
+  SparseVector a = UnitVec({{0, 1.0}, {1, 1.0}});
+  SparseVector b = UnitVec({{0, 1.0}, {2, 1.0}});
+  EXPECT_DOUBLE_EQ(TimeDependentSimilarity(a, b, 0.0, 1000.0, 0.0), a.Dot(b));
+}
+
+TEST(SimilarityTest, SimilarityDecaysWithGap) {
+  SparseVector a = UnitVec({{0, 1.0}});
+  const double s1 = TimeDependentSimilarity(a, a, 0.0, 1.0, 0.5);
+  const double s2 = TimeDependentSimilarity(a, a, 0.0, 2.0, 0.5);
+  EXPECT_GT(s1, s2);
+  EXPECT_NEAR(s1, std::exp(-0.5), 1e-12);
+}
+
+TEST(SimilarityTest, HorizonClosedForm) {
+  // τ = ln(1/θ)/λ.
+  EXPECT_NEAR(TimeHorizon(0.5, 0.1), std::log(2.0) / 0.1, 1e-12);
+}
+
+TEST(SimilarityTest, HorizonInfiniteWithoutDecay) {
+  EXPECT_TRUE(std::isinf(TimeHorizon(0.5, 0.0)));
+}
+
+TEST(SimilarityTest, HorizonIsExactCutoff) {
+  // At Δt = τ an identical pair sits exactly at θ; just beyond, below.
+  const double theta = 0.7;
+  const double lambda = 0.05;
+  const double tau = TimeHorizon(theta, lambda);
+  SparseVector v = UnitVec({{0, 1.0}});
+  EXPECT_NEAR(TimeDependentSimilarity(v, v, 0.0, tau, lambda), theta, 1e-12);
+  EXPECT_LT(TimeDependentSimilarity(v, v, 0.0, tau * 1.001, lambda), theta);
+}
+
+TEST(DecayParamsTest, MakeValid) {
+  DecayParams p;
+  ASSERT_TRUE(DecayParams::Make(0.8, 0.01, &p));
+  EXPECT_DOUBLE_EQ(p.theta, 0.8);
+  EXPECT_DOUBLE_EQ(p.lambda, 0.01);
+  EXPECT_NEAR(p.tau, std::log(1.0 / 0.8) / 0.01, 1e-12);
+}
+
+TEST(DecayParamsTest, MakeRejectsBadTheta) {
+  DecayParams p;
+  EXPECT_FALSE(DecayParams::Make(0.0, 0.1, &p));
+  EXPECT_FALSE(DecayParams::Make(-0.5, 0.1, &p));
+  EXPECT_FALSE(DecayParams::Make(1.5, 0.1, &p));
+  EXPECT_FALSE(DecayParams::Make(std::nan(""), 0.1, &p));
+}
+
+TEST(DecayParamsTest, MakeRejectsBadLambda) {
+  DecayParams p;
+  EXPECT_FALSE(DecayParams::Make(0.5, -0.1, &p));
+  EXPECT_FALSE(DecayParams::Make(0.5, std::nan(""), &p));
+  EXPECT_FALSE(
+      DecayParams::Make(0.5, std::numeric_limits<double>::infinity(), &p));
+}
+
+TEST(DecayParamsTest, MakeAcceptsLambdaZero) {
+  DecayParams p;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.0, &p));
+  EXPECT_TRUE(std::isinf(p.tau));
+}
+
+TEST(DecayParamsTest, FromApplicationSpecRecoversLambda) {
+  // §3 recipe: pick θ and τ, derive λ = τ⁻¹·ln(1/θ); the derived horizon
+  // must equal the requested one.
+  DecayParams p;
+  ASSERT_TRUE(DecayParams::FromApplicationSpec(0.6, 120.0, &p));
+  EXPECT_NEAR(p.tau, 120.0, 1e-9);
+  EXPECT_NEAR(p.lambda, std::log(1.0 / 0.6) / 120.0, 1e-12);
+}
+
+TEST(DecayParamsTest, FromApplicationSpecRejectsDegenerate) {
+  DecayParams p;
+  EXPECT_FALSE(DecayParams::FromApplicationSpec(1.0, 10.0, &p));  // θ=1
+  EXPECT_FALSE(DecayParams::FromApplicationSpec(0.5, 0.0, &p));   // τ=0
+  EXPECT_FALSE(DecayParams::FromApplicationSpec(
+      0.5, std::numeric_limits<double>::infinity(), &p));
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,146 @@
+#include "core/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::RawVec;
+using ::sssj::testing::UnitVec;
+
+TEST(SparseVectorTest, EmptyByDefault) {
+  SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.nnz(), 0u);
+  EXPECT_EQ(v.norm(), 0.0);
+  EXPECT_EQ(v.sum(), 0.0);
+  EXPECT_EQ(v.max_value(), 0.0);
+}
+
+TEST(SparseVectorTest, FromCoordsSortsByDimension) {
+  SparseVector v = RawVec({{5, 1.0}, {2, 2.0}, {9, 3.0}});
+  ASSERT_EQ(v.nnz(), 3u);
+  EXPECT_EQ(v.coord(0).dim, 2u);
+  EXPECT_EQ(v.coord(1).dim, 5u);
+  EXPECT_EQ(v.coord(2).dim, 9u);
+}
+
+TEST(SparseVectorTest, FromCoordsMergesDuplicateDimensions) {
+  SparseVector v = RawVec({{3, 1.0}, {3, 2.5}, {1, 1.0}});
+  ASSERT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.coord(1).dim, 3u);
+  EXPECT_DOUBLE_EQ(v.coord(1).value, 3.5);
+}
+
+TEST(SparseVectorTest, FromCoordsDropsNonPositiveValues) {
+  SparseVector v = RawVec({{1, 0.0}, {2, -1.0}, {3, 2.0}});
+  ASSERT_EQ(v.nnz(), 1u);
+  EXPECT_EQ(v.coord(0).dim, 3u);
+}
+
+TEST(SparseVectorTest, FromCoordsDropsNonFiniteValues) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::nan("");
+  SparseVector v = RawVec({{1, inf}, {2, nan}, {3, 1.0}});
+  ASSERT_EQ(v.nnz(), 1u);
+  EXPECT_EQ(v.coord(0).dim, 3u);
+}
+
+TEST(SparseVectorTest, StatsAreCached) {
+  SparseVector v = RawVec({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(v.max_value(), 4.0);
+}
+
+TEST(SparseVectorTest, NormalizeProducesUnitNorm) {
+  SparseVector v = RawVec({{0, 3.0}, {1, 4.0}});
+  v.Normalize();
+  EXPECT_TRUE(v.IsUnit());
+  EXPECT_DOUBLE_EQ(v.norm(), 1.0);
+  EXPECT_DOUBLE_EQ(v.coord(0).value, 0.6);
+  EXPECT_DOUBLE_EQ(v.coord(1).value, 0.8);
+}
+
+TEST(SparseVectorTest, NormalizeEmptyIsNoop) {
+  SparseVector v;
+  v.Normalize();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.IsUnit());
+}
+
+TEST(SparseVectorTest, DotDisjointIsZero) {
+  SparseVector a = RawVec({{0, 1.0}, {2, 1.0}});
+  SparseVector b = RawVec({{1, 1.0}, {3, 1.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+}
+
+TEST(SparseVectorTest, DotOverlapping) {
+  SparseVector a = RawVec({{0, 1.0}, {2, 2.0}, {5, 3.0}});
+  SparseVector b = RawVec({{2, 4.0}, {5, 0.5}, {7, 9.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 2.0 * 4.0 + 3.0 * 0.5);
+  EXPECT_DOUBLE_EQ(b.Dot(a), a.Dot(b));
+}
+
+TEST(SparseVectorTest, DotOfIdenticalUnitVectorIsOne) {
+  SparseVector v = UnitVec({{1, 0.3}, {4, 0.9}, {6, 0.2}});
+  EXPECT_NEAR(v.Dot(v), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, ValueAtFindsPresentAndAbsent) {
+  SparseVector v = RawVec({{2, 1.5}, {7, 2.5}});
+  EXPECT_DOUBLE_EQ(v.ValueAt(2), 1.5);
+  EXPECT_DOUBLE_EQ(v.ValueAt(7), 2.5);
+  EXPECT_DOUBLE_EQ(v.ValueAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(5), 0.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(100), 0.0);
+}
+
+TEST(SparseVectorTest, PrefixTakesFirstCoordsAndRecomputesStats) {
+  SparseVector v = RawVec({{0, 1.0}, {1, 2.0}, {2, 3.0}});
+  SparseVector p = v.Prefix(2);
+  ASSERT_EQ(p.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(p.sum(), 3.0);
+  EXPECT_DOUBLE_EQ(p.max_value(), 2.0);
+  EXPECT_DOUBLE_EQ(p.norm(), std::sqrt(5.0));
+}
+
+TEST(SparseVectorTest, PrefixZeroIsEmpty) {
+  SparseVector v = RawVec({{0, 1.0}});
+  EXPECT_TRUE(v.Prefix(0).empty());
+}
+
+TEST(SparseVectorTest, PrefixClampsBeyondSize) {
+  SparseVector v = RawVec({{0, 1.0}, {1, 1.0}});
+  EXPECT_EQ(v.Prefix(10).nnz(), 2u);
+}
+
+TEST(SparseVectorTest, EqualityComparesCoords) {
+  EXPECT_EQ(RawVec({{1, 2.0}, {3, 4.0}}), RawVec({{3, 4.0}, {1, 2.0}}));
+  EXPECT_FALSE(RawVec({{1, 2.0}}) == RawVec({{1, 2.5}}));
+}
+
+TEST(SparseVectorTest, ToStringIsReadable) {
+  EXPECT_EQ(RawVec({{1, 2.0}}).ToString(), "{1:2}");
+}
+
+TEST(SparseVectorTest, PrefixNormDecomposition) {
+  // ||x||² == ||x'_p||² + ||suffix||² for any split point — the identity
+  // underlying every ℓ2 bound in the paper.
+  SparseVector v = UnitVec({{0, 0.4}, {3, 0.2}, {5, 0.7}, {9, 0.1}});
+  for (size_t p = 0; p <= v.nnz(); ++p) {
+    double suffix_sq = 0.0;
+    for (size_t i = p; i < v.nnz(); ++i) {
+      suffix_sq += v.coord(i).value * v.coord(i).value;
+    }
+    const double prefix_norm = v.Prefix(p).norm();
+    EXPECT_NEAR(prefix_norm * prefix_norm + suffix_sq, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,51 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace sssj {
+namespace {
+
+TEST(RunStatsTest, DefaultsToZero) {
+  RunStats s;
+  EXPECT_EQ(s.entries_traversed, 0u);
+  EXPECT_EQ(s.pairs_emitted, 0u);
+  EXPECT_EQ(s.elapsed_seconds, 0.0);
+}
+
+TEST(RunStatsTest, PlusEqualsSumsCounters) {
+  RunStats a, b;
+  a.entries_traversed = 10;
+  a.pairs_emitted = 2;
+  a.elapsed_seconds = 1.5;
+  b.entries_traversed = 5;
+  b.pairs_emitted = 1;
+  b.elapsed_seconds = 0.5;
+  a += b;
+  EXPECT_EQ(a.entries_traversed, 15u);
+  EXPECT_EQ(a.pairs_emitted, 3u);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, 2.0);
+}
+
+TEST(RunStatsTest, PlusEqualsTakesMaxOfPeaks) {
+  RunStats a, b;
+  a.peak_index_entries = 100;
+  b.peak_index_entries = 250;
+  a += b;
+  EXPECT_EQ(a.peak_index_entries, 250u);
+  RunStats c;
+  c.peak_index_entries = 50;
+  a += c;
+  EXPECT_EQ(a.peak_index_entries, 250u);
+}
+
+TEST(RunStatsTest, ToStringContainsKeyCounters) {
+  RunStats s;
+  s.pairs_emitted = 7;
+  s.entries_traversed = 99;
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("pairs=7"), std::string::npos);
+  EXPECT_NE(str.find("entries=99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sssj

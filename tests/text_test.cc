@@ -1,0 +1,118 @@
+#include "data/text.h"
+
+#include <gtest/gtest.h>
+
+namespace sssj {
+namespace {
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  const auto toks = Tokenize("Hello, World! FOO-bar");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+  EXPECT_EQ(toks[2], "foo");
+  EXPECT_EQ(toks[3], "bar");
+}
+
+TEST(TokenizeTest, DropsShortTokens) {
+  const auto toks = Tokenize("a bb ccc", 3);
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0], "ccc");
+}
+
+TEST(TokenizeTest, KeepsDigits) {
+  const auto toks = Tokenize("covid19 2020");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "covid19");
+}
+
+TEST(TokenizeTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ...").empty());
+}
+
+TEST(VocabularyTest, AssignsStableIds) {
+  Vocabulary v;
+  const DimId a = v.GetOrAdd("apple");
+  const DimId b = v.GetOrAdd("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.GetOrAdd("apple"), a);
+  EXPECT_EQ(v.Find("apple"), a);
+  EXPECT_EQ(v.Find("cherry"), Vocabulary::kMissing);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(TfIdfTest, FitTransformProducesUnitVectors) {
+  TfIdfVectorizer tfidf;
+  tfidf.Fit({"the cat sat on the mat", "the dog sat on the log",
+             "completely different words here"});
+  const SparseVector v = tfidf.Transform("the cat sat");
+  EXPECT_FALSE(v.empty());
+  EXPECT_TRUE(v.IsUnit());
+}
+
+TEST(TfIdfTest, UnknownTokensIgnoredInTransform) {
+  TfIdfVectorizer tfidf;
+  tfidf.Fit({"alpha beta"});
+  const SparseVector v = tfidf.Transform("gamma delta");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(TfIdfTest, SimilarDocumentsHaveHighCosine) {
+  TfIdfVectorizer tfidf;
+  std::vector<std::string> corpus = {
+      "breaking news earthquake hits the city downtown",
+      "sports team wins championship game tonight",
+      "new recipe for chocolate cake dessert",
+      "stock market rises on tech earnings report"};
+  tfidf.Fit(corpus);
+  const SparseVector a =
+      tfidf.Transform("breaking news earthquake hits the city downtown");
+  const SparseVector b =
+      tfidf.Transform("earthquake news breaking downtown city hit");
+  const SparseVector c = tfidf.Transform("chocolate cake recipe dessert");
+  EXPECT_GT(a.Dot(b), 0.8);
+  EXPECT_LT(a.Dot(c), 0.3);
+}
+
+TEST(TfIdfTest, IdfDownweightsCommonTerms) {
+  TfIdfVectorizer tfidf;
+  // "common" appears in every doc; "rare" in one.
+  tfidf.Fit({"common rare", "common alpha", "common beta", "common gamma"});
+  const SparseVector v = tfidf.Transform("common rare");
+  ASSERT_EQ(v.nnz(), 2u);
+  // The rare term must carry more weight.
+  double common_w = 0, rare_w = 0;
+  Vocabulary probe;  // ids assigned in first-seen order: common=0, rare=1
+  common_w = v.ValueAt(0);
+  rare_w = v.ValueAt(1);
+  EXPECT_GT(rare_w, common_w);
+}
+
+TEST(TfIdfTest, OnlineModeGrowsVocabulary) {
+  TfIdfVectorizer tfidf;
+  const SparseVector a = tfidf.AddAndTransform("first document words");
+  EXPECT_EQ(tfidf.documents_seen(), 1u);
+  EXPECT_FALSE(a.empty());
+  const size_t vocab_after_one = tfidf.vocabulary_size();
+  tfidf.AddAndTransform("totally new tokens appear");
+  EXPECT_GT(tfidf.vocabulary_size(), vocab_after_one);
+  EXPECT_EQ(tfidf.documents_seen(), 2u);
+}
+
+TEST(TfIdfTest, OnlineNearDuplicatesDetectable) {
+  TfIdfVectorizer tfidf;
+  // Warm up statistics.
+  for (int i = 0; i < 20; ++i) {
+    tfidf.AddAndTransform("background chatter message number " +
+                          std::to_string(i));
+  }
+  const SparseVector a =
+      tfidf.AddAndTransform("huge fire downtown near the station");
+  const SparseVector b =
+      tfidf.AddAndTransform("huge fire near downtown station now");
+  EXPECT_GT(a.Dot(b), 0.7);
+}
+
+}  // namespace
+}  // namespace sssj

@@ -1,0 +1,156 @@
+// Tests for Rng, ZipfSampler, and Flags.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace sssj {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.NextU64() == b.NextU64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversSupport) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.NextBelow(10)];
+  for (int c : seen) EXPECT_GT(c, 500);  // roughly uniform
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(ZipfTest, SamplesWithinSupport) {
+  Rng rng(1);
+  ZipfSampler z(100, 1.1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Sample(rng), 100u);
+}
+
+TEST(ZipfTest, RankZeroIsMostFrequent) {
+  Rng rng(2);
+  ZipfSampler z(1000, 1.1);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[200]);
+}
+
+TEST(ZipfTest, FrequencyMatchesPowerLaw) {
+  Rng rng(3);
+  const double s = 1.0;
+  ZipfSampler z(10000, s);
+  std::vector<int> counts(10000, 0);
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  // count(rank 1) / count(rank 10) ≈ (10/1)^s within sampling noise.
+  const double ratio =
+      static_cast<double>(counts[0]) / std::max(counts[9], 1);
+  EXPECT_NEAR(ratio, 10.0, 2.5);
+}
+
+TEST(ZipfTest, SingletonSupport) {
+  Rng rng(4);
+  ZipfSampler z(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.Sample(rng), 0u);
+}
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--theta=0.5", "--name=abc"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(f.GetDouble("theta", 0.0), 0.5);
+  EXPECT_EQ(f.GetString("name", ""), "abc");
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--n", "42"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_EQ(f.GetInt("n", 0), 42);
+}
+
+TEST(FlagsTest, BareFlagIsTrueBool) {
+  const char* argv[] = {"prog", "--tsv"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_TRUE(f.GetBool("tsv", false));
+  EXPECT_FALSE(f.GetBool("other", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags f(1, const_cast<char**>(argv));
+  EXPECT_EQ(f.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("s", "d"), "d");
+}
+
+TEST(FlagsTest, DoubleListParsing) {
+  const char* argv[] = {"prog", "--thetas=0.5,0.7,0.99"};
+  Flags f(2, const_cast<char**>(argv));
+  const auto v = f.GetDoubleList("thetas", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[2], 0.99);
+}
+
+TEST(FlagsTest, PositionalArgumentsPreserved) {
+  const char* argv[] = {"prog", "input.txt", "--n=1", "output.txt"};
+  Flags f(4, const_cast<char**>(argv));
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, BoolExplicitValues) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes"};
+  Flags f(4, const_cast<char**>(argv));
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c", false));
+}
+
+}  // namespace
+}  // namespace sssj
