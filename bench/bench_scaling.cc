@@ -4,9 +4,15 @@
 // grows linearly in n and the method "is able to run on all datasets",
 // while MB's window-rebuild overhead accumulates. This bench sweeps n at
 // fixed (θ, λ) and prints time and throughput for STR-L2, STR-INV, MB-L2.
+//
+// A second table sweeps the sharded engine's thread count (--thread-list,
+// default 1,2,4,8) at a fixed stream and reports throughput and speedup
+// over the sequential num_threads=1 baseline. Skip it with --no-threads.
 #include <iostream>
+#include <thread>
 
 #include "bench/bench_util.h"
+#include "util/timer.h"
 
 namespace sssj {
 namespace {
@@ -53,6 +59,51 @@ int Run(int argc, char** argv) {
             << ", lambda=" << lambda
             << " (RCV1Like; expect ~constant kvec/s for STR)\n";
   table.Print(std::cout);
+
+  if (flags.GetBool("no-threads", false)) return 0;
+
+  // ---- Thread-count sweep over the sharded STR-L2 engine ----
+  const std::vector<double> thread_list =
+      flags.GetDoubleList("thread-list", {1, 2, 4, 8});
+  const double thread_scale = flags.GetDouble("thread-scale", args.scale);
+  const Stream stream =
+      GenerateProfile(DatasetProfile::kRcv1, thread_scale, args.seed);
+  TablePrinter tsweep({"threads", "time(s)", "kvec/s", "pairs", "speedup"},
+                      args.tsv);
+  const auto run_threads = [&](int threads, uint64_t* pairs) {
+    EngineConfig cfg;
+    cfg.framework = Framework::kStreaming;
+    cfg.index = IndexScheme::kL2;
+    cfg.theta = theta;
+    cfg.lambda = lambda;
+    cfg.num_threads = threads;
+    auto engine = SssjEngine::Create(cfg);
+    CountingSink sink;
+    Timer timer;
+    engine->PushBatch(stream, &sink);
+    *pairs = sink.count();
+    return timer.ElapsedSeconds();
+  };
+  // The speedup column is always relative to a measured num_threads=1 run,
+  // even when 1 is not in --thread-list.
+  uint64_t baseline_pairs = 0;
+  const double baseline_seconds = run_threads(1, &baseline_pairs);
+  for (double threads_d : thread_list) {
+    const int threads = static_cast<int>(threads_d);
+    if (threads < 1) continue;
+    uint64_t pairs = baseline_pairs;
+    const double seconds =
+        threads == 1 ? baseline_seconds : run_threads(threads, &pairs);
+    tsweep.AddRow({std::to_string(threads), FormatDouble(seconds, 3),
+                   FormatDouble(stream.size() / seconds / 1000.0, 1),
+                   std::to_string(pairs),
+                   FormatDouble(baseline_seconds / seconds, 2) + "x"});
+  }
+  std::cout << "\nThread sweep: sharded STR-L2, n=" << stream.size()
+            << ", theta=" << theta << ", lambda=" << lambda
+            << " (speedup vs num_threads=1; hardware threads available: "
+            << std::thread::hardware_concurrency() << ")\n";
+  tsweep.Print(std::cout);
   return 0;
 }
 

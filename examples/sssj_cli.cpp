@@ -11,6 +11,10 @@
 //   --framework=STR|MB   (default STR)
 //   --index=INV|AP|L2AP|L2  (default L2; AP only valid with MB)
 //   --theta, --lambda    join parameters (defaults 0.7, 0.01)
+//   --threads=<n>        worker threads for the STR-L2 hot path (default
+//                        1 = sequential; >1 uses the sharded parallel
+//                        index — same pair set and scores; line order in
+//                        --output may differ across thread counts)
 //   --output=<path>      write pairs as "a b t_a t_b dot sim" (default:
 //                        stdout)
 //   --quiet              suppress per-pair output, print stats only
@@ -41,6 +45,7 @@ int main(int argc, char** argv) {
   }
   config.theta = flags.GetDouble("theta", 0.7);
   config.lambda = flags.GetDouble("lambda", 0.01);
+  config.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   auto engine = sssj::SssjEngine::Create(config);
   if (engine == nullptr) {
     std::fprintf(stderr,
@@ -89,9 +94,7 @@ int main(int argc, char** argv) {
   });
 
   sssj::Timer timer;
-  for (const sssj::StreamItem& item : stream) {
-    engine->Push(item.ts, item.vec, &sink);
-  }
+  engine->PushBatch(stream, &sink);
   engine->Flush(&sink);
   const double secs = timer.ElapsedSeconds();
 

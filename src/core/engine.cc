@@ -6,6 +6,7 @@
 
 #include "index/inv_index.h"
 #include "index/prefix_index.h"
+#include "index/sharded_stream_index.h"
 #include "index/stream_inv_index.h"
 #include "index/stream_l2_index.h"
 #include "index/stream_l2ap_index.h"
@@ -37,13 +38,17 @@ std::unique_ptr<BatchIndex> MakeBatchIndex(IndexScheme scheme, double theta) {
 }
 
 std::unique_ptr<StreamIndex> MakeStreamIndex(IndexScheme scheme,
-                                             const DecayParams& params) {
+                                             const DecayParams& params,
+                                             size_t num_threads) {
   switch (scheme) {
     case IndexScheme::kInv:
       return std::make_unique<StreamInvIndex>(params);
     case IndexScheme::kL2ap:
       return std::make_unique<StreamL2apIndex>(params);
     case IndexScheme::kL2:
+      if (num_threads > 1) {
+        return std::make_unique<ShardedStreamIndex>(params, num_threads);
+      }
       return std::make_unique<StreamL2Index>(params);
     case IndexScheme::kAp:
       return nullptr;  // STR-AP: omitted (paper §5.2)
@@ -121,7 +126,9 @@ std::unique_ptr<SssjEngine> SssjEngine::Create(const EngineConfig& config) {
     engine->mb_ = std::make_unique<MiniBatchJoin>(
         params, [scheme, theta] { return MakeBatchIndex(scheme, theta); });
   } else {
-    auto index = MakeStreamIndex(config.index, params);
+    const size_t num_threads =
+        config.num_threads < 1 ? 1 : static_cast<size_t>(config.num_threads);
+    auto index = MakeStreamIndex(config.index, params, num_threads);
     if (index == nullptr) return nullptr;
     engine->str_ = std::make_unique<StreamingJoin>(params, std::move(index));
   }
@@ -150,6 +157,14 @@ bool SssjEngine::Push(const StreamItem& item, ResultSink* sink) {
   return Push(item.ts, item.vec, sink);
 }
 
+size_t SssjEngine::PushBatch(const Stream& batch, ResultSink* sink) {
+  size_t accepted = 0;
+  for (const StreamItem& item : batch) {
+    if (Push(item.ts, item.vec, sink)) ++accepted;
+  }
+  return accepted;
+}
+
 void SssjEngine::Flush(ResultSink* sink) {
   if (mb_ != nullptr) {
     mb_->Flush(sink);
@@ -170,8 +185,11 @@ void SetEngineError(std::string* error, const std::string& msg) {
 
 bool SssjEngine::SaveCheckpoint(const std::string& path,
                                 std::string* error) const {
-  if (str_ == nullptr || config_.index != IndexScheme::kL2) {
-    SetEngineError(error, "checkpointing is supported for STR-L2 only");
+  if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
+      config_.num_threads > 1) {
+    SetEngineError(error,
+                   "checkpointing is supported for single-threaded STR-L2 "
+                   "only");
     return false;
   }
   const auto* index =
@@ -199,8 +217,11 @@ bool SssjEngine::SaveCheckpoint(const std::string& path,
 }
 
 bool SssjEngine::LoadCheckpoint(const std::string& path, std::string* error) {
-  if (str_ == nullptr || config_.index != IndexScheme::kL2) {
-    SetEngineError(error, "checkpointing is supported for STR-L2 only");
+  if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
+      config_.num_threads > 1) {
+    SetEngineError(error,
+                   "checkpointing is supported for single-threaded STR-L2 "
+                   "only");
     return false;
   }
   auto* index = dynamic_cast<StreamL2Index*>(str_->mutable_index());

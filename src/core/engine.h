@@ -7,10 +7,22 @@
 //   cfg.index = sssj::IndexScheme::kL2;
 //   cfg.theta = 0.7;
 //   cfg.lambda = 0.01;
+//   cfg.num_threads = 4;            // shard the STR-L2 hot path (optional)
 //   auto engine = sssj::SssjEngine::Create(cfg);
 //   sssj::CallbackSink sink([](const sssj::ResultPair& p) { ... });
 //   engine->Push(ts, vec, &sink);   // repeatedly, in time order
+//   engine->PushBatch(items, &sink);  // or hand over whole batches
 //   engine->Flush(&sink);           // at end of stream (MB drains windows)
+//
+// Parallel execution: with num_threads > 1 the STR-L2 configuration runs
+// on a dimension-sharded index (index/sharded_stream_index.h) that
+// parallelizes candidate generation, verification, and index maintenance
+// across a fixed thread pool while emitting exactly the pair set the
+// sequential engine would, with bit-identical per-pair scores. Output is
+// fully deterministic for a fixed thread count; across different thread
+// counts the *set* is identical but the per-arrival emission order may
+// differ (pairs are merged in shard order rather than candidate-touch
+// order). Other configurations ignore num_threads and run sequentially.
 #ifndef SSSJ_CORE_ENGINE_H_
 #define SSSJ_CORE_ENGINE_H_
 
@@ -42,6 +54,12 @@ struct EngineConfig {
   // When true (default), Push() unit-normalizes input vectors. When false,
   // non-unit vectors are rejected (the similarity bounds require ||x||=1).
   bool normalize_inputs = true;
+  // Worker threads for the STR-L2 hot path. 1 (default) keeps the exact
+  // sequential engine — including checkpoint support. Values > 1 use the
+  // sharded parallel index (deterministic, same output; checkpointing is
+  // not yet supported there). Ignored by MB and the non-L2 schemes.
+  // Values < 1 are clamped to 1.
+  int num_threads = 1;
 };
 
 class MiniBatchJoin;
@@ -66,6 +84,13 @@ class SssjEngine {
   // Convenience for pre-built items; the item's id is ignored and
   // reassigned.
   bool Push(const StreamItem& item, ResultSink* sink);
+
+  // Batched ingestion: feeds every item of `batch` in order and returns
+  // the number accepted. Items that fail Push's validation (empty after
+  // cleaning, non-normalizable, decreasing timestamp) are skipped; later
+  // items are still processed. Sharing `sink` with other threads requires
+  // a thread-safe sink (e.g. ConcurrentCollectingSink).
+  size_t PushBatch(const Stream& batch, ResultSink* sink);
 
   // Drains any buffered state (MB windows). STR emits eagerly, so this is
   // a no-op for it.

@@ -25,4 +25,30 @@ std::vector<ResultPair> CollectorSink::SortedPairs() const {
   return out;
 }
 
+void ConcurrentCollectingSink::Emit(const ResultPair& pair) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pairs_.push_back(pair);
+}
+
+std::vector<ResultPair> ConcurrentCollectingSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pairs_;
+}
+
+std::vector<ResultPair> ConcurrentCollectingSink::SortedPairs() const {
+  std::vector<ResultPair> out = Snapshot();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t ConcurrentCollectingSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pairs_.size();
+}
+
+void ConcurrentCollectingSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pairs_.clear();
+}
+
 }  // namespace sssj

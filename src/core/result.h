@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,24 @@ class CountingSink : public ResultSink {
 
  private:
   uint64_t count_ = 0;
+};
+
+// Thread-safe collector: Emit may be called concurrently from any number
+// of threads (e.g. a sink shared by several engines, or by application
+// code draining PushBatch results from worker threads). Accessors copy
+// under the lock, so they are safe to call while emission is in flight.
+class ConcurrentCollectingSink : public ResultSink {
+ public:
+  void Emit(const ResultPair& pair) override;
+
+  std::vector<ResultPair> Snapshot() const;
+  std::vector<ResultPair> SortedPairs() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ResultPair> pairs_;
 };
 
 // Forwards each pair to a callback (applications).

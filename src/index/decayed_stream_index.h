@@ -42,6 +42,13 @@ class GeneralDecayInvIndex : public StreamIndex {
   void Clear() override;
   const char* name() const override { return "INV(gen)"; }
   size_t live_posting_entries() const override { return live_entries_; }
+  size_t MemoryBytes() const override {
+    size_t bytes = 0;
+    for (const auto& [dim, list] : lists_) {
+      bytes += sizeof(DimId) + list.capacity_bytes();
+    }
+    return bytes;
+  }
   double horizon() const { return tau_; }
 
  private:
@@ -61,6 +68,13 @@ class GeneralDecayL2Index : public StreamIndex {
   void Clear() override;
   const char* name() const override { return "L2(gen)"; }
   size_t live_posting_entries() const override { return live_entries_; }
+  size_t MemoryBytes() const override {
+    size_t bytes = residuals_.ApproxBytes();
+    for (const auto& [dim, list] : lists_) {
+      bytes += sizeof(DimId) + list.capacity_bytes();
+    }
+    return bytes;
+  }
   double horizon() const { return tau_; }
 
  private:

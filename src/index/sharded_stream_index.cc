@@ -1,0 +1,118 @@
+#include "index/sharded_stream_index.h"
+
+namespace sssj {
+
+ShardedStreamIndex::ShardedStreamIndex(const DecayParams& params,
+                                       size_t num_threads,
+                                       const L2IndexOptions& options)
+    : params_(params),
+      options_(options),
+      shards_(num_threads < 1 ? 1 : num_threads),
+      pool_(num_threads < 1 ? 1 : num_threads) {}
+
+void ShardedStreamIndex::ProcessArrival(const StreamItem& x,
+                                        ResultSink* sink) {
+  const SparseVector& v = x.vec;
+  const Timestamp cutoff = x.ts - params_.tau;
+  ++stats_.vectors_processed;
+  residuals_.ExpireOlderThan(cutoff);
+  if (v.empty()) return;
+
+  L2ComputePrefixNorms(v, &prefix_norms_);
+  const size_t S = shards_.size();
+
+  // ---- Parallel phase 1: candidate generation ----
+  // Lists are read-only here (expiry is deferred to phase 2, where each
+  // worker owns the lists it truncates), so cross-shard lookups are safe.
+  pool_.ParallelFor(S, [&](size_t w) {
+    Shard& shard = shards_[w];
+    shard.phase_stats = L2PhaseStats{};
+    shard.pairs.clear();
+    shard.appended = 0;
+    shard.pruned = 0;
+    shard.cands.Reset();
+    L2GenerateCandidates(
+        x, params_, options_, prefix_norms_, cutoff,
+        [&](DimId dim) -> PostingList* {
+          auto& lists = shards_[dim % S].lists;
+          auto it = lists.find(dim);
+          return it == lists.end() ? nullptr : &it->second;
+        },
+        [&](VectorId id) { return id % S == w; },
+        [](PostingList&, size_t) {},  // deferred: see phase 2
+        &shard.cands, &shard.phase_stats);
+  });
+
+  // ---- Parallel phase 2: verification + index construction ----
+  // Verification reads the residual store (no writer is active);
+  // construction touches only worker-owned lists. The coordinate split is
+  // identical for all workers, so it is computed once up front.
+  const L2IndexSplit split = L2ComputeIndexSplit(v, params_.theta);
+  const size_t n = v.nnz();
+  pool_.ParallelFor(S, [&](size_t w) {
+    Shard& shard = shards_[w];
+    L2VerifyCandidates(
+        x, params_, options_, shard.cands, residuals_, &shard.phase_stats,
+        [&shard](const ResultPair& p) { shard.pairs.push_back(p); });
+    for (size_t i = 0; i < n; ++i) {
+      const Coord& c = v.coord(i);
+      if (c.dim % S != w) continue;
+      auto it = shard.lists.find(c.dim);
+      if (it != shard.lists.end()) {
+        // Same truncation the sequential backward scan performs: drop the
+        // time-sorted expired run at the front of every touched list.
+        PostingList& list = it->second;
+        size_t expired = 0;
+        while (expired < list.size() && list[expired].ts < cutoff) {
+          ++expired;
+        }
+        shard.pruned += list.TruncateFront(expired);
+      }
+      if (i >= split.first_indexed) {
+        shard.lists[c.dim].Append(
+            PostingEntry{x.id, c.value, prefix_norms_[i], x.ts});
+        ++shard.appended;
+      }
+    }
+  });
+
+  // Residual direct index: single writer, after the workers are done.
+  if (split.first_indexed < n) {
+    residuals_.Insert(x.id, L2MakeResidualRecord(x, split));
+  }
+
+  // ---- Merge: deterministic emission and stats fold, in shard order ----
+  for (Shard& shard : shards_) {
+    for (const ResultPair& p : shard.pairs) sink->Emit(p);
+    shard.phase_stats.MergeInto(&stats_);
+    NotePruned(shard.pruned);
+  }
+  // Append accounting last, mirroring the sequential index where pruning
+  // happens during generation and NoteIndexed at the very end.
+  size_t appended = 0;
+  for (const Shard& shard : shards_) appended += shard.appended;
+  if (appended > 0) NoteIndexed(appended);
+}
+
+void ShardedStreamIndex::Clear() {
+  for (Shard& shard : shards_) {
+    shard.lists.clear();
+    shard.pairs.clear();
+    shard.appended = 0;
+    shard.pruned = 0;
+  }
+  residuals_.Clear();
+  live_entries_ = 0;
+}
+
+size_t ShardedStreamIndex::MemoryBytes() const {
+  size_t bytes = residuals_.ApproxBytes();
+  for (const Shard& shard : shards_) {
+    for (const auto& [dim, list] : shard.lists) {
+      bytes += sizeof(DimId) + list.capacity_bytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace sssj

@@ -1,0 +1,81 @@
+// Sharded parallel STR-L2 (the paper's recommended index, scaled across
+// cores). Exact and deterministic: for any shard count the emitted pair
+// set is identical to the sequential StreamL2Index, because every
+// candidate is processed by exactly one worker running the sequential
+// per-candidate computation (see index/l2_phases.h for the argument).
+//
+// Layout and schedule per arrival x:
+//
+//   posting lists   — physically partitioned by dim % S across shard
+//                     states (parallel construction/expiry, better cache
+//                     locality per worker),
+//   generation      — worker w scans *all* lists (read-only) but
+//                     accumulates only candidates with id % S == w into
+//                     its private CandidateMap; all ℓ2 bounds apply at
+//                     full sequential strength,
+//   verification    — worker w verifies its own candidates against the
+//                     shared residual store (read-only) into a private
+//                     pair buffer,
+//   construction    — worker w appends x's indexed coordinates for its
+//                     own dims and truncates time-expired postings of its
+//                     own lists,
+//   merge           — the coordinator emits pair buffers in shard order
+//                     and folds per-worker counters into RunStats, so
+//                     stats match a sequential run field for field.
+//
+// Two ParallelFor barriers per arrival; the single-threaded configuration
+// never constructs this class (SssjEngine keeps StreamL2Index for
+// num_threads == 1).
+#ifndef SSSJ_INDEX_SHARDED_STREAM_INDEX_H_
+#define SSSJ_INDEX_SHARDED_STREAM_INDEX_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "index/candidate_map.h"
+#include "index/l2_phases.h"
+#include "index/posting_list.h"
+#include "index/residual_store.h"
+#include "index/stream_index.h"
+#include "util/thread_pool.h"
+
+namespace sssj {
+
+class ShardedStreamIndex : public StreamIndex {
+ public:
+  // `num_threads` is both the worker count and the shard count (min 1).
+  explicit ShardedStreamIndex(const DecayParams& params, size_t num_threads,
+                              const L2IndexOptions& options = {});
+
+  void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
+  void Clear() override;
+  const char* name() const override { return "L2-SHARDED"; }
+  size_t live_posting_entries() const override { return live_entries_; }
+  size_t MemoryBytes() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t residual_count() const { return residuals_.size(); }
+
+ private:
+  struct Shard {
+    std::unordered_map<DimId, PostingList> lists;  // dims with dim % S == w
+    CandidateMap cands;  // candidates with id % S == w (scratch)
+    // Per-arrival outputs, merged by the coordinator after the barrier.
+    L2PhaseStats phase_stats;
+    std::vector<ResultPair> pairs;
+    size_t appended = 0;
+    size_t pruned = 0;
+  };
+
+  DecayParams params_;
+  L2IndexOptions options_;
+  std::vector<Shard> shards_;
+  ResidualStore residuals_;  // shared; written only by the coordinator
+  std::vector<double> prefix_norms_;  // scratch; read-only during phases
+  ThreadPool pool_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_INDEX_SHARDED_STREAM_INDEX_H_

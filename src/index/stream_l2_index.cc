@@ -32,114 +32,40 @@ void StreamL2Index::ProcessArrival(const StreamItem& x, ResultSink* sink) {
   residuals_.ExpireOlderThan(cutoff);
   if (v.empty()) return;
 
+  L2ComputePrefixNorms(v, &prefix_norms_);
+  L2PhaseStats phase_stats;
+
   // ---- Candidate generation (Algorithm 7, green lines) ----
   cands_.Reset();
-  const size_t n = v.nnz();
-  prefix_norms_.assign(n, 0.0);
-  {
-    double sq = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      prefix_norms_[i] = std::sqrt(sq);
-      sq += v.coord(i).value * v.coord(i).value;
-    }
-  }
-
-  double rst = v.norm() * v.norm();
-  for (size_t i = n; i-- > 0;) {  // reverse coordinate order
-    const Coord& c = v.coord(i);
-    const double rs2 = std::sqrt(std::max(rst, 0.0));
-    auto it = lists_.find(c.dim);
-    if (it != lists_.end()) {
-      PostingList& list = it->second;
-      size_t idx = list.size();
-      while (idx-- > 0) {  // newest → oldest
-        const PostingEntry& e = list[idx];
-        if (e.ts < cutoff) {
-          NotePruned(list.TruncateFront(idx + 1));
-          break;
-        }
-        ++stats_.entries_traversed;
-        const double decay = std::exp(-params_.lambda * (x.ts - e.ts));
-        CandidateMap::Slot* slot = cands_.FindOrCreate(e.id);
-        if (slot->score < 0.0) continue;  // l2-pruned: final
-        if (slot->score == 0.0) {
-          // remscore = rs2 · e^{−λΔt} (line 7, AP part disabled).
-          if (options_.use_remscore_bound &&
-              !BoundAtLeast(rs2 * decay, params_.theta)) {
-            continue;
-          }
-          slot->ts = e.ts;
-          cands_.NoteAdmitted();
-          ++stats_.candidates_generated;
-        }
-        slot->score += c.value * e.value;
-        if (options_.use_l2bound) {
-          const double l2bound =
-              slot->score + prefix_norms_[i] * e.prefix_norm * decay;
-          if (!BoundAtLeast(l2bound, params_.theta)) {
-            slot->score = CandidateMap::kPruned;
-            ++stats_.l2_prunes;
-          }
-        }
-      }
-    }
-    rst -= c.value * c.value;
-  }
+  L2GenerateCandidates(
+      x, params_, options_, prefix_norms_, cutoff,
+      [this](DimId dim) -> PostingList* {
+        auto it = lists_.find(dim);
+        return it == lists_.end() ? nullptr : &it->second;
+      },
+      [](VectorId) { return true; },
+      [this](PostingList& list, size_t n) {
+        NotePruned(list.TruncateFront(n));
+      },
+      &cands_, &phase_stats);
 
   // ---- Candidate verification (Algorithm 8, green lines) ----
-  cands_.ForEachLive([&](VectorId id, double score, Timestamp ts) {
-    ++stats_.verify_calls;
-    const ResidualRecord* rec = residuals_.Find(id);
-    if (rec == nullptr) return;  // defensive: record outlives its postings
-    const double decay = std::exp(-params_.lambda * (x.ts - ts));
-    if (options_.use_ps1_bound) {
-      const double ps1 = (score + rec->q) * decay;
-      if (!BoundAtLeast(ps1, params_.theta)) return;
-    }
-    ++stats_.full_dots;
-    const double s = score + v.Dot(rec->prefix);
-    const double sim = s * decay;
-    if (sim >= params_.theta) {
-      ResultPair p;
-      p.a = id;
-      p.b = x.id;
-      p.ta = ts;
-      p.tb = x.ts;
-      p.dot = s;
-      p.sim = sim;
-      p.Canonicalize();
-      sink->Emit(p);
-      ++stats_.pairs_emitted;
-    }
-  });
+  L2VerifyCandidates(x, params_, options_, cands_, residuals_, &phase_stats,
+                     [sink](const ResultPair& p) { sink->Emit(p); });
 
   // ---- Index construction (Algorithm 6, green lines) ----
-  double bt = 0.0;
-  bool first_indexed = true;
-  size_t appended = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const Coord& c = v.coord(i);
-    const double pscore = std::sqrt(bt);  // b2 before this coordinate
-    bt += c.value * c.value;
-    const double b2 = std::sqrt(bt);
-    if (BoundAtLeast(b2, params_.theta)) {
-      if (first_indexed) {
-        ResidualRecord rec;
-        rec.prefix = v.Prefix(i);
-        rec.q = pscore;
-        rec.ts = x.ts;
-        rec.vm = v.max_value();
-        rec.sum = v.sum();
-        rec.nnz = static_cast<uint32_t>(n);
-        residuals_.Insert(x.id, std::move(rec));
-        first_indexed = false;
-      }
+  const L2IndexSplit split = L2ComputeIndexSplit(v, params_.theta);
+  const size_t n = v.nnz();
+  if (split.first_indexed < n) {
+    residuals_.Insert(x.id, L2MakeResidualRecord(x, split));
+    for (size_t i = split.first_indexed; i < n; ++i) {
+      const Coord& c = v.coord(i);
       lists_[c.dim].Append(
           PostingEntry{x.id, c.value, prefix_norms_[i], x.ts});
-      ++appended;
     }
+    NoteIndexed(n - split.first_indexed);
   }
-  NoteIndexed(appended);
+  phase_stats.MergeInto(&stats_);
 }
 
 void StreamL2Index::Clear() {

@@ -15,21 +15,17 @@
 #include <vector>
 
 #include "index/candidate_map.h"
+#include "index/l2_phases.h"
 #include "index/posting_list.h"
 #include "index/residual_store.h"
 #include "index/stream_index.h"
 
 namespace sssj {
 
-// Ablation switches for the three ℓ2 pruning rules. Disabling a rule never
-// changes the output (each rule only skips provably-dissimilar work); it
-// changes how much work is done — which is exactly what the ablation bench
-// measures. All enabled by default.
-struct L2IndexOptions {
-  bool use_remscore_bound = true;  // admission: rs2·e^{−λΔt} ≥ θ (Alg 7 l.7)
-  bool use_l2bound = true;         // early prune: C + ||x'||·||y'||·e^{−λΔt}
-  bool use_ps1_bound = true;       // verification: (C + Q)·e^{−λΔt} ≥ θ
-};
+// The per-arrival processing is decomposed into generation / verification /
+// construction phase templates shared with the parallel ShardedStreamIndex
+// — see index/l2_phases.h (which also defines the L2IndexOptions ablation
+// switches).
 
 class StreamL2Index : public StreamIndex {
  public:

@@ -30,6 +30,18 @@ class StreamingJoin {
     return true;
   }
 
+  // Batched ingestion: pushes every item in order, skipping time-order
+  // violations, and returns the number accepted. With a sharded index the
+  // per-arrival work inside ProcessArrival is parallelized; arrivals are
+  // still consumed one at a time so the output order stays deterministic.
+  size_t PushBatch(const Stream& batch, ResultSink* sink) {
+    size_t accepted = 0;
+    for (const StreamItem& item : batch) {
+      if (Push(item, sink)) ++accepted;
+    }
+    return accepted;
+  }
+
   // STR has no buffered state to drain; provided for API symmetry with MB.
   void Flush(ResultSink* /*sink*/) {}
 

@@ -1,0 +1,76 @@
+// Fixed-size fork/join thread pool for the sharded streaming hot path.
+//
+// Deliberately minimal: no task queue, no work stealing, no futures. The
+// only primitive is ParallelFor(n, fn), which runs fn(0..n-1) across the
+// pool (caller thread included) and blocks until every task finished.
+// Tasks are claimed with a single atomic counter, so the scheduling
+// overhead per call is two condition-variable hand-offs — cheap enough to
+// run twice per stream arrival, which is exactly how ShardedStreamIndex
+// uses it.
+//
+// Worker participation is gated through the mutex: a worker enters the
+// claim loop only after observing a new epoch under the lock (bumping
+// `active_`), and ParallelFor mutates job state only while `active_ == 0`.
+// A straggler that wakes late therefore either participates fully in the
+// current job or finds the claim counter exhausted — it can never observe
+// half-published state or claim a task of a job it did not register for.
+//
+// A pool of size 1 spawns no threads at all and runs tasks inline, so the
+// sequential configuration carries zero synchronization cost.
+#ifndef SSSJ_UTIL_THREAD_POOL_H_
+#define SSSJ_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sssj {
+
+class ThreadPool {
+ public:
+  // `num_threads` is the total parallelism, including the calling thread:
+  // the pool spawns num_threads - 1 workers. Values < 1 are clamped to 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs fn(i) for every i in [0, n), distributing tasks over the workers
+  // and the calling thread, and returns once all n calls finished. Calls
+  // are not ordered; fn must be safe to invoke concurrently from
+  // different threads for different i. Must not be called reentrantly
+  // (from inside fn) or from multiple threads at once, and fn must not
+  // throw.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size() + 1; }
+
+ private:
+  void WorkerLoop();
+  void RunTasks();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;  // signals workers: epoch_ changed
+  std::condition_variable idle_;        // signals caller: active_ hit 0
+  std::vector<std::thread> workers_;
+
+  // Job state, written by ParallelFor only while no worker is registered
+  // (active_ == 0) and read by workers only after they registered under
+  // the mutex — so the claim loop itself can stay lock-free.
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t num_tasks_ = 0;
+  uint64_t epoch_ = 0;
+  size_t active_ = 0;  // workers currently inside RunTasks (guarded by mu_)
+  std::atomic<size_t> next_task_{0};
+  bool stop_ = false;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_UTIL_THREAD_POOL_H_

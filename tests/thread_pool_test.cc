@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace sssj {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.ParallelFor(8, [&](size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneTaskEdgeCases) {
+  ThreadPool pool(3);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "no task expected"; });
+  std::atomic<int> count{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, FewerTasksThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(3, [&](size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(ThreadPoolTest, RepeatedEpochsStayConsistent) {
+  ThreadPool pool(4);
+  uint64_t total = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::atomic<uint64_t> sum{0};
+    const size_t n = 1 + round % 7;
+    pool.ParallelFor(n, [&](size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+    total += sum.load();
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(ThreadPoolTest, LargeFanOutSum) {
+  ThreadPool pool(4);
+  const size_t n = 100000;
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(n, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ClampsInvalidSizeToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.ParallelFor(4, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPoolTest, WorkersActuallyParticipate) {
+  // With long-enough tasks and more tasks than threads, at least one task
+  // should land off the caller thread. (Timing-dependent in principle, but
+  // each task blocks until all threads had a chance to claim one.)
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::atomic<int> arrived{0};
+  pool.ParallelFor(4, [&](size_t) {
+    arrived.fetch_add(1);
+    // Spin until every task has been claimed, forcing one task per thread.
+    while (arrived.load() < 4) std::this_thread::yield();
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sssj
