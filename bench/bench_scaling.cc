@@ -26,7 +26,7 @@ int Run(int argc, char** argv) {
       flags.GetDoubleList("scale-list", {0.25, 0.5, 1.0, 2.0, 4.0});
 
   TablePrinter table({"n", "variant", "time(s)", "kvec/s", "pairs",
-                      "peak_entries"},
+                      "peak_entries", "mem(MB)"},
                      args.tsv);
   for (double scale : scales) {
     const Stream stream =
@@ -52,7 +52,8 @@ int Run(int argc, char** argv) {
                     FormatDouble(r.seconds, 3),
                     FormatDouble(stream.size() / r.seconds / 1000.0, 1),
                     std::to_string(r.pairs),
-                    std::to_string(r.stats.peak_index_entries)});
+                    std::to_string(r.stats.peak_index_entries),
+                    FormatDouble(r.memory_bytes / (1024.0 * 1024.0), 2)});
     }
   }
   std::cout << "Scaling: time vs stream length at fixed theta=" << theta
@@ -68,9 +69,10 @@ int Run(int argc, char** argv) {
   const double thread_scale = flags.GetDouble("thread-scale", args.scale);
   const Stream stream =
       GenerateProfile(DatasetProfile::kRcv1, thread_scale, args.seed);
-  TablePrinter tsweep({"threads", "time(s)", "kvec/s", "pairs", "speedup"},
+  TablePrinter tsweep({"threads", "time(s)", "kvec/s", "pairs", "speedup",
+                       "mem(MB)"},
                       args.tsv);
-  const auto run_threads = [&](int threads, uint64_t* pairs) {
+  const auto run_threads = [&](int threads, uint64_t* pairs, uint64_t* mem) {
     EngineConfig cfg;
     cfg.framework = Framework::kStreaming;
     cfg.index = IndexScheme::kL2;
@@ -82,22 +84,27 @@ int Run(int argc, char** argv) {
     Timer timer;
     engine->PushBatch(stream, &sink);
     *pairs = sink.count();
+    *mem = engine->MemoryBytes();
     return timer.ElapsedSeconds();
   };
   // The speedup column is always relative to a measured num_threads=1 run,
   // even when 1 is not in --thread-list.
   uint64_t baseline_pairs = 0;
-  const double baseline_seconds = run_threads(1, &baseline_pairs);
+  uint64_t baseline_mem = 0;
+  const double baseline_seconds =
+      run_threads(1, &baseline_pairs, &baseline_mem);
   for (double threads_d : thread_list) {
     const int threads = static_cast<int>(threads_d);
     if (threads < 1) continue;
     uint64_t pairs = baseline_pairs;
+    uint64_t mem = baseline_mem;
     const double seconds =
-        threads == 1 ? baseline_seconds : run_threads(threads, &pairs);
+        threads == 1 ? baseline_seconds : run_threads(threads, &pairs, &mem);
     tsweep.AddRow({std::to_string(threads), FormatDouble(seconds, 3),
                    FormatDouble(stream.size() / seconds / 1000.0, 1),
                    std::to_string(pairs),
-                   FormatDouble(baseline_seconds / seconds, 2) + "x"});
+                   FormatDouble(baseline_seconds / seconds, 2) + "x",
+                   FormatDouble(mem / (1024.0 * 1024.0), 2)});
   }
   std::cout << "\nThread sweep: sharded STR-L2, n=" << stream.size()
             << ", theta=" << theta << ", lambda=" << lambda

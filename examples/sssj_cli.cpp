@@ -18,6 +18,9 @@
 //   --output=<path>      write pairs as "a b t_a t_b dot sim" (default:
 //                        stdout)
 //   --quiet              suppress per-pair output, print stats only
+//   --memory             also print the live index footprint
+//                        (MemoryBytes: posting columns + residual store)
+//                        after the run
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -107,5 +110,12 @@ int main(int argc, char** argv) {
                stream.size(), static_cast<unsigned long long>(pairs), secs,
                stream.size() / std::max(secs, 1e-9));
   std::fprintf(stderr, "stats: %s\n", s.ToString().c_str());
+  if (flags.GetBool("memory", false)) {
+    const size_t bytes = engine->MemoryBytes();
+    std::fprintf(stderr, "memory: %zu bytes (%.2f MB) across %llu live entries\n",
+                 bytes, bytes / (1024.0 * 1024.0),
+                 static_cast<unsigned long long>(
+                     s.entries_indexed - s.entries_pruned));
+  }
   return 0;
 }

@@ -29,6 +29,7 @@ RunResult RunJoin(const Stream& stream, const RunConfig& config) {
         timer.ElapsedSeconds() > config.budget_seconds) {
       result.seconds = timer.ElapsedSeconds();
       result.pairs = sink.count();
+      result.memory_bytes = engine->MemoryBytes();
       result.stats = engine->stats();
       return result;  // completed=false
     }
@@ -37,6 +38,7 @@ RunResult RunJoin(const Stream& stream, const RunConfig& config) {
   result.seconds = timer.ElapsedSeconds();
   result.completed = result.seconds <= config.budget_seconds;
   result.pairs = sink.count();
+  result.memory_bytes = engine->MemoryBytes();
   result.stats = engine->stats();
   result.stats.elapsed_seconds = result.seconds;
   return result;

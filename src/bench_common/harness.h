@@ -28,6 +28,9 @@ struct RunResult {
   bool completed = false;  // finished within the budget
   double seconds = 0.0;
   uint64_t pairs = 0;
+  // Resident bytes of the live index structures at end of run (posting
+  // columns + residual store); 0 for the MB framework.
+  uint64_t memory_bytes = 0;
   RunStats stats;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <fstream>
 
 #include "index/inv_index.h"
@@ -177,10 +178,21 @@ const RunStats& SssjEngine::stats() const {
   return (mb_ != nullptr) ? mb_->stats() : str_->stats();
 }
 
+size_t SssjEngine::MemoryBytes() const {
+  return str_ != nullptr ? str_->index().MemoryBytes() : 0;
+}
+
 namespace {
+
+// Engine-level checkpoint header: magic + version, then the stream clock,
+// then the index's own (versioned, parameter-validated) record.
+constexpr char kEngineCheckpointMagic[8] = {'S', 'S', 'S', 'J',
+                                            'E', 'N', 'G', '2'};
+
 void SetEngineError(std::string* error, const std::string& msg) {
   if (error != nullptr) *error = msg;
 }
+
 }  // namespace
 
 bool SssjEngine::SaveCheckpoint(const std::string& path,
@@ -206,6 +218,7 @@ bool SssjEngine::SaveCheckpoint(const std::string& path,
   const uint64_t next_id = next_id_;
   const Timestamp last_ts = str_->last_ts();
   const uint8_t started = str_->started() ? 1 : 0;
+  f.write(kEngineCheckpointMagic, sizeof(kEngineCheckpointMagic));
   f.write(reinterpret_cast<const char*>(&next_id), sizeof(next_id));
   f.write(reinterpret_cast<const char*>(&last_ts), sizeof(last_ts));
   f.write(reinterpret_cast<const char*>(&started), sizeof(started));
@@ -234,14 +247,26 @@ bool SssjEngine::LoadCheckpoint(const std::string& path, std::string* error) {
     SetEngineError(error, "cannot open " + path);
     return false;
   }
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  if (!f.good() ||
+      std::memcmp(magic, kEngineCheckpointMagic, sizeof(magic)) != 0) {
+    SetEngineError(error,
+                   path + ": not a sssj engine checkpoint (bad or stale "
+                          "header; files from older builds are not readable)");
+    return false;
+  }
   uint64_t next_id;
   Timestamp last_ts;
   uint8_t started;
   f.read(reinterpret_cast<char*>(&next_id), sizeof(next_id));
   f.read(reinterpret_cast<char*>(&last_ts), sizeof(last_ts));
   f.read(reinterpret_cast<char*>(&started), sizeof(started));
-  if (!f.good() || !index->Deserialize(f)) {
-    SetEngineError(error, path + ": invalid or mismatched checkpoint");
+  std::string index_error;
+  if (!f.good() || !index->Deserialize(f, &index_error)) {
+    SetEngineError(error, path + ": " +
+                              (index_error.empty() ? "truncated checkpoint"
+                                                   : index_error));
     return false;
   }
   next_id_ = next_id;

@@ -105,9 +105,17 @@ class SssjEngine {
   // counter, and the stream clock — restoring into an engine created with
   // the same config and then replaying the remainder of the stream yields
   // exactly the output an uninterrupted run would have produced (tested).
+  // The file carries a magic + version header and the engine parameters;
+  // LoadCheckpoint rejects stale, truncated, or mismatched files with a
+  // human-readable reason in *error.
   bool SaveCheckpoint(const std::string& path,
                       std::string* error = nullptr) const;
   bool LoadCheckpoint(const std::string& path, std::string* error = nullptr);
+
+  // Approximate resident bytes of the live index structures (posting-list
+  // columns + residual store). 0 for the MB framework, which holds whole
+  // windows rather than an online index.
+  size_t MemoryBytes() const;
 
   const RunStats& stats() const;
   const DecayParams& params() const { return params_; }

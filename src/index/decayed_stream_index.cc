@@ -41,22 +41,18 @@ void GeneralDecayInvIndex::ProcessArrival(const StreamItem& x,
     auto it = lists_.find(c.dim);
     if (it == lists_.end()) continue;
     PostingList& list = it->second;
-    size_t idx = list.size();
-    while (idx-- > 0) {
-      const PostingEntry& e = list[idx];
-      if (e.ts < cutoff) {
-        NotePruned(list.TruncateFront(idx + 1));
-        break;
-      }
+    NotePruned(list.TruncateFront(list.LowerBoundTs(cutoff)));
+    list.ForEachNewestFirst(0, list.size(), [&](const PostingSpan& sp,
+                                                size_t k) {
       ++stats_.entries_traversed;
-      CandidateMap::Slot* slot = cands_.FindOrCreate(e.id);
+      CandidateMap::Slot* slot = cands_.FindOrCreate(sp.id[k]);
       if (slot->score == 0.0) {
-        slot->ts = e.ts;
+        slot->ts = sp.ts[k];
         cands_.NoteAdmitted();
         ++stats_.candidates_generated;
       }
-      slot->score += c.value * e.value;
-    }
+      slot->score += c.value * sp.value[k];
+    });
   }
   cands_.ForEachLive([&](VectorId id, double score, Timestamp ts) {
     ++stats_.verify_calls;
@@ -75,7 +71,7 @@ void GeneralDecayInvIndex::ProcessArrival(const StreamItem& x,
     }
   });
   for (const Coord& c : x.vec) {
-    lists_[c.dim].Append(PostingEntry{x.id, c.value, 0.0, x.ts});
+    lists_[c.dim].Append(x.id, c.value, 0.0, x.ts);
   }
   NoteIndexed(x.vec.nnz());
 }
@@ -111,30 +107,27 @@ void GeneralDecayL2Index::ProcessArrival(const StreamItem& x,
     auto it = lists_.find(c.dim);
     if (it != lists_.end()) {
       PostingList& list = it->second;
-      size_t idx = list.size();
-      while (idx-- > 0) {
-        const PostingEntry& e = list[idx];
-        if (e.ts < cutoff) {
-          NotePruned(list.TruncateFront(idx + 1));
-          break;
-        }
+      NotePruned(list.TruncateFront(list.LowerBoundTs(cutoff)));
+      list.ForEachNewestFirst(0, list.size(), [&](const PostingSpan& sp,
+                                                  size_t k) {
         ++stats_.entries_traversed;
-        const double f = decay_.Eval(x.ts - e.ts);
-        CandidateMap::Slot* slot = cands_.FindOrCreate(e.id);
-        if (slot->score < 0.0) continue;
+        const double f = decay_.Eval(x.ts - sp.ts[k]);
+        CandidateMap::Slot* slot = cands_.FindOrCreate(sp.id[k]);
+        if (slot->score < 0.0) return;
         if (slot->score == 0.0) {
-          if (!BoundAtLeast(rs2 * f, theta_)) continue;
-          slot->ts = e.ts;
+          if (!BoundAtLeast(rs2 * f, theta_)) return;
+          slot->ts = sp.ts[k];
           cands_.NoteAdmitted();
           ++stats_.candidates_generated;
         }
-        slot->score += c.value * e.value;
-        const double l2bound = slot->score + prefix_norms_[i] * e.prefix_norm * f;
+        slot->score += c.value * sp.value[k];
+        const double l2bound =
+            slot->score + prefix_norms_[i] * sp.prefix_norm[k] * f;
         if (!BoundAtLeast(l2bound, theta_)) {
           slot->score = CandidateMap::kPruned;
           ++stats_.l2_prunes;
         }
-      }
+      });
     }
     rst -= c.value * c.value;
   }
@@ -181,7 +174,7 @@ void GeneralDecayL2Index::ProcessArrival(const StreamItem& x,
         residuals_.Insert(x.id, std::move(rec));
         first_indexed = false;
       }
-      lists_[c.dim].Append(PostingEntry{x.id, c.value, prefix_norms_[i], x.ts});
+      lists_[c.dim].Append(x.id, c.value, prefix_norms_[i], x.ts);
       ++appended;
     }
   }

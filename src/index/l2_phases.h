@@ -91,11 +91,16 @@ inline void L2ComputePrefixNorms(const SparseVector& v,
 }
 
 // ---- Phase 1: candidate generation (Algorithm 7, green lines) ----
-// Scans x's dimensions in reverse coordinate order; for each posting list
-// walks newest → oldest and accumulates dot-product contributions into
-// `cands` for every candidate accepted by `owns`. Stops a list walk at the
-// first time-expired entry (lists are time-sorted) and reports the expired
-// run to `on_expired`.
+// Scans x's dimensions in reverse coordinate order. Lists are time-sorted,
+// so the expired run at the front of each list is located by one binary
+// search on the `ts` column and reported to `on_expired`; the live suffix
+// is then walked newest → oldest over raw per-column pointers,
+// accumulating dot-product contributions into `cands` for every candidate
+// accepted by `owns`. The `id`/`ts` columns are read densely; `value` and
+// `prefix_norm` are only touched for owned, admitted candidates. The
+// traversal visits live entries in exactly the order of the original
+// per-entry scan, so per-candidate floating-point accumulation — and with
+// it the sharded determinism contract — is unchanged.
 template <typename ListLookup, typename OwnsCandidate, typename OnExpired>
 void L2GenerateCandidates(const StreamItem& x, const DecayParams& params,
                           const L2IndexOptions& options,
@@ -110,39 +115,44 @@ void L2GenerateCandidates(const StreamItem& x, const DecayParams& params,
     const Coord& c = v.coord(i);
     const double rs2 = std::sqrt(std::max(rst, 0.0));
     PostingList* list = lookup(c.dim);
-    if (list != nullptr) {
-      size_t idx = list->size();
-      while (idx-- > 0) {  // newest → oldest
-        const PostingEntry& e = (*list)[idx];
-        if (e.ts < cutoff) {
-          on_expired(*list, idx + 1);
-          break;
-        }
-        if (!owns(e.id)) continue;
-        ++stats->entries_traversed;
-        const double decay = std::exp(-params.lambda * (x.ts - e.ts));
-        CandidateMap::Slot* slot = cands->FindOrCreate(e.id);
-        if (slot->score < 0.0) continue;  // l2-pruned: final
-        if (slot->score == 0.0) {
-          // remscore = rs2 · e^{−λΔt} (line 7, AP part disabled).
-          if (options.use_remscore_bound &&
-              !BoundAtLeast(rs2 * decay, params.theta)) {
-            continue;
-          }
-          slot->ts = e.ts;
-          cands->NoteAdmitted();
-          ++stats->candidates_generated;
-        }
-        slot->score += c.value * e.value;
-        if (options.use_l2bound) {
-          const double l2bound =
-              slot->score + prefix_norms[i] * e.prefix_norm * decay;
-          if (!BoundAtLeast(l2bound, params.theta)) {
-            slot->score = CandidateMap::kPruned;
-            ++stats->l2_prunes;
-          }
-        }
-      }
+    if (list != nullptr && !list->empty()) {
+      const size_t expired = list->LowerBoundTs(cutoff);
+      const size_t live = list->size() - expired;
+      if (expired > 0) on_expired(*list, expired);
+      // A truncating on_expired leaves the live run at [0, live); a
+      // deferring one leaves it at [expired, size). Either way it is the
+      // last `live` entries, and the walk starts only now because
+      // truncation may rebuild the storage.
+      list->ForEachNewestFirst(
+          list->size() - live, list->size(),
+          [&](const PostingSpan& sp, size_t k) {
+            const VectorId eid = sp.id[k];
+            if (!owns(eid)) return;
+            ++stats->entries_traversed;
+            const Timestamp ets = sp.ts[k];
+            const double decay = std::exp(-params.lambda * (x.ts - ets));
+            CandidateMap::Slot* slot = cands->FindOrCreate(eid);
+            if (slot->score < 0.0) return;  // l2-pruned: final
+            if (slot->score == 0.0) {
+              // remscore = rs2 · e^{−λΔt} (line 7, AP part disabled).
+              if (options.use_remscore_bound &&
+                  !BoundAtLeast(rs2 * decay, params.theta)) {
+                return;
+              }
+              slot->ts = ets;
+              cands->NoteAdmitted();
+              ++stats->candidates_generated;
+            }
+            slot->score += c.value * sp.value[k];
+            if (options.use_l2bound) {
+              const double l2bound =
+                  slot->score + prefix_norms[i] * sp.prefix_norm[k] * decay;
+              if (!BoundAtLeast(l2bound, params.theta)) {
+                slot->score = CandidateMap::kPruned;
+                ++stats->l2_prunes;
+              }
+            }
+          });
     }
     rst -= c.value * c.value;
   }

@@ -2,17 +2,31 @@
 
 namespace sssj {
 
+size_t PostingList::LowerBoundTsSlow(Timestamp cutoff) const {
+  size_t lo = 1;  // caller already probed the front entry
+  size_t hi = store_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (store_.Get<3>(mid) < cutoff) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 size_t PostingList::CompactExpired(Timestamp cutoff) {
-  const size_t n = entries_.size();
+  const size_t n = store_.size();
   size_t w = 0;
   for (size_t i = 0; i < n; ++i) {
-    if (entries_[i].ts >= cutoff) {
-      if (w != i) entries_[w] = entries_[i];
+    if (store_.Get<3>(i) >= cutoff) {
+      if (w != i) store_.MoveElement(w, i);
       ++w;
     }
   }
   const size_t removed = n - w;
-  entries_.truncate_back(removed);
+  store_.TruncateBack(removed);
   return removed;
 }
 

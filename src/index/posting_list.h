@@ -1,23 +1,32 @@
-// Posting list backed by a circular buffer (paper §6.2).
+// Posting list backed by a structure-of-arrays column store (paper §6.2
+// implements posting lists as circular byte buffers; here each field is
+// its own circular column so scans only stream the columns they read).
 //
 // Entries are appended in arrival order. For the INV and L2 schemes the
-// lists therefore stay sorted by timestamp, which enables the backward-scan
-// optimization: scan newest→oldest during candidate generation and, on the
-// first expired entry, truncate everything older in O(expired) time.
-// The L2AP scheme loses the sorted property (re-indexing appends old items)
-// and must scan forward, compacting expired entries in place.
+// lists therefore stay sorted by timestamp, which enables two
+// optimizations used by the hot scan loops:
+//   * the expiry boundary is found by binary search on the `ts` column
+//     (LowerBoundTs) instead of per-entry checks, and everything older is
+//     truncated in O(log n + shrink);
+//   * candidate generation walks raw per-column pointers (Spans), reading
+//     only `id`/`ts` densely and touching `value`/`prefix_norm` lazily.
+// The L2AP scheme loses the sorted property (re-indexing appends old
+// items) and must scan forward, compacting expired entries in place
+// (CompactExpired works column-wise and never assumes time order).
 #ifndef SSSJ_INDEX_POSTING_LIST_H_
 #define SSSJ_INDEX_POSTING_LIST_H_
 
 #include <cstddef>
 
 #include "core/types.h"
-#include "util/circular_buffer.h"
+#include "util/columnar_buffer.h"
 
 namespace sssj {
 
 // One posting: vector reference, coordinate value, prefix magnitude
 // ||y'_j|| (the L2AP/L2 addition; unused by INV), and arrival timestamp.
+// The batch indexes store rows of this struct directly; PostingList
+// decomposes it into four parallel columns.
 struct PostingEntry {
   VectorId id = 0;
   double value = 0.0;
@@ -25,18 +34,97 @@ struct PostingEntry {
   Timestamp ts = 0.0;
 };
 
+// A physically contiguous run of postings: one raw pointer per column,
+// all indexed by the same [0, len) offset. `begin` is the logical index
+// (from the oldest entry) of the run's first posting. Pointers are
+// invalidated by any mutation of the list.
+struct PostingSpan {
+  const VectorId* id = nullptr;
+  const double* value = nullptr;
+  const double* prefix_norm = nullptr;
+  const Timestamp* ts = nullptr;
+  size_t begin = 0;
+  size_t len = 0;
+};
+
 class PostingList {
  public:
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
-  const PostingEntry& operator[](size_t i) const { return entries_[i]; }
+  size_t size() const { return store_.size(); }
+  bool empty() const { return store_.empty(); }
 
-  void Append(const PostingEntry& e) { entries_.push_back(e); }
+  // Per-column element access, logical index from the front (oldest).
+  VectorId id(size_t i) const { return store_.Get<0>(i); }
+  double value(size_t i) const { return store_.Get<1>(i); }
+  double prefix_norm(size_t i) const { return store_.Get<2>(i); }
+  Timestamp ts(size_t i) const { return store_.Get<3>(i); }
 
-  // Drops the `n` oldest entries (backward-scan truncation, time-sorted
-  // lists only). Returns n for convenience.
+  // Materializes one posting as a row (tests / serialization convenience;
+  // hot loops should use Spans instead).
+  PostingEntry Get(size_t i) const {
+    return PostingEntry{id(i), value(i), prefix_norm(i), ts(i)};
+  }
+
+  void Append(VectorId id, double value, double prefix_norm, Timestamp ts) {
+    store_.PushBack(id, value, prefix_norm, ts);
+  }
+  void Append(const PostingEntry& e) {
+    Append(e.id, e.value, e.prefix_norm, e.ts);
+  }
+
+  // Applies fn(span, k) to every posting of the logical range [begin,
+  // end), walking newest → oldest (the scan order of the time-sorted
+  // schemes) or oldest → newest (L2AP's forward scan). The callback
+  // indexes the span's columns itself, so it reads only the columns it
+  // needs. Do not mutate the list from the callback.
+  template <typename Fn>
+  void ForEachNewestFirst(size_t begin, size_t end, Fn&& fn) const {
+    PostingSpan spans[2];
+    const size_t n = Spans(begin, end, spans);
+    for (size_t s = n; s-- > 0;) {
+      const PostingSpan& sp = spans[s];
+      for (size_t k = sp.len; k-- > 0;) fn(sp, k);
+    }
+  }
+  template <typename Fn>
+  void ForEachOldestFirst(size_t begin, size_t end, Fn&& fn) const {
+    PostingSpan spans[2];
+    const size_t n = Spans(begin, end, spans);
+    for (size_t s = 0; s < n; ++s) {
+      const PostingSpan& sp = spans[s];
+      for (size_t k = 0; k < sp.len; ++k) fn(sp, k);
+    }
+  }
+
+  // Maps the logical range [begin, end) onto at most two contiguous
+  // per-column pointer runs. Returns the number of spans written.
+  size_t Spans(size_t begin, size_t end, PostingSpan out[2]) const {
+    ColumnStore::Segment segs[2];
+    const size_t n = store_.Segments(begin, end, segs);
+    for (size_t s = 0; s < n; ++s) {
+      out[s].id = store_.ColumnData<0>() + segs[s].phys;
+      out[s].value = store_.ColumnData<1>() + segs[s].phys;
+      out[s].prefix_norm = store_.ColumnData<2>() + segs[s].phys;
+      out[s].ts = store_.ColumnData<3>() + segs[s].phys;
+      out[s].begin = segs[s].begin;
+      out[s].len = segs[s].len;
+    }
+    return n;
+  }
+
+  // First logical index with ts >= cutoff — the number of expired entries
+  // — found by binary search. Valid ONLY while the list is time-sorted
+  // (INV/L2; never re-indexed), where ts is non-decreasing front to back.
+  // The oldest entry is probed first so the common no-expiry case costs a
+  // single predictable branch instead of a full search.
+  size_t LowerBoundTs(Timestamp cutoff) const {
+    if (store_.empty() || store_.Get<3>(0) >= cutoff) return 0;
+    return LowerBoundTsSlow(cutoff);
+  }
+
+  // Drops the `n` oldest entries (expiry truncation, time-sorted lists
+  // only). Returns n for convenience.
   size_t TruncateFront(size_t n) {
-    entries_.truncate_front(n);
+    store_.TruncateFront(n);
     return n;
   }
 
@@ -45,12 +133,16 @@ class PostingList {
   // Returns the number of removed entries.
   size_t CompactExpired(Timestamp cutoff);
 
-  void Clear() { entries_.clear(); }
+  void Clear() { store_.Clear(); }
 
-  size_t capacity_bytes() const { return entries_.capacity_bytes(); }
+  // True per-column footprint of the backing store, in bytes.
+  size_t capacity_bytes() const { return store_.capacity_bytes(); }
 
  private:
-  CircularBuffer<PostingEntry> entries_;
+  size_t LowerBoundTsSlow(Timestamp cutoff) const;
+
+  using ColumnStore = ColumnarBuffer<VectorId, double, double, Timestamp>;
+  ColumnStore store_;
 };
 
 }  // namespace sssj

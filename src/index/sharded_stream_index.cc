@@ -60,17 +60,13 @@ void ShardedStreamIndex::ProcessArrival(const StreamItem& x,
       auto it = shard.lists.find(c.dim);
       if (it != shard.lists.end()) {
         // Same truncation the sequential backward scan performs: drop the
-        // time-sorted expired run at the front of every touched list.
+        // time-sorted expired run at the front of every touched list,
+        // located by binary search on the ts column.
         PostingList& list = it->second;
-        size_t expired = 0;
-        while (expired < list.size() && list[expired].ts < cutoff) {
-          ++expired;
-        }
-        shard.pruned += list.TruncateFront(expired);
+        shard.pruned += list.TruncateFront(list.LowerBoundTs(cutoff));
       }
       if (i >= split.first_indexed) {
-        shard.lists[c.dim].Append(
-            PostingEntry{x.id, c.value, prefix_norms_[i], x.ts});
+        shard.lists[c.dim].Append(x.id, c.value, prefix_norms_[i], x.ts);
         ++shard.appended;
       }
     }

@@ -8,28 +8,27 @@ void StreamInvIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
   const Timestamp cutoff = x.ts - params_.tau;
   ++stats_.vectors_processed;
 
-  // Candidate generation with lazy time filtering.
+  // Candidate generation with lazy time filtering: lists are time-sorted,
+  // so the expired prefix is found by binary search on the ts column and
+  // truncated in one go; the live suffix is scanned newest → oldest over
+  // raw column pointers (prefix_norm is never touched by INV).
   cands_.Reset();
   for (const Coord& c : x.vec) {
     auto it = lists_.find(c.dim);
     if (it == lists_.end()) continue;
     PostingList& list = it->second;
-    size_t idx = list.size();
-    while (idx-- > 0) {
-      const PostingEntry& e = list[idx];
-      if (e.ts < cutoff) {
-        NotePruned(list.TruncateFront(idx + 1));
-        break;
-      }
+    NotePruned(list.TruncateFront(list.LowerBoundTs(cutoff)));
+    list.ForEachNewestFirst(0, list.size(), [&](const PostingSpan& sp,
+                                                size_t k) {
       ++stats_.entries_traversed;
-      CandidateMap::Slot* slot = cands_.FindOrCreate(e.id);
+      CandidateMap::Slot* slot = cands_.FindOrCreate(sp.id[k]);
       if (slot->score == 0.0) {
-        slot->ts = e.ts;
+        slot->ts = sp.ts[k];
         cands_.NoteAdmitted();
         ++stats_.candidates_generated;
       }
-      slot->score += c.value * e.value;
-    }
+      slot->score += c.value * sp.value[k];
+    });
   }
 
   // Verification: the accumulated score is the exact dot product.
@@ -52,7 +51,7 @@ void StreamInvIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
 
   // Index construction: append everything (no prefix filtering).
   for (const Coord& c : x.vec) {
-    lists_[c.dim].Append(PostingEntry{x.id, c.value, 0.0, x.ts});
+    lists_[c.dim].Append(x.id, c.value, 0.0, x.ts);
   }
   NoteIndexed(x.vec.nnz());
 }

@@ -5,12 +5,21 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <string>
 
 namespace sssj {
 
 namespace {
 
-constexpr char kCheckpointMagic[8] = {'S', 'S', 'S', 'J', 'C', 'K', 'P', '1'};
+// Checkpoint format v2: columnar posting records behind a magic + version
+// + scheme-tag header. v1 ("SSSJCKP1") stored row-major AoS postings and
+// is deliberately not readable — the stored layout changed.
+constexpr char kCheckpointMagic[8] = {'S', 'S', 'S', 'J', 'C', 'K', 'P', '2'};
+constexpr uint32_t kCheckpointVersion = 2;
+// On-disk tag for the index scheme that wrote the checkpoint (decoupled
+// from the engine's IndexScheme enum, whose numeric values are not a
+// serialization contract).
+constexpr uint8_t kSchemeTagL2 = 2;
 
 template <typename T>
 void PutRaw(std::ostream& os, const T& v) {
@@ -21,6 +30,28 @@ template <typename T>
 bool GetRaw(std::istream& is, T* v) {
   is.read(reinterpret_cast<char*>(v), sizeof(T));
   return is.good();
+}
+
+// Reads `n` elements of a stored column, growing the buffer in bounded
+// chunks so a corrupt length field cannot trigger a huge upfront
+// allocation — a truncated stream fails after at most one chunk.
+template <typename T>
+bool GetColumn(std::istream& is, size_t n, std::vector<T>* out) {
+  constexpr size_t kChunk = size_t{1} << 16;
+  out->clear();
+  while (out->size() < n) {
+    const size_t take = std::min(kChunk, n - out->size());
+    const size_t old = out->size();
+    out->resize(old + take);
+    is.read(reinterpret_cast<char*>(out->data() + old),
+            static_cast<std::streamsize>(take * sizeof(T)));
+    if (!is.good()) return false;
+  }
+  return true;
+}
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
 }
 
 }  // namespace
@@ -60,8 +91,7 @@ void StreamL2Index::ProcessArrival(const StreamItem& x, ResultSink* sink) {
     residuals_.Insert(x.id, L2MakeResidualRecord(x, split));
     for (size_t i = split.first_indexed; i < n; ++i) {
       const Coord& c = v.coord(i);
-      lists_[c.dim].Append(
-          PostingEntry{x.id, c.value, prefix_norms_[i], x.ts});
+      lists_[c.dim].Append(x.id, c.value, prefix_norms_[i], x.ts);
     }
     NoteIndexed(n - split.first_indexed);
   }
@@ -76,6 +106,8 @@ void StreamL2Index::Clear() {
 
 bool StreamL2Index::Serialize(std::ostream& os) const {
   os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutRaw(os, kCheckpointVersion);
+  PutRaw(os, kSchemeTagL2);
   PutRaw(os, params_.theta);
   PutRaw(os, params_.lambda);
   PutRaw(os, static_cast<uint64_t>(live_entries_));
@@ -83,13 +115,27 @@ bool StreamL2Index::Serialize(std::ostream& os) const {
   PutRaw(os, static_cast<uint64_t>(lists_.size()));
   for (const auto& [dim, list] : lists_) {
     PutRaw(os, dim);
-    PutRaw(os, static_cast<uint64_t>(list.size()));
-    for (size_t i = 0; i < list.size(); ++i) {
-      const PostingEntry& e = list[i];
-      PutRaw(os, e.id);
-      PutRaw(os, e.value);
-      PutRaw(os, e.prefix_norm);
-      PutRaw(os, e.ts);
+    const size_t len = list.size();
+    PutRaw(os, static_cast<uint64_t>(len));
+    // Column-major record: whole columns written as ≤2 contiguous runs
+    // each, straight from the circular storage.
+    PostingSpan spans[2];
+    const size_t n = list.Spans(0, len, spans);
+    for (size_t s = 0; s < n; ++s) {
+      os.write(reinterpret_cast<const char*>(spans[s].id),
+               static_cast<std::streamsize>(spans[s].len * sizeof(VectorId)));
+    }
+    for (size_t s = 0; s < n; ++s) {
+      os.write(reinterpret_cast<const char*>(spans[s].value),
+               static_cast<std::streamsize>(spans[s].len * sizeof(double)));
+    }
+    for (size_t s = 0; s < n; ++s) {
+      os.write(reinterpret_cast<const char*>(spans[s].prefix_norm),
+               static_cast<std::streamsize>(spans[s].len * sizeof(double)));
+    }
+    for (size_t s = 0; s < n; ++s) {
+      os.write(reinterpret_cast<const char*>(spans[s].ts),
+               static_cast<std::streamsize>(spans[s].len * sizeof(Timestamp)));
     }
   }
 
@@ -112,45 +158,90 @@ bool StreamL2Index::Serialize(std::ostream& os) const {
   return os.good();
 }
 
-bool StreamL2Index::Deserialize(std::istream& is) {
+bool StreamL2Index::Deserialize(std::istream& is, std::string* error) {
   Clear();
   char magic[8];
   is.read(magic, sizeof(magic));
-  if (!is.good() ||
-      std::memcmp(magic, kCheckpointMagic, sizeof(kCheckpointMagic)) != 0) {
+  if (!is.good()) {
+    SetError(error, "truncated checkpoint (missing header)");
+    return false;
+  }
+  if (std::memcmp(magic, kCheckpointMagic, sizeof(kCheckpointMagic)) != 0) {
+    if (std::memcmp(magic, kCheckpointMagic, 7) == 0) {
+      SetError(error, std::string("unsupported checkpoint format '") +
+                          std::string(magic, 8) + "' (expected 'SSSJCKP2'; "
+                          "stale checkpoint from an older build?)");
+    } else {
+      SetError(error, "not a sssj checkpoint (bad magic)");
+    }
+    return false;
+  }
+  uint32_t version;
+  uint8_t scheme;
+  if (!GetRaw(is, &version) || !GetRaw(is, &scheme)) {
+    SetError(error, "truncated checkpoint (missing header)");
+    return false;
+  }
+  if (version != kCheckpointVersion) {
+    SetError(error, "unsupported checkpoint version " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kCheckpointVersion) + ")");
+    return false;
+  }
+  if (scheme != kSchemeTagL2) {
+    SetError(error, "checkpoint was written by a different index scheme "
+                    "(tag " + std::to_string(scheme) + ", expected L2)");
     return false;
   }
   double theta, lambda;
   uint64_t live;
   if (!GetRaw(is, &theta) || !GetRaw(is, &lambda) || !GetRaw(is, &live)) {
+    SetError(error, "truncated checkpoint (missing parameters)");
     return false;
   }
-  if (theta != params_.theta || lambda != params_.lambda) return false;
+  if (theta != params_.theta || lambda != params_.lambda) {
+    SetError(error, "checkpoint parameter mismatch: saved theta=" +
+                        std::to_string(theta) + " lambda=" +
+                        std::to_string(lambda) + ", engine has theta=" +
+                        std::to_string(params_.theta) + " lambda=" +
+                        std::to_string(params_.lambda));
+    return false;
+  }
 
   uint64_t num_lists;
-  if (!GetRaw(is, &num_lists)) return false;
+  if (!GetRaw(is, &num_lists)) {
+    SetError(error, "truncated checkpoint (missing posting lists)");
+    return false;
+  }
+  std::vector<VectorId> ids;
+  std::vector<double> values;
+  std::vector<double> prefix_norms;
+  std::vector<Timestamp> tss;
   for (uint64_t l = 0; l < num_lists; ++l) {
     DimId dim;
     uint64_t len;
     if (!GetRaw(is, &dim) || !GetRaw(is, &len)) {
       Clear();
+      SetError(error, "truncated checkpoint (posting list header)");
+      return false;
+    }
+    const size_t n = static_cast<size_t>(len);
+    if (!GetColumn(is, n, &ids) || !GetColumn(is, n, &values) ||
+        !GetColumn(is, n, &prefix_norms) || !GetColumn(is, n, &tss)) {
+      Clear();
+      SetError(error, "truncated checkpoint (posting columns)");
       return false;
     }
     PostingList& list = lists_[dim];
-    for (uint64_t i = 0; i < len; ++i) {
-      PostingEntry e;
-      if (!GetRaw(is, &e.id) || !GetRaw(is, &e.value) ||
-          !GetRaw(is, &e.prefix_norm) || !GetRaw(is, &e.ts)) {
-        Clear();
-        return false;
-      }
-      list.Append(e);
+    for (size_t i = 0; i < n; ++i) {
+      list.Append(ids[i], values[i], prefix_norms[i], tss[i]);
     }
   }
 
   uint64_t num_residuals;
   if (!GetRaw(is, &num_residuals)) {
     Clear();
+    SetError(error, "truncated checkpoint (missing residuals)");
     return false;
   }
   for (uint64_t r = 0; r < num_residuals; ++r) {
@@ -161,6 +252,7 @@ bool StreamL2Index::Deserialize(std::istream& is) {
         !GetRaw(is, &rec.vm) || !GetRaw(is, &rec.sum) ||
         !GetRaw(is, &rec.nnz) || !GetRaw(is, &prefix_len)) {
       Clear();
+      SetError(error, "truncated checkpoint (residual record)");
       return false;
     }
     std::vector<Coord> coords;
@@ -169,6 +261,7 @@ bool StreamL2Index::Deserialize(std::istream& is) {
       Coord c;
       if (!GetRaw(is, &c.dim) || !GetRaw(is, &c.value)) {
         Clear();
+        SetError(error, "truncated checkpoint (residual prefix)");
         return false;
       }
       coords.push_back(c);

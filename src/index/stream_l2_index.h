@@ -11,6 +11,7 @@
 #define SSSJ_INDEX_STREAM_L2_INDEX_H_
 
 #include <iosfwd>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -50,11 +51,18 @@ class StreamL2Index : public StreamIndex {
   // Checkpointing: serializes the complete live state (posting lists,
   // residual store, live-entry counter) so a streaming job can be resumed
   // after a restart. Counters in stats() are per-process and are NOT part
-  // of the checkpoint. Deserialize replaces the index state; it fails
-  // (returning false, state cleared) on format or parameter mismatch —
-  // a checkpoint is only valid for the same (θ, λ).
+  // of the checkpoint.
+  //
+  // Format v2 ("SSSJCKP2"): a magic + version + scheme-tag header, the
+  // engine parameters (θ, λ), and posting lists stored column-major
+  // (all ids, then all values, then all prefix norms, then all
+  // timestamps per list) mirroring the in-memory SoA layout. Deserialize
+  // replaces the index state; it fails (returning false, state cleared,
+  // a human-readable reason in *error) on bad magic, stale version,
+  // scheme or parameter mismatch, or truncation — a checkpoint is only
+  // valid for the same scheme and (θ, λ).
   bool Serialize(std::ostream& os) const;
-  bool Deserialize(std::istream& is);
+  bool Deserialize(std::istream& is, std::string* error = nullptr);
 
  private:
   DecayParams params_;

@@ -39,39 +39,39 @@ void StreamL2apIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
     auto it = lists_.find(c.dim);
     if (it != lists_.end()) {
       PostingList& list = it->second;
-      // Lists are not time-sorted (re-indexing): compact expired entries,
-      // then scan forward (§6.2).
+      // Lists are not time-sorted (re-indexing): compact expired entries
+      // column-wise, then scan forward over raw column pointers (§6.2).
       NotePruned(list.CompactExpired(cutoff));
-      const size_t len = list.size();
-      for (size_t k = 0; k < len; ++k) {
-        const PostingEntry& e = list[k];
+      list.ForEachOldestFirst(0, list.size(), [&](const PostingSpan& sp,
+                                                  size_t k) {
         ++stats_.entries_traversed;
-        const double decay = std::exp(-params_.lambda * (x.ts - e.ts));
-        CandidateMap::Slot* slot = cands_.FindOrCreate(e.id);
-        if (slot->score < 0.0) continue;  // l2-pruned: final
+        const Timestamp ets = sp.ts[k];
+        const double decay = std::exp(-params_.lambda * (x.ts - ets));
+        CandidateMap::Slot* slot = cands_.FindOrCreate(sp.id[k]);
+        if (slot->score < 0.0) return;  // l2-pruned: final
         if (slot->score == 0.0) {
           const double remscore =
               use_l2_bounds_ ? std::min(rs1, rs2 * decay) : rs1;
-          if (!BoundAtLeast(remscore, params_.theta)) continue;
+          if (!BoundAtLeast(remscore, params_.theta)) return;
           // AP size filter: |y|·vm_y ≥ θ/vm_x is necessary for similarity.
-          const ResidualRecord* rec = residuals_.Find(e.id);
+          const ResidualRecord* rec = residuals_.Find(sp.id[k]);
           if (rec == nullptr || !BoundAtLeast(rec->nnz * rec->vm, sz1)) {
-            continue;
+            return;
           }
-          slot->ts = e.ts;
+          slot->ts = ets;
           cands_.NoteAdmitted();
           ++stats_.candidates_generated;
         }
-        slot->score += c.value * e.value;
+        slot->score += c.value * sp.value[k];
         if (use_l2_bounds_) {
           const double l2bound =
-              slot->score + prefix_norms_[i] * e.prefix_norm * decay;
+              slot->score + prefix_norms_[i] * sp.prefix_norm[k] * decay;
           if (!BoundAtLeast(l2bound, params_.theta)) {
             slot->score = CandidateMap::kPruned;
             ++stats_.l2_prunes;
           }
         }
-      }
+      });
     }
     rs1 -= c.value * mhat_.Get(c.dim, x.ts);
     rst -= c.value * c.value;
@@ -145,8 +145,7 @@ void StreamL2apIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
         residuals_.Insert(x.id, std::move(rec));
         first_indexed = false;
       }
-      lists_[c.dim].Append(
-          PostingEntry{x.id, c.value, prefix_norms_[i], x.ts});
+      lists_[c.dim].Append(x.id, c.value, prefix_norms_[i], x.ts);
       ++appended;
     }
   }
@@ -217,7 +216,7 @@ bool StreamL2apIndex::ReindexOne(VectorId id, ResidualRecord* rec) {
     const Coord& c = prefix.coord(i);
     // No m̂λ update needed: all of this vector's coordinates were folded
     // into m̂λ when it first arrived.
-    lists_[c.dim].Append(PostingEntry{id, c.value, std::sqrt(sq), rec->ts});
+    lists_[c.dim].Append(id, c.value, std::sqrt(sq), rec->ts);
     sq += c.value * c.value;
     ++appended;
     ++stats_.reindexed_coords;

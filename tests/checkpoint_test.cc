@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "core/engine.h"
 #include "index/stream_l2_index.h"
@@ -70,8 +72,10 @@ TEST(CheckpointTest, DeserializeRejectsParameterMismatch) {
   std::stringstream buffer;
   ASSERT_TRUE(index_a.Serialize(buffer));
   StreamL2Index index_b(b);
-  EXPECT_FALSE(index_b.Deserialize(buffer));
+  std::string error;
+  EXPECT_FALSE(index_b.Deserialize(buffer, &error));
   EXPECT_EQ(index_b.live_posting_entries(), 0u);  // cleared on failure
+  EXPECT_NE(error.find("parameter mismatch"), std::string::npos) << error;
 }
 
 TEST(CheckpointTest, DeserializeRejectsGarbage) {
@@ -79,7 +83,111 @@ TEST(CheckpointTest, DeserializeRejectsGarbage) {
   ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &params));
   StreamL2Index index(params);
   std::stringstream buffer("definitely not a checkpoint");
-  EXPECT_FALSE(index.Deserialize(buffer));
+  std::string error;
+  EXPECT_FALSE(index.Deserialize(buffer, &error));
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+}
+
+// Serializes a small populated index to a string (error-path helper).
+std::string SerializedCheckpoint(const DecayParams& params) {
+  StreamL2Index index(params);
+  CollectorSink sink;
+  const Stream stream = TestStream();
+  for (size_t i = 0; i < 50; ++i) index.ProcessArrival(stream[i], &sink);
+  std::stringstream buffer;
+  EXPECT_TRUE(index.Serialize(buffer));
+  return buffer.str();
+}
+
+TEST(CheckpointTest, DeserializeRejectsTruncationAtEveryStage) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &params));
+  const std::string full = SerializedCheckpoint(params);
+  ASSERT_GT(full.size(), 64u);
+  // Cut at a spread of prefixes: header, posting columns, residuals.
+  for (const size_t cut : {size_t{4}, size_t{10}, size_t{20}, size_t{40},
+                           full.size() / 2, full.size() - 1}) {
+    StreamL2Index index(params);
+    std::stringstream buffer(full.substr(0, cut));
+    std::string error;
+    EXPECT_FALSE(index.Deserialize(buffer, &error)) << "cut=" << cut;
+    EXPECT_FALSE(error.empty()) << "cut=" << cut;
+    EXPECT_EQ(index.live_posting_entries(), 0u) << "cut=" << cut;
+  }
+  // The untampered stream still loads, so the cuts are what failed.
+  StreamL2Index index(params);
+  std::stringstream buffer(full);
+  EXPECT_TRUE(index.Deserialize(buffer));
+}
+
+TEST(CheckpointTest, DeserializeRejectsStaleFormatVersion) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &params));
+  std::string stale = SerializedCheckpoint(params);
+  stale[7] = '1';  // magic "SSSJCKP2" -> "SSSJCKP1" (the v1 seed format)
+  StreamL2Index index(params);
+  std::stringstream buffer(stale);
+  std::string error;
+  EXPECT_FALSE(index.Deserialize(buffer, &error));
+  EXPECT_NE(error.find("stale"), std::string::npos) << error;
+}
+
+TEST(CheckpointTest, DeserializeRejectsSchemeMismatch) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &params));
+  std::string tampered = SerializedCheckpoint(params);
+  // Layout: magic[8], u32 version, u8 scheme tag at offset 12.
+  tampered[12] = static_cast<char>(99);
+  StreamL2Index index(params);
+  std::stringstream buffer(tampered);
+  std::string error;
+  EXPECT_FALSE(index.Deserialize(buffer, &error));
+  EXPECT_NE(error.find("scheme"), std::string::npos) << error;
+}
+
+TEST(CheckpointTest, EngineLoadRejectsGarbageWithClearError) {
+  EngineConfig cfg;
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kL2;
+  cfg.theta = 0.6;
+  cfg.lambda = 0.02;
+  const std::string path = ::testing::TempDir() + "/sssj_garbage.ckp";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a checkpoint at all, not even close";
+  }
+  auto engine = SssjEngine::Create(cfg);
+  std::string err;
+  EXPECT_FALSE(engine->LoadCheckpoint(path, &err));
+  EXPECT_NE(err.find("not a sssj engine checkpoint"), std::string::npos)
+      << err;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, EngineLoadReportsParameterMismatch) {
+  EngineConfig cfg;
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kL2;
+  cfg.theta = 0.6;
+  cfg.lambda = 0.02;
+  cfg.normalize_inputs = false;
+  const Stream stream = TestStream();
+  const std::string path = ::testing::TempDir() + "/sssj_mismatch.ckp";
+  {
+    auto engine = SssjEngine::Create(cfg);
+    CollectorSink sink;
+    for (size_t i = 0; i < 50; ++i) {
+      engine->Push(stream[i].ts, stream[i].vec, &sink);
+    }
+    std::string err;
+    ASSERT_TRUE(engine->SaveCheckpoint(path, &err)) << err;
+  }
+  cfg.theta = 0.8;  // different engine params
+  auto engine = SssjEngine::Create(cfg);
+  std::string err;
+  EXPECT_FALSE(engine->LoadCheckpoint(path, &err));
+  EXPECT_NE(err.find("parameter mismatch"), std::string::npos) << err;
+  std::remove(path.c_str());
 }
 
 TEST(CheckpointTest, EngineRoundTripThroughFile) {

@@ -1,0 +1,196 @@
+// The SoA columnar store behind PostingList: direct unit tests for the
+// generic ColumnarBuffer plus a randomized property test driving
+// PostingList against a std::deque<PostingEntry> reference model through
+// long append / truncate_front / compact / clear sequences.
+#include "util/columnar_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "index/posting_list.h"
+#include "util/random.h"
+
+namespace sssj {
+namespace {
+
+using TestBuffer = ColumnarBuffer<uint64_t, double>;
+
+TEST(ColumnarBufferTest, PushAndGetAcrossGrowth) {
+  TestBuffer buf;
+  for (uint64_t i = 0; i < 100; ++i) buf.PushBack(i, i * 0.5);
+  ASSERT_EQ(buf.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(buf.Get<0>(i), i);
+    EXPECT_DOUBLE_EQ(buf.Get<1>(i), i * 0.5);
+  }
+  EXPECT_GE(buf.capacity(), 100u);
+}
+
+TEST(ColumnarBufferTest, TruncateFrontShiftsLogicalIndexing) {
+  TestBuffer buf;
+  for (uint64_t i = 0; i < 10; ++i) buf.PushBack(i, 0.0);
+  buf.TruncateFront(3);
+  ASSERT_EQ(buf.size(), 7u);
+  EXPECT_EQ(buf.Get<0>(0), 3u);
+  EXPECT_EQ(buf.Get<0>(6), 9u);
+}
+
+TEST(ColumnarBufferTest, ShrinksWhenOccupancyDropsBelowQuarter) {
+  TestBuffer buf;
+  for (uint64_t i = 0; i < 1024; ++i) buf.PushBack(i, 0.0);
+  const size_t grown = buf.capacity();
+  buf.TruncateFront(1020);
+  EXPECT_LT(buf.capacity(), grown);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.Get<0>(0), 1020u);
+  EXPECT_EQ(buf.Get<0>(3), 1023u);
+}
+
+TEST(ColumnarBufferTest, SegmentsRoundTripThroughWraparound) {
+  TestBuffer buf;
+  for (uint64_t i = 0; i < 8; ++i) buf.PushBack(i, 0.0);
+  buf.TruncateFront(6);           // head at 6 of capacity 8
+  for (uint64_t i = 8; i < 13; ++i) buf.PushBack(i, 0.0);  // wraps
+  ASSERT_EQ(buf.size(), 7u);
+  TestBuffer::Segment segs[2];
+  const size_t n = buf.Segments(0, buf.size(), segs);
+  ASSERT_EQ(n, 2u);
+  size_t logical = 0;
+  for (size_t s = 0; s < n; ++s) {
+    EXPECT_EQ(segs[s].begin, logical);
+    for (size_t k = 0; k < segs[s].len; ++k, ++logical) {
+      EXPECT_EQ(buf.ColumnData<0>()[segs[s].phys + k], buf.Get<0>(logical));
+    }
+  }
+  EXPECT_EQ(logical, buf.size());
+}
+
+TEST(ColumnarBufferTest, EmptyRangeYieldsNoSegments) {
+  TestBuffer buf;
+  TestBuffer::Segment segs[2];
+  EXPECT_EQ(buf.Segments(0, 0, segs), 0u);
+  buf.PushBack(1, 1.0);
+  EXPECT_EQ(buf.Segments(1, 1, segs), 0u);
+}
+
+TEST(ColumnarBufferTest, MovedFromBufferIsEmptyAndReusable) {
+  TestBuffer a;
+  for (uint64_t i = 0; i < 20; ++i) a.PushBack(i, i * 1.0);
+  TestBuffer b = std::move(a);
+  ASSERT_EQ(b.size(), 20u);
+  EXPECT_EQ(b.Get<0>(7), 7u);
+  // The moved-from buffer is a valid empty buffer that can grow again.
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.capacity_bytes(), 0u);
+  a.PushBack(99, 0.5);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.Get<0>(0), 99u);
+  // Move assignment behaves the same.
+  TestBuffer c;
+  c = std::move(b);
+  ASSERT_EQ(c.size(), 20u);
+  EXPECT_TRUE(b.empty());
+  b.PushBack(1, 1.0);
+  EXPECT_EQ(b.size(), 1u);
+  // Copying a moved-from buffer yields a valid empty buffer.
+  TestBuffer d = std::move(c);
+  TestBuffer e(c);
+  EXPECT_TRUE(e.empty());
+  e.PushBack(5, 5.0);
+  EXPECT_EQ(e.size(), 1u);
+  EXPECT_EQ(d.size(), 20u);
+}
+
+TEST(ColumnarBufferTest, CapacityBytesSumsColumnWidths) {
+  TestBuffer buf;  // u64 + double = 16 bytes per slot
+  EXPECT_EQ(buf.capacity_bytes(), buf.capacity() * 16);
+}
+
+// ---- Randomized property test: PostingList vs std::deque model ----
+
+PostingEntry RandomEntry(Rng& rng, Timestamp ts) {
+  return PostingEntry{rng.NextBelow(1000), rng.NextDouble(),
+                      rng.NextDouble(), ts};
+}
+
+void ExpectMatchesModel(const PostingList& list,
+                        const std::deque<PostingEntry>& model) {
+  ASSERT_EQ(list.size(), model.size());
+  for (size_t i = 0; i < model.size(); ++i) {
+    EXPECT_EQ(list.id(i), model[i].id) << "at " << i;
+    EXPECT_DOUBLE_EQ(list.value(i), model[i].value) << "at " << i;
+    EXPECT_DOUBLE_EQ(list.prefix_norm(i), model[i].prefix_norm)
+        << "at " << i;
+    EXPECT_DOUBLE_EQ(list.ts(i), model[i].ts) << "at " << i;
+  }
+  // Spans must enumerate exactly the same rows.
+  PostingSpan spans[2];
+  const size_t n = list.Spans(0, list.size(), spans);
+  size_t logical = 0;
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t k = 0; k < spans[s].len; ++k, ++logical) {
+      EXPECT_EQ(spans[s].id[k], model[logical].id);
+      EXPECT_DOUBLE_EQ(spans[s].ts[k], model[logical].ts);
+    }
+  }
+  EXPECT_EQ(logical, model.size());
+}
+
+TEST(ColumnarPropertyTest, MatchesDequeModelUnderRandomOps) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    PostingList list;
+    std::deque<PostingEntry> model;
+    Timestamp now = 0.0;
+    for (int op = 0; op < 4000; ++op) {
+      const uint64_t pick = rng.NextBelow(100);
+      if (pick < 70) {  // append (time-ordered, as the indexes do)
+        now += rng.NextDouble();
+        const PostingEntry e = RandomEntry(rng, now);
+        list.Append(e);
+        model.push_back(e);
+      } else if (pick < 85 && !model.empty()) {  // truncate_front
+        const size_t n = rng.NextBelow(model.size() + 1);
+        EXPECT_EQ(list.TruncateFront(n), n);
+        model.erase(model.begin(), model.begin() + n);
+      } else if (pick < 97) {  // compact (exercises the unsorted path too)
+        const Timestamp cutoff = now - rng.NextDouble() * 10.0;
+        size_t removed = 0;
+        for (size_t i = 0, w = 0; i < model.size(); ++i) {
+          if (model[i].ts >= cutoff) {
+            model[w++] = model[i];
+          } else {
+            ++removed;
+          }
+        }
+        model.resize(model.size() - removed);
+        EXPECT_EQ(list.CompactExpired(cutoff), removed);
+      } else {  // clear
+        list.Clear();
+        model.clear();
+      }
+      if (op % 97 == 0) ExpectMatchesModel(list, model);
+      // LowerBoundTs agrees with a linear scan whenever the list is
+      // sorted (appends keep it sorted; compaction preserves order).
+      if (op % 41 == 0 && !model.empty()) {
+        bool sorted = true;
+        for (size_t i = 1; i < model.size(); ++i) {
+          if (model[i].ts < model[i - 1].ts) sorted = false;
+        }
+        if (sorted) {
+          const Timestamp cutoff = now - rng.NextDouble() * 5.0;
+          size_t linear = 0;
+          while (linear < model.size() && model[linear].ts < cutoff) {
+            ++linear;
+          }
+          EXPECT_EQ(list.LowerBoundTs(cutoff), linear);
+        }
+      }
+    }
+    ExpectMatchesModel(list, model);
+  }
+}
+
+}  // namespace
+}  // namespace sssj

@@ -15,8 +15,8 @@ TEST(PostingListTest, AppendKeepsOrder) {
   list.Append(E(2, 2.0));
   list.Append(E(3, 3.0));
   ASSERT_EQ(list.size(), 3u);
-  EXPECT_EQ(list[0].id, 1u);
-  EXPECT_EQ(list[2].id, 3u);
+  EXPECT_EQ(list.id(0), 1u);
+  EXPECT_EQ(list.id(2), 3u);
 }
 
 TEST(PostingListTest, TruncateFrontDropsOldest) {
@@ -24,7 +24,7 @@ TEST(PostingListTest, TruncateFrontDropsOldest) {
   for (int i = 0; i < 10; ++i) list.Append(E(i, i));
   EXPECT_EQ(list.TruncateFront(4), 4u);
   ASSERT_EQ(list.size(), 6u);
-  EXPECT_EQ(list[0].id, 4u);
+  EXPECT_EQ(list.id(0), 4u);
 }
 
 TEST(PostingListTest, CompactExpiredPreservesOrderOfSurvivors) {
@@ -37,9 +37,13 @@ TEST(PostingListTest, CompactExpiredPreservesOrderOfSurvivors) {
   list.Append(E(5, 11.0));
   EXPECT_EQ(list.CompactExpired(5.0), 2u);
   ASSERT_EQ(list.size(), 3u);
-  EXPECT_EQ(list[0].id, 1u);
-  EXPECT_EQ(list[1].id, 3u);
-  EXPECT_EQ(list[2].id, 5u);
+  EXPECT_EQ(list.id(0), 1u);
+  EXPECT_EQ(list.id(1), 3u);
+  EXPECT_EQ(list.id(2), 5u);
+  // All columns move together.
+  EXPECT_DOUBLE_EQ(list.ts(0), 10.0);
+  EXPECT_DOUBLE_EQ(list.ts(1), 12.0);
+  EXPECT_DOUBLE_EQ(list.ts(2), 11.0);
 }
 
 TEST(PostingListTest, CompactExpiredNoopWhenAllLive) {
@@ -63,13 +67,17 @@ TEST(PostingListTest, BoundaryTimestampIsKept) {
   list.Append(E(1, 5.0));
   EXPECT_EQ(list.CompactExpired(5.0), 0u);
   EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.LowerBoundTs(5.0), 0u);
 }
 
 TEST(PostingListTest, EntriesCarryPrefixNorm) {
   PostingList list;
   list.Append(PostingEntry{7, 0.5, 0.25, 1.0});
-  EXPECT_DOUBLE_EQ(list[0].prefix_norm, 0.25);
-  EXPECT_DOUBLE_EQ(list[0].value, 0.5);
+  EXPECT_DOUBLE_EQ(list.prefix_norm(0), 0.25);
+  EXPECT_DOUBLE_EQ(list.value(0), 0.5);
+  const PostingEntry row = list.Get(0);
+  EXPECT_EQ(row.id, 7u);
+  EXPECT_DOUBLE_EQ(row.prefix_norm, 0.25);
 }
 
 TEST(PostingListTest, ClearEmpties) {
@@ -77,6 +85,80 @@ TEST(PostingListTest, ClearEmpties) {
   list.Append(E(1, 1.0));
   list.Clear();
   EXPECT_TRUE(list.empty());
+}
+
+TEST(PostingListTest, LowerBoundTsFindsExpiryBoundary) {
+  PostingList list;
+  for (int i = 0; i < 100; ++i) list.Append(E(i, i * 1.0));
+  EXPECT_EQ(list.LowerBoundTs(-1.0), 0u);    // nothing expired
+  EXPECT_EQ(list.LowerBoundTs(0.0), 0u);     // ts == cutoff is live
+  EXPECT_EQ(list.LowerBoundTs(37.5), 38u);
+  EXPECT_EQ(list.LowerBoundTs(37.0), 37u);
+  EXPECT_EQ(list.LowerBoundTs(1000.0), 100u);  // everything expired
+}
+
+TEST(PostingListTest, LowerBoundTsHandlesDuplicateTimestamps) {
+  PostingList list;
+  for (int i = 0; i < 8; ++i) list.Append(E(i, 1.0));
+  for (int i = 8; i < 16; ++i) list.Append(E(i, 2.0));
+  EXPECT_EQ(list.LowerBoundTs(1.0), 0u);
+  EXPECT_EQ(list.LowerBoundTs(1.5), 8u);
+  EXPECT_EQ(list.LowerBoundTs(2.0), 8u);
+}
+
+TEST(PostingListTest, SpansCoverWholeListContiguously) {
+  PostingList list;
+  for (int i = 0; i < 20; ++i) list.Append(E(i, i, i * 0.5));
+  PostingSpan spans[2];
+  const size_t n = list.Spans(0, list.size(), spans);
+  size_t logical = 0;
+  for (size_t s = 0; s < n; ++s) {
+    EXPECT_EQ(spans[s].begin, logical);
+    for (size_t k = 0; k < spans[s].len; ++k, ++logical) {
+      EXPECT_EQ(spans[s].id[k], list.id(logical));
+      EXPECT_DOUBLE_EQ(spans[s].value[k], list.value(logical));
+      EXPECT_DOUBLE_EQ(spans[s].ts[k], list.ts(logical));
+    }
+  }
+  EXPECT_EQ(logical, list.size());
+}
+
+TEST(PostingListTest, SpansSplitAcrossWraparound) {
+  // Force the circular storage to wrap: fill past one capacity doubling,
+  // truncate the front, then append more so head > 0 and the live range
+  // crosses the physical end.
+  PostingList list;
+  for (int i = 0; i < 8; ++i) list.Append(E(i, i));
+  list.TruncateFront(5);  // head moves to 5, size 3 of capacity 8
+  for (int i = 8; i < 12; ++i) list.Append(E(i, i));  // wraps
+  ASSERT_EQ(list.size(), 7u);
+  PostingSpan spans[2];
+  const size_t n = list.Spans(0, list.size(), spans);
+  EXPECT_EQ(n, 2u);  // genuinely wrapped
+  size_t logical = 0;
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t k = 0; k < spans[s].len; ++k, ++logical) {
+      EXPECT_EQ(spans[s].id[k], list.id(logical));
+    }
+  }
+  EXPECT_EQ(logical, 7u);
+  // Sub-range spans agree with element accessors too.
+  const size_t m = list.Spans(2, 6, spans);
+  logical = 2;
+  for (size_t s = 0; s < m; ++s) {
+    for (size_t k = 0; k < spans[s].len; ++k, ++logical) {
+      EXPECT_EQ(spans[s].id[k], list.id(logical));
+    }
+  }
+  EXPECT_EQ(logical, 6u);
+}
+
+TEST(PostingListTest, CapacityBytesCountsAllColumns) {
+  PostingList list;
+  list.Append(E(1, 1.0));
+  // Four columns of 8 bytes each over the backing capacity.
+  EXPECT_EQ(list.capacity_bytes() % (4 * 8), 0u);
+  EXPECT_GE(list.capacity_bytes(), list.size() * 4 * 8);
 }
 
 }  // namespace
