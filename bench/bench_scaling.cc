@@ -7,8 +7,13 @@
 //
 // A second table sweeps the sharded engine's thread count (--thread-list,
 // default 1,2,4,8) at a fixed stream and reports throughput and speedup
-// over the sequential num_threads=1 baseline. Skip it with --no-threads.
+// over the sequential num_threads=1 baseline. A third does the same for
+// the MiniBatch window-close fan-out on the dense WebSpam-like profile
+// (--mb-thread-list / --mb-scale), where per-window query cost dominates;
+// MB output is bit-identical across thread counts, so the pairs column
+// doubles as a determinism check. Skip both with --no-threads.
 #include <iostream>
+#include <sstream>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -16,6 +21,52 @@
 
 namespace sssj {
 namespace {
+
+// One thread-count sweep table for `framework` over `stream`: runs the
+// whole stream per thread count and reports throughput and speedup. The
+// speedup column is always relative to a measured num_threads=1 run, even
+// when 1 is not in `thread_list`.
+void PrintThreadSweep(const Stream& stream, Framework framework, double theta,
+                      double lambda, const std::vector<double>& thread_list,
+                      bool tsv, const std::string& caption) {
+  TablePrinter table({"threads", "time(s)", "kvec/s", "pairs", "speedup",
+                      "mem(MB)"},
+                     tsv);
+  const auto run = [&](int threads, uint64_t* pairs, uint64_t* mem) {
+    EngineConfig cfg;
+    cfg.framework = framework;
+    cfg.index = IndexScheme::kL2;
+    cfg.theta = theta;
+    cfg.lambda = lambda;
+    cfg.num_threads = threads;
+    auto engine = SssjEngine::Create(cfg);
+    CountingSink sink;
+    Timer timer;
+    engine->PushBatch(stream, &sink);
+    engine->Flush(&sink);  // MB drains its windows; no-op for STR
+    *pairs = sink.count();
+    *mem = engine->MemoryBytes();
+    return timer.ElapsedSeconds();
+  };
+  uint64_t baseline_pairs = 0;
+  uint64_t baseline_mem = 0;
+  const double baseline_seconds = run(1, &baseline_pairs, &baseline_mem);
+  for (double threads_d : thread_list) {
+    const int threads = static_cast<int>(threads_d);
+    if (threads < 1) continue;
+    uint64_t pairs = baseline_pairs;
+    uint64_t mem = baseline_mem;
+    const double seconds =
+        threads == 1 ? baseline_seconds : run(threads, &pairs, &mem);
+    table.AddRow({std::to_string(threads), FormatDouble(seconds, 3),
+                  FormatDouble(stream.size() / seconds / 1000.0, 1),
+                  std::to_string(pairs),
+                  FormatDouble(baseline_seconds / seconds, 2) + "x",
+                  FormatDouble(mem / (1024.0 * 1024.0), 2)});
+  }
+  std::cout << caption;
+  table.Print(std::cout);
+}
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
@@ -67,50 +118,34 @@ int Run(int argc, char** argv) {
   const std::vector<double> thread_list =
       flags.GetDoubleList("thread-list", {1, 2, 4, 8});
   const double thread_scale = flags.GetDouble("thread-scale", args.scale);
-  const Stream stream =
-      GenerateProfile(DatasetProfile::kRcv1, thread_scale, args.seed);
-  TablePrinter tsweep({"threads", "time(s)", "kvec/s", "pairs", "speedup",
-                       "mem(MB)"},
-                      args.tsv);
-  const auto run_threads = [&](int threads, uint64_t* pairs, uint64_t* mem) {
-    EngineConfig cfg;
-    cfg.framework = Framework::kStreaming;
-    cfg.index = IndexScheme::kL2;
-    cfg.theta = theta;
-    cfg.lambda = lambda;
-    cfg.num_threads = threads;
-    auto engine = SssjEngine::Create(cfg);
-    CountingSink sink;
-    Timer timer;
-    engine->PushBatch(stream, &sink);
-    *pairs = sink.count();
-    *mem = engine->MemoryBytes();
-    return timer.ElapsedSeconds();
-  };
-  // The speedup column is always relative to a measured num_threads=1 run,
-  // even when 1 is not in --thread-list.
-  uint64_t baseline_pairs = 0;
-  uint64_t baseline_mem = 0;
-  const double baseline_seconds =
-      run_threads(1, &baseline_pairs, &baseline_mem);
-  for (double threads_d : thread_list) {
-    const int threads = static_cast<int>(threads_d);
-    if (threads < 1) continue;
-    uint64_t pairs = baseline_pairs;
-    uint64_t mem = baseline_mem;
-    const double seconds =
-        threads == 1 ? baseline_seconds : run_threads(threads, &pairs, &mem);
-    tsweep.AddRow({std::to_string(threads), FormatDouble(seconds, 3),
-                   FormatDouble(stream.size() / seconds / 1000.0, 1),
-                   std::to_string(pairs),
-                   FormatDouble(baseline_seconds / seconds, 2) + "x",
-                   FormatDouble(mem / (1024.0 * 1024.0), 2)});
-  }
-  std::cout << "\nThread sweep: sharded STR-L2, n=" << stream.size()
+  {
+    const Stream stream =
+        GenerateProfile(DatasetProfile::kRcv1, thread_scale, args.seed);
+    std::ostringstream caption;
+    caption << "\nThread sweep: sharded STR-L2, n=" << stream.size()
             << ", theta=" << theta << ", lambda=" << lambda
             << " (speedup vs num_threads=1; hardware threads available: "
             << std::thread::hardware_concurrency() << ")\n";
-  tsweep.Print(std::cout);
+    PrintThreadSweep(stream, Framework::kStreaming, theta, lambda,
+                     thread_list, args.tsv, caption.str());
+  }
+
+  // ---- Thread-count sweep over the MB window-close fan-out ----
+  // The dense profile: avg |x| ≈ 500 makes the per-window probe phase the
+  // dominant cost, which is exactly the work the fan-out parallelizes.
+  {
+    const std::vector<double> mb_thread_list =
+        flags.GetDoubleList("mb-thread-list", thread_list);
+    const double mb_scale = flags.GetDouble("mb-scale", args.scale);
+    const Stream stream =
+        GenerateProfile(DatasetProfile::kWebSpam, mb_scale, args.seed);
+    std::ostringstream caption;
+    caption << "\nThread sweep: MB-L2 window-close fan-out, WebSpamLike n="
+            << stream.size() << ", theta=" << theta << ", lambda=" << lambda
+            << " (bit-identical output at every thread count)\n";
+    PrintThreadSweep(stream, Framework::kMiniBatch, theta, lambda,
+                     mb_thread_list, args.tsv, caption.str());
+  }
   return 0;
 }
 

@@ -11,16 +11,19 @@
 //   --framework=STR|MB   (default STR)
 //   --index=INV|AP|L2AP|L2  (default L2; AP only valid with MB)
 //   --theta, --lambda    join parameters (defaults 0.7, 0.01)
-//   --threads=<n>        worker threads for the STR-L2 hot path (default
-//                        1 = sequential; >1 uses the sharded parallel
-//                        index — same pair set and scores; line order in
-//                        --output may differ across thread counts)
+//   --threads=<n>        worker threads for the parallel hot paths
+//                        (default 1 = sequential). STR-L2: the sharded
+//                        index — same pair set and scores, but line order
+//                        in --output may differ across thread counts.
+//                        Any MB scheme: the window-close query fan-out —
+//                        output is bit-identical for every thread count.
+//                        STR-INV/STR-L2AP ignore it.
 //   --output=<path>      write pairs as "a b t_a t_b dot sim" (default:
 //                        stdout)
 //   --quiet              suppress per-pair output, print stats only
-//   --memory             also print the live index footprint
-//                        (MemoryBytes: posting columns + residual store)
-//                        after the run
+//   --memory             also print the live footprint after the run
+//                        (STR: posting columns + residual store; MB:
+//                        buffered windows + peak window-index bytes)
 #include <cstdio>
 #include <fstream>
 #include <iostream>

@@ -28,8 +28,8 @@ struct RunResult {
   bool completed = false;  // finished within the budget
   double seconds = 0.0;
   uint64_t pairs = 0;
-  // Resident bytes of the live index structures at end of run (posting
-  // columns + residual store); 0 for the MB framework.
+  // Resident bytes of the live state at end of run. STR: posting columns
+  // + residual store. MB: buffered windows + peak window-index bytes.
   uint64_t memory_bytes = 0;
   RunStats stats;
 };

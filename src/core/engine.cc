@@ -121,14 +121,15 @@ std::unique_ptr<SssjEngine> SssjEngine::Create(const EngineConfig& config) {
   if (!DecayParams::Make(config.theta, config.lambda, &params)) return nullptr;
 
   std::unique_ptr<SssjEngine> engine(new SssjEngine(config, params));
+  const size_t num_threads =
+      config.num_threads < 1 ? 1 : static_cast<size_t>(config.num_threads);
   if (config.framework == Framework::kMiniBatch) {
     const IndexScheme scheme = config.index;
     const double theta = config.theta;
     engine->mb_ = std::make_unique<MiniBatchJoin>(
-        params, [scheme, theta] { return MakeBatchIndex(scheme, theta); });
+        params, [scheme, theta] { return MakeBatchIndex(scheme, theta); },
+        /*window_factor=*/1.0, num_threads);
   } else {
-    const size_t num_threads =
-        config.num_threads < 1 ? 1 : static_cast<size_t>(config.num_threads);
     auto index = MakeStreamIndex(config.index, params, num_threads);
     if (index == nullptr) return nullptr;
     engine->str_ = std::make_unique<StreamingJoin>(params, std::move(index));
@@ -179,7 +180,7 @@ const RunStats& SssjEngine::stats() const {
 }
 
 size_t SssjEngine::MemoryBytes() const {
-  return str_ != nullptr ? str_->index().MemoryBytes() : 0;
+  return str_ != nullptr ? str_->index().MemoryBytes() : mb_->MemoryBytes();
 }
 
 namespace {
@@ -262,13 +263,20 @@ bool SssjEngine::LoadCheckpoint(const std::string& path, std::string* error) {
   f.read(reinterpret_cast<char*>(&next_id), sizeof(next_id));
   f.read(reinterpret_cast<char*>(&last_ts), sizeof(last_ts));
   f.read(reinterpret_cast<char*>(&started), sizeof(started));
+  // Deserialize into a scratch index and swap only on success: a file that
+  // turns out to be truncated mid-record must leave the live engine — its
+  // index, id counter, and clock — exactly as it was.
+  StreamL2Index scratch(params_);
   std::string index_error;
-  if (!f.good() || !index->Deserialize(f, &index_error)) {
+  if (!f.good() || !scratch.Deserialize(f, &index_error)) {
     SetEngineError(error, path + ": " +
                               (index_error.empty() ? "truncated checkpoint"
                                                    : index_error));
     return false;
   }
+  const RunStats saved_stats = index->stats();  // counters are per-process
+  *index = std::move(scratch);
+  index->stats() = saved_stats;
   next_id_ = next_id;
   str_->RestoreClock(last_ts, started != 0);
   return true;

@@ -22,7 +22,10 @@
 // fully deterministic for a fixed thread count; across different thread
 // counts the *set* is identical but the per-arrival emission order may
 // differ (pairs are merged in shard order rather than candidate-touch
-// order). Other configurations ignore num_threads and run sequentially.
+// order). Every MB configuration (MB-INV/AP/L2AP/L2) parallelizes the
+// query phase of each window close (stream/minibatch.h) and emits a pair
+// sequence bit-identical to the sequential engine for any thread count.
+// STR-INV and STR-L2AP ignore num_threads and run sequentially.
 #ifndef SSSJ_CORE_ENGINE_H_
 #define SSSJ_CORE_ENGINE_H_
 
@@ -54,11 +57,14 @@ struct EngineConfig {
   // When true (default), Push() unit-normalizes input vectors. When false,
   // non-unit vectors are rejected (the similarity bounds require ||x||=1).
   bool normalize_inputs = true;
-  // Worker threads for the STR-L2 hot path. 1 (default) keeps the exact
-  // sequential engine — including checkpoint support. Values > 1 use the
-  // sharded parallel index (deterministic, same output; checkpointing is
-  // not yet supported there). Ignored by MB and the non-L2 schemes.
-  // Values < 1 are clamped to 1.
+  // Worker threads for the parallel hot paths: the sharded STR-L2 index
+  // and the MiniBatch window-close query fan-out (any MB scheme). 1
+  // (default) keeps the exact sequential engine — including checkpoint
+  // support for STR-L2. Values > 1 are deterministic: MB output is
+  // bit-identical for any thread count; sharded STR-L2 emits the same
+  // pair set with bit-identical scores (checkpointing is not yet
+  // supported there). Ignored by STR-INV and STR-L2AP. Values < 1 are
+  // clamped to 1.
   int num_threads = 1;
 };
 
@@ -112,9 +118,11 @@ class SssjEngine {
                       std::string* error = nullptr) const;
   bool LoadCheckpoint(const std::string& path, std::string* error = nullptr);
 
-  // Approximate resident bytes of the live index structures (posting-list
-  // columns + residual store). 0 for the MB framework, which holds whole
-  // windows rather than an online index.
+  // Approximate resident bytes of the live state. STR: the online index
+  // (posting-list columns + residual store). MB: the buffered windows plus
+  // the peak per-window index footprint seen this run (the window index
+  // only lives inside a close, so its high-water mark is the capacity
+  // signal).
   size_t MemoryBytes() const;
 
   const RunStats& stats() const;

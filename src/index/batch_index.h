@@ -15,9 +15,23 @@
 #include "core/result.h"
 #include "core/stats.h"
 #include "core/stream_item.h"
+#include "index/candidate_map.h"
 #include "index/max_vector.h"
 
 namespace sssj {
+
+// All mutable working state a Query() call needs: the candidate
+// accumulator, the per-position prefix-norm scratch (prefix-filter schemes
+// only), and the counters the query accrues. Once Construct() has
+// finished, the index itself is immutable during queries, so concurrent
+// Query() calls are safe as long as each thread brings its own scratch —
+// this is what lets the MiniBatch framework fan a window's queries out
+// across a thread pool.
+struct BatchQueryScratch {
+  CandidateMap cands;
+  std::vector<double> prefix_norms;  // ||x'_j|| per position of the query
+  RunStats stats;
+};
 
 class BatchIndex {
  public:
@@ -34,17 +48,35 @@ class BatchIndex {
   virtual void Construct(const Stream& window, const MaxVector& global_max,
                          std::vector<ResultPair>* pairs) = 0;
 
-  // Appends every pair (y in index, x) with dot >= theta.
-  virtual void Query(const StreamItem& x, std::vector<ResultPair>* pairs) = 0;
+  // Appends every pair (y in index, x) with dot >= theta. Does not mutate
+  // the index: all working state lives in *scratch and counters accrue
+  // into scratch->stats. After Construct() returns, concurrent calls from
+  // different threads with distinct scratches are safe.
+  virtual void Query(const StreamItem& x, BatchQueryScratch* scratch,
+                     std::vector<ResultPair>* pairs) const = 0;
+
+  // Single-threaded convenience: same contract, using an internal scratch
+  // and folding its counters into stats().
+  void Query(const StreamItem& x, std::vector<ResultPair>* pairs) {
+    scratch_.stats = RunStats{};
+    Query(x, &scratch_, pairs);
+    stats_ += scratch_.stats;
+  }
 
   virtual void Clear() = 0;
   virtual const char* name() const = 0;
+
+  // Approximate resident bytes of the built index (posting lists plus any
+  // per-vector side structures). The MB framework samples this at window
+  // close, where the per-window index peaks.
+  virtual size_t MemoryBytes() const { return 0; }
 
   RunStats& stats() { return stats_; }
   const RunStats& stats() const { return stats_; }
 
  protected:
   RunStats stats_;
+  BatchQueryScratch scratch_;  // backs the single-threaded Query overload
 };
 
 }  // namespace sssj

@@ -4,40 +4,53 @@ namespace sssj {
 
 void InvIndex::Construct(const Stream& window, const MaxVector& /*unused*/,
                          std::vector<ResultPair>* pairs) {
+  scratch_.stats = RunStats{};
   for (const StreamItem& x : window) {
-    QueryInternal(x, pairs);
+    QueryInternal(x, &scratch_, pairs);
     AddInternal(x);
   }
+  stats_ += scratch_.stats;
   ++stats_.index_rebuilds;
 }
 
-void InvIndex::Query(const StreamItem& x, std::vector<ResultPair>* pairs) {
-  QueryInternal(x, pairs);
+void InvIndex::Query(const StreamItem& x, BatchQueryScratch* scratch,
+                     std::vector<ResultPair>* pairs) const {
+  QueryInternal(x, scratch, pairs);
 }
 
 void InvIndex::Clear() {
   lists_.clear();
 }
 
-void InvIndex::QueryInternal(const StreamItem& x,
-                             std::vector<ResultPair>* pairs) {
-  cands_.Reset();
+size_t InvIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [dim, list] : lists_) {
+    bytes += sizeof(DimId) + list.capacity() * sizeof(PostingEntry);
+  }
+  return bytes;
+}
+
+void InvIndex::QueryInternal(const StreamItem& x, BatchQueryScratch* scratch,
+                             std::vector<ResultPair>* pairs) const {
+  CandidateMap& cands = scratch->cands;
+  RunStats& stats = scratch->stats;
+  cands.Reset();
   for (const Coord& c : x.vec) {
     auto it = lists_.find(c.dim);
     if (it == lists_.end()) continue;
     for (const PostingEntry& e : it->second) {
-      ++stats_.entries_traversed;
-      CandidateMap::Slot* slot = cands_.FindOrCreate(e.id);
+      ++stats.entries_traversed;
+      CandidateMap::Slot* slot = cands.FindOrCreate(e.id);
       if (slot->score == 0.0) {
         slot->ts = e.ts;
-        cands_.NoteAdmitted();
-        ++stats_.candidates_generated;
+        cands.NoteAdmitted();
+        ++stats.candidates_generated;
       }
       slot->score += c.value * e.value;
     }
   }
-  cands_.ForEachLive([&](VectorId id, double score, Timestamp ts) {
-    ++stats_.verify_calls;
+  cands.ForEachLive([&](VectorId id, double score, Timestamp ts) {
+    ++stats.verify_calls;
     if (score >= theta_) {
       ResultPair p;
       p.a = id;
@@ -47,7 +60,7 @@ void InvIndex::QueryInternal(const StreamItem& x,
       p.dot = score;
       p.sim = score;
       pairs->push_back(p);
-      ++stats_.pairs_emitted;
+      ++stats.pairs_emitted;
     }
   });
 }

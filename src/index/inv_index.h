@@ -19,17 +19,20 @@ class InvIndex : public BatchIndex {
 
   void Construct(const Stream& window, const MaxVector& global_max,
                  std::vector<ResultPair>* pairs) override;
-  void Query(const StreamItem& x, std::vector<ResultPair>* pairs) override;
+  using BatchIndex::Query;
+  void Query(const StreamItem& x, BatchQueryScratch* scratch,
+             std::vector<ResultPair>* pairs) const override;
   void Clear() override;
   const char* name() const override { return "INV"; }
+  size_t MemoryBytes() const override;
 
  private:
-  void QueryInternal(const StreamItem& x, std::vector<ResultPair>* pairs);
+  void QueryInternal(const StreamItem& x, BatchQueryScratch* scratch,
+                     std::vector<ResultPair>* pairs) const;
   void AddInternal(const StreamItem& x);
 
   double theta_;
   std::unordered_map<DimId, std::vector<PostingEntry>> lists_;
-  CandidateMap cands_;
 };
 
 }  // namespace sssj

@@ -10,17 +10,20 @@ void PrefixIndex<Policy>::Construct(const Stream& window,
                                     const MaxVector& global_max,
                                     std::vector<ResultPair>* pairs) {
   m_ = global_max;
+  scratch_.stats = RunStats{};
   for (const StreamItem& x : window) {
-    QueryInternal(x, pairs);
+    QueryInternal(x, &scratch_, pairs);
     AddInternal(x);
   }
+  stats_ += scratch_.stats;
   ++stats_.index_rebuilds;
 }
 
 template <typename Policy>
 void PrefixIndex<Policy>::Query(const StreamItem& x,
-                                std::vector<ResultPair>* pairs) {
-  QueryInternal(x, pairs);
+                                BatchQueryScratch* scratch,
+                                std::vector<ResultPair>* pairs) const {
+  QueryInternal(x, scratch, pairs);
 }
 
 template <typename Policy>
@@ -38,22 +41,39 @@ size_t PrefixIndex<Policy>::IndexedEntries() const {
   return n;
 }
 
-// CandGen (Algorithm 3) + CandVer (Algorithm 4), no time decay.
+template <typename Policy>
+size_t PrefixIndex<Policy>::MemoryBytes() const {
+  size_t bytes = residuals_.ApproxBytes();
+  for (const auto& [dim, list] : lists_) {
+    bytes += sizeof(DimId) + list.capacity() * sizeof(PostingEntry);
+  }
+  bytes += (m_.size() + mhat_.size()) * (sizeof(DimId) + sizeof(double));
+  return bytes;
+}
+
+// CandGen (Algorithm 3) + CandVer (Algorithm 4), no time decay. Reads only
+// immutable index state (lists_, residuals_, m_, mhat_); every mutable
+// piece lives in *scratch, so concurrent calls with distinct scratches are
+// safe (the MB window fan-out relies on this).
 template <typename Policy>
 void PrefixIndex<Policy>::QueryInternal(const StreamItem& x,
-                                        std::vector<ResultPair>* pairs) {
+                                        BatchQueryScratch* scratch,
+                                        std::vector<ResultPair>* pairs) const {
   const SparseVector& v = x.vec;
   if (v.empty()) return;
-  cands_.Reset();
+  CandidateMap& cands = scratch->cands;
+  std::vector<double>& prefix_norms = scratch->prefix_norms;
+  RunStats& stats = scratch->stats;
+  cands.Reset();
 
   // Prefix magnitudes ||x'_j||: norm of coordinates strictly before
   // position i.
   const size_t n = v.nnz();
-  prefix_norms_.assign(n, 0.0);
+  prefix_norms.assign(n, 0.0);
   {
     double sq = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      prefix_norms_[i] = std::sqrt(sq);
+      prefix_norms[i] = std::sqrt(sq);
       sq += v.coord(i).value * v.coord(i).value;
     }
   }
@@ -74,7 +94,7 @@ void PrefixIndex<Policy>::QueryInternal(const StreamItem& x,
       }
       const bool admit_more = BoundAtLeast(remscore, theta_);
       for (const PostingEntry& e : it->second) {
-        ++stats_.entries_traversed;
+        ++stats.entries_traversed;
         if constexpr (Policy::kAp) {
           // Size filter: |y|·vm_y ≥ sz1 is necessary for dot(x,y) ≥ θ.
           const ResidualRecord* rec = residuals_.Find(e.id);
@@ -82,21 +102,21 @@ void PrefixIndex<Policy>::QueryInternal(const StreamItem& x,
             continue;
           }
         }
-        CandidateMap::Slot* slot = cands_.FindOrCreate(e.id);
+        CandidateMap::Slot* slot = cands.FindOrCreate(e.id);
         if (slot->score < 0.0) continue;  // l2-pruned earlier: final
         if (slot->score == 0.0) {
           if (!admit_more) continue;
           slot->ts = e.ts;
-          cands_.NoteAdmitted();
-          ++stats_.candidates_generated;
+          cands.NoteAdmitted();
+          ++stats.candidates_generated;
         }
         slot->score += c.value * e.value;
         if constexpr (Policy::kL2) {
           const double l2bound =
-              slot->score + prefix_norms_[i] * e.prefix_norm;
+              slot->score + prefix_norms[i] * e.prefix_norm;
           if (!BoundAtLeast(l2bound, theta_)) {
             slot->score = CandidateMap::kPruned;
-            ++stats_.l2_prunes;
+            ++stats.l2_prunes;
           }
         }
       }
@@ -106,8 +126,8 @@ void PrefixIndex<Policy>::QueryInternal(const StreamItem& x,
   }
 
   // CandVer.
-  cands_.ForEachLive([&](VectorId id, double score, Timestamp ts) {
-    ++stats_.verify_calls;
+  cands.ForEachLive([&](VectorId id, double score, Timestamp ts) {
+    ++stats.verify_calls;
     const ResidualRecord* rec = residuals_.Find(id);
     if (rec == nullptr) return;  // defensive; every indexed y has a record
     const double ps1 = score + rec->q;
@@ -122,7 +142,7 @@ void PrefixIndex<Policy>::QueryInternal(const StreamItem& x,
                       v.max_value() * yp.max_value();
       if (!BoundAtLeast(sz2, theta_)) return;
     }
-    ++stats_.full_dots;
+    ++stats.full_dots;
     const double s = score + v.Dot(rec->prefix);
     if (s >= theta_) {
       ResultPair p;
@@ -133,7 +153,7 @@ void PrefixIndex<Policy>::QueryInternal(const StreamItem& x,
       p.dot = s;
       p.sim = s;
       pairs->push_back(p);
-      ++stats_.pairs_emitted;
+      ++stats.pairs_emitted;
     }
   });
 }

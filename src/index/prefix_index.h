@@ -43,16 +43,20 @@ class PrefixIndex : public BatchIndex {
 
   void Construct(const Stream& window, const MaxVector& global_max,
                  std::vector<ResultPair>* pairs) override;
-  void Query(const StreamItem& x, std::vector<ResultPair>* pairs) override;
+  using BatchIndex::Query;
+  void Query(const StreamItem& x, BatchQueryScratch* scratch,
+             std::vector<ResultPair>* pairs) const override;
   void Clear() override;
   const char* name() const override { return Policy::kName; }
+  size_t MemoryBytes() const override;
 
   // Number of posting entries currently held (tests: index-size reduction
   // vs INV is the whole point of prefix filtering).
   size_t IndexedEntries() const;
 
  private:
-  void QueryInternal(const StreamItem& x, std::vector<ResultPair>* pairs);
+  void QueryInternal(const StreamItem& x, BatchQueryScratch* scratch,
+                     std::vector<ResultPair>* pairs) const;
   void AddInternal(const StreamItem& x);
 
   double theta_;
@@ -60,8 +64,6 @@ class PrefixIndex : public BatchIndex {
   ResidualStore residuals_;
   MaxVector m_;     // global max (dominates window + future queries)
   MaxVector mhat_;  // max over *indexed* coordinate values (rs1 bound)
-  CandidateMap cands_;
-  std::vector<double> prefix_norms_;  // scratch: ||x'_j|| per position
 };
 
 using ApIndex = PrefixIndex<ApPolicy>;

@@ -34,6 +34,13 @@ class StreamL2Index : public StreamIndex {
                          const L2IndexOptions& options = {})
       : params_(params), options_(options) {}
 
+  // Movable so a checkpoint can be deserialized into a scratch index and
+  // swapped into the live engine only once the whole file validated
+  // (engine.cc LoadCheckpoint). The base subobject (stats_, live-entry
+  // counter) is transferred by copy, which is exactly what a swap wants.
+  StreamL2Index(StreamL2Index&&) = default;
+  StreamL2Index& operator=(StreamL2Index&&) = default;
+
   void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
   void Clear() override;
   const char* name() const override { return "L2"; }

@@ -1,5 +1,6 @@
 #include "stream/minibatch.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -7,10 +8,12 @@
 namespace sssj {
 
 MiniBatchJoin::MiniBatchJoin(const DecayParams& params, IndexFactory factory,
-                             double window_factor)
+                             double window_factor, size_t num_threads)
     : params_(params),
       factory_(std::move(factory)),
-      window_len_(params.tau * std::max(window_factor, 1.0)) {}
+      window_len_(params.tau * std::max(window_factor, 1.0)) {
+  if (num_threads > 1) pool_ = std::make_unique<ThreadPool>(num_threads);
+}
 
 namespace {
 // End of the window anchored at `start`. For the degenerate τ = 0 (θ = 1
@@ -21,12 +24,24 @@ Timestamp WindowEndFor(Timestamp start, double tau) {
   if (tau > 0.0) return start + tau;  // +inf tau → window never closes
   return std::nextafter(start, std::numeric_limits<Timestamp>::infinity());
 }
+
+size_t StreamBytes(const Stream& window) {
+  size_t bytes = 0;
+  for (const StreamItem& item : window) {
+    bytes += sizeof(StreamItem) + item.vec.nnz() * sizeof(Coord);
+  }
+  return bytes;
+}
 }  // namespace
 
 bool MiniBatchJoin::Push(const StreamItem& x, ResultSink* sink) {
   if (started_ && x.ts < last_ts_) return false;
   if (!started_) {
+    // A fresh run begins (first ever Push, or first Push after a Flush):
+    // counters restart so a reused join never double-counts.
     started_ = true;
+    stats_ = RunStats{};
+    peak_index_bytes_ = 0;
     window_end_ = WindowEndFor(x.ts, window_len_);
   }
   last_ts_ = x.ts;
@@ -59,6 +74,10 @@ void MiniBatchJoin::Flush(ResultSink* sink) {
   last_ts_ = 0.0;
 }
 
+size_t MiniBatchJoin::MemoryBytes() const {
+  return StreamBytes(prev_) + StreamBytes(cur_) + peak_index_bytes_;
+}
+
 void MiniBatchJoin::CloseWindow(ResultSink* sink) {
   if (prev_.empty() && cur_.empty()) return;
 
@@ -73,16 +92,24 @@ void MiniBatchJoin::CloseWindow(ResultSink* sink) {
   index->Construct(prev_, m, &scratch_pairs_);
   EmitWithDecay(scratch_pairs_, sink);
 
-  for (const StreamItem& x : cur_) {
-    scratch_pairs_.clear();
-    index->Query(x, &scratch_pairs_);
-    EmitWithDecay(scratch_pairs_, sink);
+  // Query phase: the index is now immutable, so the probes of W_k are
+  // independent. Fan out across the pool when it pays; tiny windows keep
+  // the sequential loop (either path emits the exact same pair sequence).
+  if (pool_ != nullptr && cur_.size() >= 2 * pool_->num_threads()) {
+    QueryWindowParallel(*index, sink);
+  } else {
+    for (const StreamItem& x : cur_) {
+      scratch_pairs_.clear();
+      index->Query(x, &scratch_pairs_);
+      EmitWithDecay(scratch_pairs_, sink);
+    }
   }
 
   // Fold the per-window index statistics into the aggregate; the index —
   // and all its posting lists — is then dropped wholesale. A batch index
   // only ever grows, so its entry count at close time is its peak; the
   // aggregate keeps the max across windows.
+  peak_index_bytes_ = std::max(peak_index_bytes_, index->MemoryBytes());
   RunStats idx_stats = index->stats();
   idx_stats.vectors_processed = 0;  // already counted in Push
   idx_stats.pairs_emitted = 0;      // counted post-decay in EmitWithDecay
@@ -93,14 +120,57 @@ void MiniBatchJoin::CloseWindow(ResultSink* sink) {
   cur_.clear();
 }
 
+void MiniBatchJoin::QueryWindowParallel(const BatchIndex& index,
+                                        ResultSink* sink) {
+  const size_t n = cur_.size();
+  const size_t num_chunks = std::min(pool_->num_threads(), n);
+  const size_t per_chunk = (n + num_chunks - 1) / num_chunks;
+  if (chunks_.size() < num_chunks) chunks_.resize(num_chunks);
+
+  pool_->ParallelFor(num_chunks, [&](size_t c) {
+    QueryChunk& chunk = chunks_[c];
+    chunk.scratch.stats = RunStats{};
+    chunk.ready.clear();
+    const size_t lo = c * per_chunk;
+    const size_t hi = std::min(n, lo + per_chunk);
+    for (size_t i = lo; i < hi; ++i) {
+      chunk.raw.clear();
+      index.Query(cur_[i], &chunk.scratch, &chunk.raw);
+      // ApplyDecay, off the coordinator's critical path.
+      for (const ResultPair& r : chunk.raw) {
+        ResultPair p;
+        if (ApplyDecay(r, &p)) chunk.ready.push_back(p);
+      }
+    }
+  });
+
+  // Chunks cover contiguous ascending ranges of cur_, so draining them in
+  // chunk order reproduces the sequential arrival-order emission exactly.
+  for (size_t c = 0; c < num_chunks; ++c) {
+    for (const ResultPair& p : chunks_[c].ready) {
+      sink->Emit(p);
+      ++stats_.pairs_emitted;
+    }
+    RunStats worker_stats = chunks_[c].scratch.stats;
+    worker_stats.pairs_emitted = 0;  // raw pre-decay count; final tally above
+    stats_ += worker_stats;
+  }
+}
+
+bool MiniBatchJoin::ApplyDecay(const ResultPair& raw, ResultPair* out) const {
+  const double sim = raw.dot * DecayFactor(params_.lambda, raw.ta, raw.tb);
+  if (sim < params_.theta) return false;
+  *out = raw;
+  out->sim = sim;
+  out->Canonicalize();
+  return true;
+}
+
 void MiniBatchJoin::EmitWithDecay(const std::vector<ResultPair>& raw,
                                   ResultSink* sink) {
   for (const ResultPair& r : raw) {
-    const double sim = r.dot * DecayFactor(params_.lambda, r.ta, r.tb);
-    if (sim >= params_.theta) {
-      ResultPair p = r;
-      p.sim = sim;
-      p.Canonicalize();
+    ResultPair p;
+    if (ApplyDecay(r, &p)) {
       sink->Emit(p);
       ++stats_.pairs_emitted;
     }

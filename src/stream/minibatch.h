@@ -22,6 +22,17 @@
 //
 // Special case λ = 0 (τ = ∞): the window never closes and Flush() performs
 // one classic batch apss over the whole stream.
+//
+// Parallel window close (num_threads > 1): once the index over W_{k−1} is
+// built it is immutable, so the query phase — each vector of W_k probing
+// it independently — is embarrassingly parallel. The window's queries are
+// partitioned into contiguous chunks, each chunk runs on the shared
+// fork/join pool with its own BatchQueryScratch and pair buffer, and the
+// buffers are emitted in arrival order afterwards. Because a query's
+// entire computation (candidate admission order, floating-point
+// accumulation, pruning) depends only on the query vector and the
+// immutable index, the emitted pair sequence is bit-identical to the
+// sequential engine for ANY thread count.
 #ifndef SSSJ_STREAM_MINIBATCH_H_
 #define SSSJ_STREAM_MINIBATCH_H_
 
@@ -34,6 +45,7 @@
 #include "core/stats.h"
 #include "core/stream_item.h"
 #include "index/batch_index.h"
+#include "util/thread_pool.h"
 
 namespace sssj {
 
@@ -47,8 +59,12 @@ class MiniBatchJoin {
   // index rebuilds against larger per-window indexes and more decay-
   // rejected candidates (MB tests pairs up to 2·window apart). Values < 1
   // would lose pairs and are clamped to 1.
+  //
+  // `num_threads` (≥ 1, including the calling thread) parallelizes the
+  // query phase of every window close; 1 keeps the fully sequential path.
+  // Output is bit-identical for any value.
   MiniBatchJoin(const DecayParams& params, IndexFactory factory,
-                double window_factor = 1.0);
+                double window_factor = 1.0, size_t num_threads = 1);
 
   // Feeds one arrival; emits any pairs that became reportable (i.e. when
   // `x` closes one or more windows). Returns false on a time-order
@@ -56,20 +72,44 @@ class MiniBatchJoin {
   bool Push(const StreamItem& x, ResultSink* sink);
 
   // Closes all pending windows and reports the remaining pairs. The join
-  // can be reused afterwards (state is reset).
+  // can be reused afterwards: windows, the stream clock AND the stats
+  // counters start fresh on the next Push, so a reused join never
+  // double-counts (stats() keeps the finished run's totals until then).
   void Flush(ResultSink* sink);
 
-  // Aggregate statistics over all window indexes built so far.
+  // Statistics over all window indexes built in the current run (i.e.
+  // since construction or the first Push after a Flush).
   const RunStats& stats() const { return stats_; }
   const DecayParams& params() const { return params_; }
+
+  // Approximate resident bytes: the buffered windows W_{k−1} and W_k plus
+  // the peak footprint of a per-window index seen this run (the index
+  // itself only lives inside CloseWindow, so its high-water mark is the
+  // number that matters for capacity planning).
+  size_t MemoryBytes() const;
 
   // Window sizes, exposed for tests.
   size_t pending_current() const { return cur_.size(); }
   size_t pending_previous() const { return prev_.size(); }
+  size_t num_threads() const {
+    return pool_ == nullptr ? 1 : pool_->num_threads();
+  }
 
  private:
   void CloseWindow(ResultSink* sink);
+  void QueryWindowParallel(const BatchIndex& index, ResultSink* sink);
+  // The ApplyDecay filter of Algorithm 1: both emission paths (sequential
+  // and parallel) share it so the acceptance rule can never diverge.
+  bool ApplyDecay(const ResultPair& raw, ResultPair* out) const;
   void EmitWithDecay(const std::vector<ResultPair>& raw, ResultSink* sink);
+
+  // Per-chunk working state for the parallel window close. Reused across
+  // windows so the steady state allocates nothing.
+  struct QueryChunk {
+    BatchQueryScratch scratch;
+    std::vector<ResultPair> raw;    // one query's unfiltered pairs
+    std::vector<ResultPair> ready;  // decay-filtered, in arrival order
+  };
 
   DecayParams params_;
   IndexFactory factory_;
@@ -81,6 +121,9 @@ class MiniBatchJoin {
   bool started_ = false;
   RunStats stats_;
   std::vector<ResultPair> scratch_pairs_;
+  std::unique_ptr<ThreadPool> pool_;  // nullptr → sequential close
+  std::vector<QueryChunk> chunks_;
+  size_t peak_index_bytes_ = 0;
 };
 
 }  // namespace sssj

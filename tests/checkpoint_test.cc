@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 
@@ -231,6 +232,58 @@ TEST(CheckpointTest, EngineRoundTripThroughFile) {
     }
   }
   EXPECT_EQ(PairSet(sink.pairs()), PairSet(ref_sink.pairs()));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FailedEngineLoadLeavesLiveStateUntouched) {
+  // A checkpoint that validates its header but turns out to be truncated
+  // mid-record must leave the live engine exactly as it was: same index,
+  // same id counter, same clock — replaying the rest of the stream still
+  // yields the uninterrupted output.
+  EngineConfig cfg;
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kL2;
+  cfg.theta = 0.6;
+  cfg.lambda = 0.02;
+  cfg.normalize_inputs = false;
+  const Stream stream = TestStream();
+  const size_t cut = stream.size() / 2;
+  const std::string path = ::testing::TempDir() + "/sssj_truncated.ckp";
+
+  // Uninterrupted reference.
+  auto ref = SssjEngine::Create(cfg);
+  CollectorSink ref_sink;
+  for (const StreamItem& item : stream) ref->Push(item.ts, item.vec, &ref_sink);
+
+  // Live engine: run half, save, truncate the file on disk, then attempt
+  // to load the damaged checkpoint into the SAME live engine.
+  auto engine = SssjEngine::Create(cfg);
+  CollectorSink sink;
+  for (size_t i = 0; i < cut; ++i) {
+    engine->Push(stream[i].ts, stream[i].vec, &sink);
+  }
+  std::string err;
+  ASSERT_TRUE(engine->SaveCheckpoint(path, &err)) << err;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string full((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ASSERT_GT(full.size(), 128u);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(),
+              static_cast<std::streamsize>(full.size() / 2));  // mid-record
+  }
+  const VectorId id_before = engine->next_id();
+  EXPECT_FALSE(engine->LoadCheckpoint(path, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_EQ(engine->next_id(), id_before);
+
+  // The live engine keeps producing the uninterrupted run's output.
+  for (size_t i = cut; i < stream.size(); ++i) {
+    ASSERT_TRUE(engine->Push(stream[i].ts, stream[i].vec, &sink));
+  }
+  EXPECT_EQ(PairSet(sink.pairs()), PairSet(ref_sink.pairs()));
+  EXPECT_EQ(sink.pairs().size(), ref_sink.pairs().size());
   std::remove(path.c_str());
 }
 

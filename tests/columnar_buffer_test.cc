@@ -16,6 +16,37 @@ namespace {
 
 using TestBuffer = ColumnarBuffer<uint64_t, double>;
 
+TEST(ColumnarBufferTest, DefaultConstructedOwnsNoAllocation) {
+  // Short-list right-sizing: an empty buffer is free, the first push
+  // allocates 4 slots per column, and Clear releases the block again —
+  // posting-list workloads hold hundreds of thousands of tiny (often
+  // momentarily empty) lists.
+  TestBuffer buf;
+  EXPECT_EQ(buf.capacity(), 0u);
+  EXPECT_EQ(buf.capacity_bytes(), 0u);
+  buf.PushBack(1, 1.0);
+  EXPECT_EQ(buf.capacity(), 4u);
+  EXPECT_EQ(buf.Get<0>(0), 1u);
+  for (uint64_t i = 0; i < 4; ++i) buf.PushBack(i, 0.0);  // forces one growth
+  EXPECT_EQ(buf.capacity(), 8u);
+  buf.Clear();
+  EXPECT_EQ(buf.capacity_bytes(), 0u);
+  buf.PushBack(2, 2.0);  // usable again after Clear
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.Get<0>(0), 2u);
+}
+
+TEST(ColumnarBufferTest, TinyPostingListFootprint) {
+  // The 4-entry average list of the laptop regime fits the initial block
+  // exactly: 4 slots × 32 bytes across the four posting columns.
+  PostingList list;
+  EXPECT_EQ(list.capacity_bytes(), 0u);
+  for (int i = 0; i < 4; ++i) {
+    list.Append(static_cast<VectorId>(i), 0.5, 0.5, static_cast<Timestamp>(i));
+  }
+  EXPECT_EQ(list.capacity_bytes(), 4u * sizeof(PostingEntry));
+}
+
 TEST(ColumnarBufferTest, PushAndGetAcrossGrowth) {
   TestBuffer buf;
   for (uint64_t i = 0; i < 100; ++i) buf.PushBack(i, i * 0.5);

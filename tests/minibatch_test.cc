@@ -241,6 +241,55 @@ TEST(WindowFactorTest, LargerWindowsRebuildLessOften) {
   EXPECT_GT(rebuilds(1.0), rebuilds(4.0));
 }
 
+TEST(MiniBatchTest, ReuseAfterFlushDoesNotDoubleCountStats) {
+  // Flush's contract says the join is reusable; stats_ used to survive the
+  // reset, so a reused join reported run-1 + run-2 aggregates. Counters
+  // must restart with the first Push of the new run, while reading stats()
+  // right after Flush still gives the finished run's totals.
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.1, &params));
+  RandomStreamSpec spec;
+  spec.n = 150;
+  spec.seed = 44;
+  const Stream stream = RandomStream(spec);
+
+  MiniBatchJoin mb(params, FactoryFor(Scheme::kL2, 0.5));
+  CollectorSink sink;
+  for (const StreamItem& item : stream) mb.Push(item, &sink);
+  mb.Flush(&sink);
+  const RunStats first_run = mb.stats();
+  EXPECT_EQ(first_run.vectors_processed, stream.size());
+
+  // Same stream again (clock restarts with the run): the second run's
+  // stats must equal the first run's, not twice them.
+  for (const StreamItem& item : stream) ASSERT_TRUE(mb.Push(item, &sink));
+  mb.Flush(&sink);
+  EXPECT_EQ(mb.stats().vectors_processed, first_run.vectors_processed);
+  EXPECT_EQ(mb.stats().pairs_emitted, first_run.pairs_emitted);
+  EXPECT_EQ(mb.stats().entries_indexed, first_run.entries_indexed);
+  EXPECT_EQ(mb.stats().index_rebuilds, first_run.index_rebuilds);
+}
+
+TEST(MiniBatchTest, MemoryBytesTracksWindowsAndPeakIndex) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.5, 0.01, &params));  // long windows
+  MiniBatchJoin mb(params, FactoryFor(Scheme::kL2, 0.5));
+  CollectorSink sink;
+  EXPECT_EQ(mb.MemoryBytes(), 0u);
+  RandomStreamSpec spec;
+  spec.n = 100;
+  spec.max_gap = 0.5;
+  spec.seed = 45;
+  const Stream stream = RandomStream(spec);
+  for (const StreamItem& item : stream) mb.Push(item, &sink);
+  EXPECT_GT(mb.MemoryBytes(), 0u);  // buffered windows count
+  mb.Flush(&sink);
+  // Windows drained; the peak per-window index footprint remains visible.
+  EXPECT_EQ(mb.pending_current(), 0u);
+  EXPECT_EQ(mb.pending_previous(), 0u);
+  EXPECT_GT(mb.MemoryBytes(), 0u);
+}
+
 TEST(MiniBatchTest, FlushIsIdempotentAndReusable) {
   DecayParams params;
   ASSERT_TRUE(DecayParams::Make(0.5, 0.1, &params));
