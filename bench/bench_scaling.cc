@@ -76,7 +76,10 @@ int Run(int argc, char** argv) {
   const std::vector<double> scales =
       flags.GetDoubleList("scale-list", {0.25, 0.5, 1.0, 2.0, 4.0});
 
-  TablePrinter table({"n", "variant", "time(s)", "kvec/s", "pairs",
+  // Every variant runs once per kernel path; the kernel column turns the
+  // scaling table into a scalar-vs-SIMD comparison at each stream length.
+  const KernelMode kernel_modes[] = {KernelMode::kScalar, KernelMode::kSimd};
+  TablePrinter table({"n", "variant", "kernel", "time(s)", "kvec/s", "pairs",
                       "peak_entries", "mem(MB)"},
                      args.tsv);
   for (double scale : scales) {
@@ -93,23 +96,28 @@ int Run(int argc, char** argv) {
         {"MB-L2", Framework::kMiniBatch, IndexScheme::kL2},
     };
     for (const Variant& v : variants) {
-      RunConfig cfg;
-      cfg.framework = v.fw;
-      cfg.index = v.ix;
-      cfg.theta = theta;
-      cfg.lambda = lambda;
-      const RunResult r = RunJoin(stream, cfg);
-      table.AddRow({std::to_string(stream.size()), v.label,
-                    FormatDouble(r.seconds, 3),
-                    FormatDouble(stream.size() / r.seconds / 1000.0, 1),
-                    std::to_string(r.pairs),
-                    std::to_string(r.stats.peak_index_entries),
-                    FormatDouble(r.memory_bytes / (1024.0 * 1024.0), 2)});
+      for (KernelMode kernel : kernel_modes) {
+        RunConfig cfg;
+        cfg.framework = v.fw;
+        cfg.index = v.ix;
+        cfg.theta = theta;
+        cfg.lambda = lambda;
+        cfg.kernel = kernel;
+        const RunResult r = RunJoin(stream, cfg);
+        table.AddRow({std::to_string(stream.size()), v.label,
+                      ToString(kernel), FormatDouble(r.seconds, 3),
+                      FormatDouble(stream.size() / r.seconds / 1000.0, 1),
+                      std::to_string(r.pairs),
+                      std::to_string(r.stats.peak_index_entries),
+                      FormatDouble(r.memory_bytes / (1024.0 * 1024.0), 2)});
+      }
     }
   }
   std::cout << "Scaling: time vs stream length at fixed theta=" << theta
             << ", lambda=" << lambda
-            << " (RCV1Like; expect ~constant kvec/s for STR)\n";
+            << " (RCV1Like; expect ~constant kvec/s for STR; simd rows use "
+               "the "
+            << ToString(DetectSimdLevel()) << " kernels)\n";
   table.Print(std::cout);
 
   if (flags.GetBool("no-threads", false)) return 0;

@@ -15,6 +15,7 @@ RunResult RunJoin(const Stream& stream, const RunConfig& config) {
   ec.index = config.index;
   ec.theta = config.theta;
   ec.lambda = config.lambda;
+  ec.kernel = config.kernel;
   ec.normalize_inputs = false;  // generator/profile streams are unit already
   auto engine = SssjEngine::Create(ec);
   if (engine == nullptr) return result;  // valid=false

@@ -20,6 +20,9 @@ struct RunConfig {
   IndexScheme index = IndexScheme::kL2;
   double theta = 0.7;
   double lambda = 0.01;
+  // Scoring-kernel selection (EngineConfig::kernel): scalar reference by
+  // default; kSimd/kAuto select the vectorized posting-scan kernels.
+  KernelMode kernel = KernelMode::kScalar;
   double budget_seconds = std::numeric_limits<double>::infinity();
 };
 

@@ -1,7 +1,6 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstring>
 #include <fstream>
 
@@ -13,44 +12,45 @@
 #include "index/stream_l2ap_index.h"
 #include "stream/minibatch.h"
 #include "stream/streaming.h"
+#include "util/ascii.h"
 
 namespace sssj {
 
 namespace {
 
-std::string Lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s;
-}
-
-std::unique_ptr<BatchIndex> MakeBatchIndex(IndexScheme scheme, double theta) {
+std::unique_ptr<BatchIndex> MakeBatchIndex(IndexScheme scheme, double theta,
+                                           bool use_simd) {
   switch (scheme) {
     case IndexScheme::kInv:
-      return std::make_unique<InvIndex>(theta);
+      return std::make_unique<InvIndex>(theta, use_simd);
     case IndexScheme::kAp:
-      return std::make_unique<ApIndex>(theta);
+      return std::make_unique<ApIndex>(theta, use_simd);
     case IndexScheme::kL2ap:
-      return std::make_unique<L2apIndex>(theta);
+      return std::make_unique<L2apIndex>(theta, use_simd);
     case IndexScheme::kL2:
-      return std::make_unique<L2Index>(theta);
+      return std::make_unique<L2Index>(theta, use_simd);
   }
   return nullptr;
 }
 
 std::unique_ptr<StreamIndex> MakeStreamIndex(IndexScheme scheme,
                                              const DecayParams& params,
-                                             size_t num_threads) {
+                                             size_t num_threads,
+                                             bool use_simd) {
   switch (scheme) {
     case IndexScheme::kInv:
-      return std::make_unique<StreamInvIndex>(params);
+      return std::make_unique<StreamInvIndex>(params, use_simd);
     case IndexScheme::kL2ap:
-      return std::make_unique<StreamL2apIndex>(params);
+      return std::make_unique<StreamL2apIndex>(params, /*ic_theta_slack=*/0.0,
+                                               /*use_l2_bounds=*/true,
+                                               use_simd);
     case IndexScheme::kL2:
       if (num_threads > 1) {
-        return std::make_unique<ShardedStreamIndex>(params, num_threads);
+        return std::make_unique<ShardedStreamIndex>(params, num_threads,
+                                                    L2IndexOptions{}, use_simd);
       }
-      return std::make_unique<StreamL2Index>(params);
+      return std::make_unique<StreamL2Index>(params, L2IndexOptions{},
+                                             use_simd);
     case IndexScheme::kAp:
       return nullptr;  // STR-AP: omitted (paper §5.2)
   }
@@ -78,7 +78,7 @@ const char* ToString(IndexScheme s) {
 }
 
 bool ParseFramework(const std::string& s, Framework* out) {
-  const std::string l = Lower(s);
+  const std::string l = AsciiLower(s);
   if (l == "mb" || l == "minibatch") {
     *out = Framework::kMiniBatch;
     return true;
@@ -91,7 +91,7 @@ bool ParseFramework(const std::string& s, Framework* out) {
 }
 
 bool ParseIndexScheme(const std::string& s, IndexScheme* out) {
-  const std::string l = Lower(s);
+  const std::string l = AsciiLower(s);
   if (l == "inv") {
     *out = IndexScheme::kInv;
     return true;
@@ -123,14 +123,18 @@ std::unique_ptr<SssjEngine> SssjEngine::Create(const EngineConfig& config) {
   std::unique_ptr<SssjEngine> engine(new SssjEngine(config, params));
   const size_t num_threads =
       config.num_threads < 1 ? 1 : static_cast<size_t>(config.num_threads);
+  const bool use_simd = KernelModeUsesSimd(config.kernel);
   if (config.framework == Framework::kMiniBatch) {
     const IndexScheme scheme = config.index;
     const double theta = config.theta;
     engine->mb_ = std::make_unique<MiniBatchJoin>(
-        params, [scheme, theta] { return MakeBatchIndex(scheme, theta); },
+        params,
+        [scheme, theta, use_simd] {
+          return MakeBatchIndex(scheme, theta, use_simd);
+        },
         /*window_factor=*/1.0, num_threads);
   } else {
-    auto index = MakeStreamIndex(config.index, params, num_threads);
+    auto index = MakeStreamIndex(config.index, params, num_threads, use_simd);
     if (index == nullptr) return nullptr;
     engine->str_ = std::make_unique<StreamingJoin>(params, std::move(index));
   }
@@ -265,8 +269,10 @@ bool SssjEngine::LoadCheckpoint(const std::string& path, std::string* error) {
   f.read(reinterpret_cast<char*>(&started), sizeof(started));
   // Deserialize into a scratch index and swap only on success: a file that
   // turns out to be truncated mid-record must leave the live engine — its
-  // index, id counter, and clock — exactly as it was.
-  StreamL2Index scratch(params_);
+  // index, id counter, and clock — exactly as it was. The scratch carries
+  // the engine's kernel selection so a restore doesn't silently drop it.
+  StreamL2Index scratch(params_, L2IndexOptions{},
+                        KernelModeUsesSimd(config_.kernel));
   std::string index_error;
   if (!f.good() || !scratch.Deserialize(f, &index_error)) {
     SetEngineError(error, path + ": " +

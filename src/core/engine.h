@@ -36,6 +36,7 @@
 #include "core/similarity.h"
 #include "core/stats.h"
 #include "core/stream_item.h"
+#include "util/simd.h"
 
 namespace sssj {
 
@@ -66,6 +67,16 @@ struct EngineConfig {
   // supported there). Ignored by STR-INV and STR-L2AP. Values < 1 are
   // clamped to 1.
   int num_threads = 1;
+  // Scoring-kernel selection for the hot posting-scan loops
+  // (index/kernels.h). kScalar (default) is the bit-exact reference path.
+  // kSimd selects the vectorized kernels: the MB schemes and STR-INV stay
+  // bit-identical to scalar (their kernels are lane-wise multiplies), and
+  // the STR-L2/L2AP generate phases swap per-entry std::exp for a
+  // vectorized polynomial exp — same pair set on realistic profiles, with
+  // scores equal to the scalar path within 1e-9 relative (the SIMD path
+  // itself is deterministic for a fixed ISA level and for any thread
+  // count). kAuto resolves to kSimd when the CPU has a vector ISA.
+  KernelMode kernel = KernelMode::kScalar;
 };
 
 class MiniBatchJoin;

@@ -30,6 +30,11 @@ namespace sssj {
 struct BatchQueryScratch {
   CandidateMap cands;
   std::vector<double> prefix_norms;  // ||x'_j|| per position of the query
+  // Kernel scratch for the SIMD probe path: per-list contribution
+  // products (q_i · y_value) and prefix-norm products (||x'_i|| ·
+  // ||y'||), both bit-identical to the per-entry multiplies they batch.
+  std::vector<double> contrib;
+  std::vector<double> pnprod;
   RunStats stats;
 };
 
@@ -68,8 +73,10 @@ class BatchIndex {
 
   // Approximate resident bytes of the built index (posting lists plus any
   // per-vector side structures). The MB framework samples this at window
-  // close, where the per-window index peaks.
-  virtual size_t MemoryBytes() const { return 0; }
+  // close, where the per-window index peaks. Pure virtual on purpose: a
+  // defaulted `return 0` is a silent-zero trap — an index that forgets to
+  // implement it ships a lying mem(MB) column (it has happened).
+  virtual size_t MemoryBytes() const = 0;
 
   RunStats& stats() { return stats_; }
   const RunStats& stats() const { return stats_; }

@@ -1,5 +1,7 @@
 #include "index/inv_index.h"
 
+#include "index/kernels.h"
+
 namespace sssj {
 
 void InvIndex::Construct(const Stream& window, const MaxVector& /*unused*/,
@@ -25,7 +27,7 @@ void InvIndex::Clear() {
 size_t InvIndex::MemoryBytes() const {
   size_t bytes = 0;
   for (const auto& [dim, list] : lists_) {
-    bytes += sizeof(DimId) + list.capacity() * sizeof(PostingEntry);
+    bytes += sizeof(DimId) + list.capacity_bytes();
   }
   return bytes;
 }
@@ -38,15 +40,29 @@ void InvIndex::QueryInternal(const StreamItem& x, BatchQueryScratch* scratch,
   for (const Coord& c : x.vec) {
     auto it = lists_.find(c.dim);
     if (it == lists_.end()) continue;
-    for (const PostingEntry& e : it->second) {
+    const BatchPostingList& list = it->second;
+    const size_t len = list.size();
+    const VectorId* ids = list.id();
+    const double* vals = list.value();
+    const Timestamp* tss = list.ts();
+    // SIMD path: batch the contribution products over the whole column
+    // (bit-identical to the per-entry multiply); the per-entry loop then
+    // carries only the candidate-map work.
+    const double* contrib = nullptr;
+    if (use_simd_ && len >= kernels::kMinSimdRun) {
+      if (scratch->contrib.size() < len) scratch->contrib.resize(len);
+      kernels::ProductColumn(vals, len, c.value, scratch->contrib.data());
+      contrib = scratch->contrib.data();
+    }
+    for (size_t k = 0; k < len; ++k) {
       ++stats.entries_traversed;
-      CandidateMap::Slot* slot = cands.FindOrCreate(e.id);
+      CandidateMap::Slot* slot = cands.FindOrCreate(ids[k]);
       if (slot->score == 0.0) {
-        slot->ts = e.ts;
+        slot->ts = tss[k];
         cands.NoteAdmitted();
         ++stats.candidates_generated;
       }
-      slot->score += c.value * e.value;
+      slot->score += contrib != nullptr ? contrib[k] : c.value * vals[k];
     }
   }
   cands.ForEachLive([&](VectorId id, double score, Timestamp ts) {
@@ -67,7 +83,7 @@ void InvIndex::QueryInternal(const StreamItem& x, BatchQueryScratch* scratch,
 
 void InvIndex::AddInternal(const StreamItem& x) {
   for (const Coord& c : x.vec) {
-    lists_[c.dim].push_back(PostingEntry{x.id, c.value, 0.0, x.ts});
+    lists_[c.dim].Append(x.id, c.value, 0.0, x.ts);
     ++stats_.entries_indexed;
   }
   ++stats_.vectors_processed;

@@ -15,7 +15,10 @@ namespace sssj {
 
 class InvIndex : public BatchIndex {
  public:
-  explicit InvIndex(double theta) : theta_(theta) {}
+  // `use_simd` batches the probe loop's contribution products through
+  // kernels::ProductColumn — bit-identical output on both paths.
+  explicit InvIndex(double theta, bool use_simd = false)
+      : theta_(theta), use_simd_(use_simd) {}
 
   void Construct(const Stream& window, const MaxVector& global_max,
                  std::vector<ResultPair>* pairs) override;
@@ -32,7 +35,8 @@ class InvIndex : public BatchIndex {
   void AddInternal(const StreamItem& x);
 
   double theta_;
-  std::unordered_map<DimId, std::vector<PostingEntry>> lists_;
+  bool use_simd_;
+  std::unordered_map<DimId, BatchPostingList> lists_;
 };
 
 }  // namespace sssj

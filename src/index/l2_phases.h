@@ -42,10 +42,56 @@
 #include "core/stats.h"
 #include "core/stream_item.h"
 #include "index/candidate_map.h"
+#include "index/kernels.h"
 #include "index/posting_list.h"
 #include "index/residual_store.h"
 
 namespace sssj {
+
+// Kernel selection plus the per-caller scratch the vectorized generate
+// scan accumulates into. With use_simd false (the default) every phase
+// runs the exact scalar reference code. With it true, the generate scan
+// precomputes each span's decay column with kernels::DecayColumn before
+// the per-entry walk, and verification's full dot products go through
+// kernels::SparseDot. Each concurrent caller (the sequential index, or
+// one shard worker) owns its own state; the decay buffer is reused
+// across spans and arrivals.
+struct L2KernelState {
+  bool use_simd = false;
+  // How many workers share this scan: each owns ~1/owner_share of the
+  // candidates (1 = sequential, S for a shard worker). Sparse ownership
+  // makes whole-column decay wasteful — every worker would vectorize
+  // exp over ALL entries, S-fold redundant across workers and more
+  // total exp work than the scalar path once S exceeds the vector
+  // speedup. Above the threshold below, workers evaluate decay per
+  // owned entry via kernels::DecayOne instead, which goes through the
+  // same vector code path and is bit-identical to the column values —
+  // so the choice never shows in the output.
+  size_t owner_share = 1;
+  std::vector<double> decay;  // span-sized scratch, grown on demand
+
+  // Column pays off while the per-worker share of entries is dense
+  // enough that len · (vectorized exp) < (len/S) · (one-lane exp);
+  // with a ~4x lane win that crosses over around S = 4.
+  static constexpr size_t kMaxOwnerShareForColumn = 4;
+
+  // Fills decay[0..len) for a span and returns the buffer; nullptr when
+  // the caller should evaluate per entry instead (scalar path: libm
+  // std::exp; simd path with sparse ownership: kernels::DecayOne). No
+  // span length gate on purpose: span boundaries (buffer wrap points)
+  // can differ between otherwise-identical runs (eager vs deferred
+  // expiry), and the simd path's per-element values must not depend on
+  // how spans batch — DecayColumn and DecayOne guarantee exactly that
+  // (padded tails, see util/simd.h), which keeps the "identical output
+  // for every thread count" determinism bar intact.
+  const double* DecayForSpan(const PostingSpan& sp, Timestamp now,
+                             double lambda) {
+    if (!use_simd || owner_share > kMaxOwnerShareForColumn) return nullptr;
+    if (decay.size() < sp.len) decay.resize(sp.len);
+    kernels::DecayColumn(sp.ts, sp.len, now, lambda, decay.data());
+    return decay.data();
+  }
+};
 
 // Ablation switches for the three ℓ2 pruning rules. Disabling a rule never
 // changes the output (each rule only skips provably-dissimilar work); it
@@ -107,7 +153,8 @@ void L2GenerateCandidates(const StreamItem& x, const DecayParams& params,
                           const std::vector<double>& prefix_norms,
                           Timestamp cutoff, ListLookup&& lookup,
                           OwnsCandidate&& owns, OnExpired&& on_expired,
-                          CandidateMap* cands, L2PhaseStats* stats) {
+                          L2KernelState* kernel, CandidateMap* cands,
+                          L2PhaseStats* stats) {
   const SparseVector& v = x.vec;
   const size_t n = v.nnz();
   double rst = v.norm() * v.norm();
@@ -123,36 +170,53 @@ void L2GenerateCandidates(const StreamItem& x, const DecayParams& params,
       // deferring one leaves it at [expired, size). Either way it is the
       // last `live` entries, and the walk starts only now because
       // truncation may rebuild the storage.
-      list->ForEachNewestFirst(
-          list->size() - live, list->size(),
-          [&](const PostingSpan& sp, size_t k) {
-            const VectorId eid = sp.id[k];
-            if (!owns(eid)) return;
-            ++stats->entries_traversed;
-            const Timestamp ets = sp.ts[k];
-            const double decay = std::exp(-params.lambda * (x.ts - ets));
-            CandidateMap::Slot* slot = cands->FindOrCreate(eid);
-            if (slot->score < 0.0) return;  // l2-pruned: final
-            if (slot->score == 0.0) {
-              // remscore = rs2 · e^{−λΔt} (line 7, AP part disabled).
-              if (options.use_remscore_bound &&
-                  !BoundAtLeast(rs2 * decay, params.theta)) {
-                return;
-              }
-              slot->ts = ets;
-              cands->NoteAdmitted();
-              ++stats->candidates_generated;
+      PostingSpan spans[2];
+      const size_t nspans =
+          list->Spans(list->size() - live, list->size(), spans);
+      const bool kernel_exp = kernel != nullptr && kernel->use_simd;
+      for (size_t si = nspans; si-- > 0;) {  // newest span first
+        const PostingSpan& sp = spans[si];
+        // SIMD path with dense ownership: one vectorized exp pass over
+        // the span's ts column. SIMD path with sparse ownership (high
+        // shard counts): per owned entry via DecayOne — bit-identical
+        // values, no redundant column work across workers. Scalar path:
+        // per-entry std::exp, the bit-exact reference.
+        const double* decay_col =
+            kernel == nullptr ? nullptr
+                              : kernel->DecayForSpan(sp, x.ts, params.lambda);
+        for (size_t k = sp.len; k-- > 0;) {  // newest entry first
+          const VectorId eid = sp.id[k];
+          if (!owns(eid)) continue;
+          ++stats->entries_traversed;
+          const double decay =
+              decay_col != nullptr
+                  ? decay_col[k]
+                  : (kernel_exp
+                         ? kernels::DecayOne(sp.ts[k], x.ts, params.lambda)
+                         : std::exp(-params.lambda * (x.ts - sp.ts[k])));
+          CandidateMap::Slot* slot = cands->FindOrCreate(eid);
+          if (slot->score < 0.0) continue;  // l2-pruned: final
+          if (slot->score == 0.0) {
+            // remscore = rs2 · e^{−λΔt} (line 7, AP part disabled).
+            if (options.use_remscore_bound &&
+                !BoundAtLeast(rs2 * decay, params.theta)) {
+              continue;
             }
-            slot->score += c.value * sp.value[k];
-            if (options.use_l2bound) {
-              const double l2bound =
-                  slot->score + prefix_norms[i] * sp.prefix_norm[k] * decay;
-              if (!BoundAtLeast(l2bound, params.theta)) {
-                slot->score = CandidateMap::kPruned;
-                ++stats->l2_prunes;
-              }
+            slot->ts = sp.ts[k];
+            cands->NoteAdmitted();
+            ++stats->candidates_generated;
+          }
+          slot->score += c.value * sp.value[k];
+          if (options.use_l2bound) {
+            const double l2bound =
+                slot->score + prefix_norms[i] * sp.prefix_norm[k] * decay;
+            if (!BoundAtLeast(l2bound, params.theta)) {
+              slot->score = CandidateMap::kPruned;
+              ++stats->l2_prunes;
             }
-          });
+          }
+        }
+      }
     }
     rst -= c.value * c.value;
   }
@@ -165,8 +229,10 @@ template <typename EmitFn>
 void L2VerifyCandidates(const StreamItem& x, const DecayParams& params,
                         const L2IndexOptions& options,
                         const CandidateMap& cands,
-                        const ResidualStore& residuals, L2PhaseStats* stats,
+                        const ResidualStore& residuals,
+                        const L2KernelState* kernel, L2PhaseStats* stats,
                         EmitFn&& emit) {
+  const bool use_simd = kernel != nullptr && kernel->use_simd;
   cands.ForEachLive([&](VectorId id, double score, Timestamp ts) {
     ++stats->verify_calls;
     const ResidualRecord* rec = residuals.Find(id);
@@ -177,7 +243,9 @@ void L2VerifyCandidates(const StreamItem& x, const DecayParams& params,
       if (!BoundAtLeast(ps1, params.theta)) return;
     }
     ++stats->full_dots;
-    const double s = score + x.vec.Dot(rec->prefix);
+    // SparseDot is bit-identical to x.vec.Dot on both kernel paths; the
+    // SIMD variant only accelerates the merge cursors.
+    const double s = score + kernels::SparseDot(x.vec, rec->prefix, use_simd);
     const double sim = s * decay;
     if (sim >= params.theta) {
       ResultPair p;

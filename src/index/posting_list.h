@@ -17,6 +17,7 @@
 #define SSSJ_INDEX_POSTING_LIST_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "core/types.h"
 #include "util/columnar_buffer.h"
@@ -143,6 +144,51 @@ class PostingList {
 
   using ColumnStore = ColumnarBuffer<VectorId, double, double, Timestamp>;
   ColumnStore store_;
+};
+
+// Append-only SoA posting storage for the batch (MB) indexes: the same
+// four columns as PostingList without the circular machinery — a window
+// index is built once, queried, and cleared, so nothing is ever removed
+// from the front. The probe loops read whole contiguous columns, which is
+// what lets the scoring kernels (index/kernels.h) batch the per-entry
+// products.
+class BatchPostingList {
+ public:
+  size_t size() const { return id_.size(); }
+  bool empty() const { return id_.empty(); }
+
+  void Append(VectorId id, double value, double prefix_norm, Timestamp ts) {
+    id_.push_back(id);
+    value_.push_back(value);
+    prefix_norm_.push_back(prefix_norm);
+    ts_.push_back(ts);
+  }
+
+  const VectorId* id() const { return id_.data(); }
+  const double* value() const { return value_.data(); }
+  const double* prefix_norm() const { return prefix_norm_.data(); }
+  const Timestamp* ts() const { return ts_.data(); }
+
+  void Clear() {
+    id_.clear();
+    value_.clear();
+    prefix_norm_.clear();
+    ts_.clear();
+  }
+
+  // True per-column footprint of the backing vectors, in bytes.
+  size_t capacity_bytes() const {
+    return id_.capacity() * sizeof(VectorId) +
+           value_.capacity() * sizeof(double) +
+           prefix_norm_.capacity() * sizeof(double) +
+           ts_.capacity() * sizeof(Timestamp);
+  }
+
+ private:
+  std::vector<VectorId> id_;
+  std::vector<double> value_;
+  std::vector<double> prefix_norm_;
+  std::vector<Timestamp> ts_;
 };
 
 }  // namespace sssj

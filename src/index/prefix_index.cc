@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "index/kernels.h"
+
 namespace sssj {
 
 template <typename Policy>
@@ -45,7 +47,7 @@ template <typename Policy>
 size_t PrefixIndex<Policy>::MemoryBytes() const {
   size_t bytes = residuals_.ApproxBytes();
   for (const auto& [dim, list] : lists_) {
-    bytes += sizeof(DimId) + list.capacity() * sizeof(PostingEntry);
+    bytes += sizeof(DimId) + list.capacity_bytes();
   }
   bytes += (m_.size() + mhat_.size()) * (sizeof(DimId) + sizeof(double));
   return bytes;
@@ -93,27 +95,51 @@ void PrefixIndex<Policy>::QueryInternal(const StreamItem& x,
         remscore = Policy::kL2 ? std::min(rs1, rs2) : rs1;
       }
       const bool admit_more = BoundAtLeast(remscore, theta_);
-      for (const PostingEntry& e : it->second) {
+      const BatchPostingList& list = it->second;
+      const size_t len = list.size();
+      const VectorId* ids = list.id();
+      const double* vals = list.value();
+      const double* pns = list.prefix_norm();
+      const Timestamp* tss = list.ts();
+      // SIMD path: batch the per-entry products over the whole column
+      // (bit-identical to the scalar multiplies). Entries the AP size
+      // filter later skips get a product they never read — the usual
+      // compute-for-bandwidth trade — and the scalar default avoids it.
+      const double* contrib = nullptr;
+      const double* pnprod = nullptr;
+      if (use_simd_ && len >= kernels::kMinSimdRun) {
+        if (scratch->contrib.size() < len) scratch->contrib.resize(len);
+        kernels::ProductColumn(vals, len, c.value, scratch->contrib.data());
+        contrib = scratch->contrib.data();
+        if constexpr (Policy::kL2) {
+          if (scratch->pnprod.size() < len) scratch->pnprod.resize(len);
+          kernels::ProductColumn(pns, len, prefix_norms[i],
+                                 scratch->pnprod.data());
+          pnprod = scratch->pnprod.data();
+        }
+      }
+      for (size_t k = 0; k < len; ++k) {
         ++stats.entries_traversed;
         if constexpr (Policy::kAp) {
           // Size filter: |y|·vm_y ≥ sz1 is necessary for dot(x,y) ≥ θ.
-          const ResidualRecord* rec = residuals_.Find(e.id);
+          const ResidualRecord* rec = residuals_.Find(ids[k]);
           if (rec == nullptr || !BoundAtLeast(rec->nnz * rec->vm, sz1)) {
             continue;
           }
         }
-        CandidateMap::Slot* slot = cands.FindOrCreate(e.id);
+        CandidateMap::Slot* slot = cands.FindOrCreate(ids[k]);
         if (slot->score < 0.0) continue;  // l2-pruned earlier: final
         if (slot->score == 0.0) {
           if (!admit_more) continue;
-          slot->ts = e.ts;
+          slot->ts = tss[k];
           cands.NoteAdmitted();
           ++stats.candidates_generated;
         }
-        slot->score += c.value * e.value;
+        slot->score += contrib != nullptr ? contrib[k] : c.value * vals[k];
         if constexpr (Policy::kL2) {
           const double l2bound =
-              slot->score + prefix_norms[i] * e.prefix_norm;
+              slot->score +
+              (pnprod != nullptr ? pnprod[k] : prefix_norms[i] * pns[k]);
           if (!BoundAtLeast(l2bound, theta_)) {
             slot->score = CandidateMap::kPruned;
             ++stats.l2_prunes;
@@ -143,7 +169,7 @@ void PrefixIndex<Policy>::QueryInternal(const StreamItem& x,
       if (!BoundAtLeast(sz2, theta_)) return;
     }
     ++stats.full_dots;
-    const double s = score + v.Dot(rec->prefix);
+    const double s = score + kernels::SparseDot(v, rec->prefix, use_simd_);
     if (s >= theta_) {
       ResultPair p;
       p.a = id;
@@ -224,7 +250,7 @@ void PrefixIndex<Policy>::AddInternal(const StreamItem& x) {
         residuals_.Insert(x.id, std::move(rec));
         first_indexed = false;
       }
-      lists_[c.dim].push_back(PostingEntry{x.id, c.value, pn, x.ts});
+      lists_[c.dim].Append(x.id, c.value, pn, x.ts);
       ++stats_.entries_indexed;
     }
   }

@@ -39,7 +39,12 @@ struct L2Policy {
 template <typename Policy>
 class PrefixIndex : public BatchIndex {
  public:
-  explicit PrefixIndex(double theta) : theta_(theta) {}
+  // `use_simd` batches the probe loop's contribution and prefix-norm
+  // products through kernels::ProductColumn and routes the verification
+  // dots through kernels::SparseDot — all bit-identical to the scalar
+  // expressions, so both kernel paths emit the same pairs and scores.
+  explicit PrefixIndex(double theta, bool use_simd = false)
+      : theta_(theta), use_simd_(use_simd) {}
 
   void Construct(const Stream& window, const MaxVector& global_max,
                  std::vector<ResultPair>* pairs) override;
@@ -60,7 +65,8 @@ class PrefixIndex : public BatchIndex {
   void AddInternal(const StreamItem& x);
 
   double theta_;
-  std::unordered_map<DimId, std::vector<PostingEntry>> lists_;
+  bool use_simd_ = false;
+  std::unordered_map<DimId, BatchPostingList> lists_;
   ResidualStore residuals_;
   MaxVector m_;     // global max (dominates window + future queries)
   MaxVector mhat_;  // max over *indexed* coordinate values (rs1 bound)

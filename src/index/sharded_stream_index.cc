@@ -4,11 +4,22 @@ namespace sssj {
 
 ShardedStreamIndex::ShardedStreamIndex(const DecayParams& params,
                                        size_t num_threads,
-                                       const L2IndexOptions& options)
+                                       const L2IndexOptions& options,
+                                       bool use_simd)
     : params_(params),
       options_(options),
       shards_(num_threads < 1 ? 1 : num_threads),
-      pool_(num_threads < 1 ? 1 : num_threads) {}
+      pool_(num_threads < 1 ? 1 : num_threads) {
+  for (Shard& shard : shards_) {
+    shard.kernel.use_simd = use_simd;
+    // Each worker owns ~1/S of the candidates; above the column
+    // threshold the generate scan evaluates decay per owned entry
+    // (kernels::DecayOne) instead of computing every span's full
+    // column S times across the workers. Either way the values are
+    // bit-identical, so the output matches the sequential simd engine.
+    shard.kernel.owner_share = shards_.size();
+  }
+}
 
 void ShardedStreamIndex::ProcessArrival(const StreamItem& x,
                                         ResultSink* sink) {
@@ -40,7 +51,7 @@ void ShardedStreamIndex::ProcessArrival(const StreamItem& x,
         },
         [&](VectorId id) { return id % S == w; },
         [](PostingList&, size_t) {},  // deferred: see phase 2
-        &shard.cands, &shard.phase_stats);
+        &shard.kernel, &shard.cands, &shard.phase_stats);
   });
 
   // ---- Parallel phase 2: verification + index construction ----
@@ -52,7 +63,8 @@ void ShardedStreamIndex::ProcessArrival(const StreamItem& x,
   pool_.ParallelFor(S, [&](size_t w) {
     Shard& shard = shards_[w];
     L2VerifyCandidates(
-        x, params_, options_, shard.cands, residuals_, &shard.phase_stats,
+        x, params_, options_, shard.cands, residuals_, &shard.kernel,
+        &shard.phase_stats,
         [&shard](const ResultPair& p) { shard.pairs.push_back(p); });
     for (size_t i = 0; i < n; ++i) {
       const Coord& c = v.coord(i);

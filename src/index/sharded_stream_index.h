@@ -45,8 +45,13 @@ namespace sssj {
 class ShardedStreamIndex : public StreamIndex {
  public:
   // `num_threads` is both the worker count and the shard count (min 1).
+  // `use_simd` turns on the vectorized scoring kernels per worker; each
+  // shard owns its own kernel scratch, and the kernels are element-wise,
+  // so the SIMD output is identical for every shard count (same
+  // per-candidate accumulation argument as the scalar path).
   explicit ShardedStreamIndex(const DecayParams& params, size_t num_threads,
-                              const L2IndexOptions& options = {});
+                              const L2IndexOptions& options = {},
+                              bool use_simd = false);
 
   void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
   void Clear() override;
@@ -61,6 +66,7 @@ class ShardedStreamIndex : public StreamIndex {
   struct Shard {
     std::unordered_map<DimId, PostingList> lists;  // dims with dim % S == w
     CandidateMap cands;  // candidates with id % S == w (scratch)
+    L2KernelState kernel;  // kernel selection + worker-private scratch
     // Per-arrival outputs, merged by the coordinator after the barrier.
     L2PhaseStats phase_stats;
     std::vector<ResultPair> pairs;

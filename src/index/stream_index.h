@@ -29,8 +29,10 @@ class StreamIndex {
 
   // Approximate resident bytes of the index structures (posting-list
   // backing buffers + residual store). The paper reports that when STR
-  // fails it fails on memory (§7): this is the number to watch.
-  virtual size_t MemoryBytes() const { return 0; }
+  // fails it fails on memory (§7): this is the number to watch. Pure
+  // virtual on purpose: a defaulted `return 0` is a silent-zero trap —
+  // an index that forgets to implement it ships a lying mem(MB) column.
+  virtual size_t MemoryBytes() const = 0;
 
   RunStats& stats() { return stats_; }
   const RunStats& stats() const { return stats_; }

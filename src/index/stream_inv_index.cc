@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "index/kernels.h"
+
 namespace sssj {
 
 void StreamInvIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
@@ -18,17 +20,30 @@ void StreamInvIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
     if (it == lists_.end()) continue;
     PostingList& list = it->second;
     NotePruned(list.TruncateFront(list.LowerBoundTs(cutoff)));
-    list.ForEachNewestFirst(0, list.size(), [&](const PostingSpan& sp,
-                                                size_t k) {
-      ++stats_.entries_traversed;
-      CandidateMap::Slot* slot = cands_.FindOrCreate(sp.id[k]);
-      if (slot->score == 0.0) {
-        slot->ts = sp.ts[k];
-        cands_.NoteAdmitted();
-        ++stats_.candidates_generated;
+    PostingSpan spans[2];
+    const size_t nspans = list.Spans(0, list.size(), spans);
+    for (size_t si = nspans; si-- > 0;) {  // newest span first
+      const PostingSpan& sp = spans[si];
+      // INV accumulates every entry, so the value column is dense either
+      // way; the SIMD path batches the products (bit-identical to the
+      // per-entry multiply) and the per-entry loop keeps only the map.
+      const double* contrib = nullptr;
+      if (use_simd_ && sp.len >= kernels::kMinSimdRun) {
+        if (contrib_.size() < sp.len) contrib_.resize(sp.len);
+        kernels::ProductColumn(sp.value, sp.len, c.value, contrib_.data());
+        contrib = contrib_.data();
       }
-      slot->score += c.value * sp.value[k];
-    });
+      for (size_t k = sp.len; k-- > 0;) {  // newest entry first
+        ++stats_.entries_traversed;
+        CandidateMap::Slot* slot = cands_.FindOrCreate(sp.id[k]);
+        if (slot->score == 0.0) {
+          slot->ts = sp.ts[k];
+          cands_.NoteAdmitted();
+          ++stats_.candidates_generated;
+        }
+        slot->score += contrib != nullptr ? contrib[k] : c.value * sp.value[k];
+      }
+    }
   }
 
   // Verification: the accumulated score is the exact dot product.

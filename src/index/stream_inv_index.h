@@ -8,6 +8,7 @@
 #define SSSJ_INDEX_STREAM_INV_INDEX_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "index/candidate_map.h"
 #include "index/posting_list.h"
@@ -17,7 +18,11 @@ namespace sssj {
 
 class StreamInvIndex : public StreamIndex {
  public:
-  explicit StreamInvIndex(const DecayParams& params) : params_(params) {}
+  // `use_simd` batches the per-entry contribution products through
+  // kernels::ProductColumn — bit-identical output (lane-wise IEEE
+  // multiply), so INV behaves the same on both kernel paths.
+  explicit StreamInvIndex(const DecayParams& params, bool use_simd = false)
+      : params_(params), use_simd_(use_simd) {}
 
   void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
   void Clear() override;
@@ -33,8 +38,10 @@ class StreamInvIndex : public StreamIndex {
 
  private:
   DecayParams params_;
+  bool use_simd_;
   std::unordered_map<DimId, PostingList> lists_;
   CandidateMap cands_;
+  std::vector<double> contrib_;  // kernel scratch (SIMD path only)
 };
 
 }  // namespace sssj

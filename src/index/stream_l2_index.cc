@@ -78,10 +78,11 @@ void StreamL2Index::ProcessArrival(const StreamItem& x, ResultSink* sink) {
       [this](PostingList& list, size_t n) {
         NotePruned(list.TruncateFront(n));
       },
-      &cands_, &phase_stats);
+      &kernel_, &cands_, &phase_stats);
 
   // ---- Candidate verification (Algorithm 8, green lines) ----
-  L2VerifyCandidates(x, params_, options_, cands_, residuals_, &phase_stats,
+  L2VerifyCandidates(x, params_, options_, cands_, residuals_, &kernel_,
+                     &phase_stats,
                      [sink](const ResultPair& p) { sink->Emit(p); });
 
   // ---- Index construction (Algorithm 6, green lines) ----

@@ -30,9 +30,15 @@ namespace sssj {
 
 class StreamL2Index : public StreamIndex {
  public:
+  // `use_simd` selects the vectorized scoring kernels (index/kernels.h)
+  // for the generate-phase decay column and the verification dots; false
+  // (default) keeps the bit-exact scalar reference path.
   explicit StreamL2Index(const DecayParams& params,
-                         const L2IndexOptions& options = {})
-      : params_(params), options_(options) {}
+                         const L2IndexOptions& options = {},
+                         bool use_simd = false)
+      : params_(params), options_(options) {
+    kernel_.use_simd = use_simd;
+  }
 
   // Movable so a checkpoint can be deserialized into a scratch index and
   // swapped into the live engine only once the whole file validated
@@ -74,6 +80,7 @@ class StreamL2Index : public StreamIndex {
  private:
   DecayParams params_;
   L2IndexOptions options_;
+  L2KernelState kernel_;  // kernel selection + decay scratch
   std::unordered_map<DimId, PostingList> lists_;
   ResidualStore residuals_;
   CandidateMap cands_;

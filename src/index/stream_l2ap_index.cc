@@ -42,36 +42,48 @@ void StreamL2apIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
       // Lists are not time-sorted (re-indexing): compact expired entries
       // column-wise, then scan forward over raw column pointers (§6.2).
       NotePruned(list.CompactExpired(cutoff));
-      list.ForEachOldestFirst(0, list.size(), [&](const PostingSpan& sp,
-                                                  size_t k) {
-        ++stats_.entries_traversed;
-        const Timestamp ets = sp.ts[k];
-        const double decay = std::exp(-params_.lambda * (x.ts - ets));
-        CandidateMap::Slot* slot = cands_.FindOrCreate(sp.id[k]);
-        if (slot->score < 0.0) return;  // l2-pruned: final
-        if (slot->score == 0.0) {
-          const double remscore =
-              use_l2_bounds_ ? std::min(rs1, rs2 * decay) : rs1;
-          if (!BoundAtLeast(remscore, params_.theta)) return;
-          // AP size filter: |y|·vm_y ≥ θ/vm_x is necessary for similarity.
-          const ResidualRecord* rec = residuals_.Find(sp.id[k]);
-          if (rec == nullptr || !BoundAtLeast(rec->nnz * rec->vm, sz1)) {
-            return;
+      PostingSpan spans[2];
+      const size_t nspans = list.Spans(0, list.size(), spans);
+      for (size_t si = 0; si < nspans; ++si) {  // oldest span first
+        const PostingSpan& sp = spans[si];
+        // SIMD path: one vectorized exp pass over the span's ts column;
+        // scalar path keeps the per-entry std::exp.
+        const double* decay_col =
+            kernel_.DecayForSpan(sp, x.ts, params_.lambda);
+        for (size_t k = 0; k < sp.len; ++k) {  // oldest entry first
+          ++stats_.entries_traversed;
+          const Timestamp ets = sp.ts[k];
+          const double decay =
+              decay_col != nullptr
+                  ? decay_col[k]
+                  : std::exp(-params_.lambda * (x.ts - ets));
+          CandidateMap::Slot* slot = cands_.FindOrCreate(sp.id[k]);
+          if (slot->score < 0.0) continue;  // l2-pruned: final
+          if (slot->score == 0.0) {
+            const double remscore =
+                use_l2_bounds_ ? std::min(rs1, rs2 * decay) : rs1;
+            if (!BoundAtLeast(remscore, params_.theta)) continue;
+            // AP size filter: |y|·vm_y ≥ θ/vm_x is necessary for
+            // similarity.
+            const ResidualRecord* rec = residuals_.Find(sp.id[k]);
+            if (rec == nullptr || !BoundAtLeast(rec->nnz * rec->vm, sz1)) {
+              continue;
+            }
+            slot->ts = ets;
+            cands_.NoteAdmitted();
+            ++stats_.candidates_generated;
           }
-          slot->ts = ets;
-          cands_.NoteAdmitted();
-          ++stats_.candidates_generated;
-        }
-        slot->score += c.value * sp.value[k];
-        if (use_l2_bounds_) {
-          const double l2bound =
-              slot->score + prefix_norms_[i] * sp.prefix_norm[k] * decay;
-          if (!BoundAtLeast(l2bound, params_.theta)) {
-            slot->score = CandidateMap::kPruned;
-            ++stats_.l2_prunes;
+          slot->score += c.value * sp.value[k];
+          if (use_l2_bounds_) {
+            const double l2bound =
+                slot->score + prefix_norms_[i] * sp.prefix_norm[k] * decay;
+            if (!BoundAtLeast(l2bound, params_.theta)) {
+              slot->score = CandidateMap::kPruned;
+              ++stats_.l2_prunes;
+            }
           }
         }
-      });
+      }
     }
     rs1 -= c.value * mhat_.Get(c.dim, x.ts);
     rst -= c.value * c.value;
@@ -97,7 +109,7 @@ void StreamL2apIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
         decay;
     if (!BoundAtLeast(sz2, params_.theta)) return;
     ++stats_.full_dots;
-    const double s = score + v.Dot(yp);
+    const double s = score + kernels::SparseDot(v, yp, kernel_.use_simd);
     const double sim = s * decay;
     if (sim >= params_.theta) {
       ResultPair p;

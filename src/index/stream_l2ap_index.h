@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "index/candidate_map.h"
+#include "index/l2_phases.h"
 #include "index/max_vector.h"
 #include "index/posting_list.h"
 #include "index/residual_store.h"
@@ -53,14 +54,18 @@ class StreamL2apIndex : public StreamIndex {
   // the variant the paper's evaluation omits as "much slower than L2AP";
   // we keep it constructible so the ablation bench can reproduce that
   // preliminary finding.
+  // `use_simd` selects the vectorized scoring kernels for the forward
+  // scan's decay column and the verification dots (index/kernels.h).
   explicit StreamL2apIndex(const DecayParams& params,
                            double ic_theta_slack = 0.0,
-                           bool use_l2_bounds = true)
+                           bool use_l2_bounds = true, bool use_simd = false)
       : params_(params),
         ic_theta_(params.theta * (1.0 - ic_theta_slack)),
         use_l2_bounds_(use_l2_bounds),
         residuals_(/*track_prefix_dims=*/true),
-        mhat_(params.lambda) {}
+        mhat_(params.lambda) {
+    kernel_.use_simd = use_simd;
+  }
 
   void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
   void Clear() override;
@@ -86,6 +91,7 @@ class StreamL2apIndex : public StreamIndex {
   DecayParams params_;
   double ic_theta_;  // index-construction threshold (≤ params_.theta)
   bool use_l2_bounds_;
+  L2KernelState kernel_;  // kernel selection + decay scratch
   std::unordered_map<DimId, PostingList> lists_;
   ResidualStore residuals_;
   MaxVector m_;

@@ -1,0 +1,20 @@
+// Tiny ASCII string helpers shared by the case-insensitive enum parsers
+// (engine framework/scheme names, kernel modes, bench profile names).
+#ifndef SSSJ_UTIL_ASCII_H_
+#define SSSJ_UTIL_ASCII_H_
+
+#include <cctype>
+#include <string>
+
+namespace sssj {
+
+inline std::string AsciiLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace sssj
+
+#endif  // SSSJ_UTIL_ASCII_H_

@@ -1,9 +1,35 @@
 #include "util/flags.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 namespace sssj {
+
+namespace {
+
+// A malformed numeric flag value used to fall through strtod/strtoll with
+// a null endptr and silently become 0 — a typo'd --theta=O.7 then produced
+// garbage output with a zero exit status. Numeric getters now require the
+// whole value to parse and exit non-zero naming the offending flag.
+[[noreturn]] void FlagValueError(const std::string& name,
+                                 const std::string& value,
+                                 const char* expected) {
+  std::fprintf(stderr, "invalid value for --%s: '%s' (expected %s)\n",
+               name.c_str(), value.c_str(), expected);
+  std::exit(2);
+}
+
+// Full-consumption strtod: rejects empty values and trailing junk.
+double ParseDoubleOrDie(const std::string& name, const std::string& value) {
+  const char* s = value.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') FlagValueError(name, value, "a number");
+  return v;
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
@@ -43,14 +69,24 @@ std::string Flags::GetString(const std::string& name,
 
 int64_t Flags::GetInt(const std::string& name, int64_t def) const {
   const Entry* e = Find(name);
-  if (e == nullptr || !e->has_value) return def;
-  return std::strtoll(e->value.c_str(), nullptr, 10);
+  if (e == nullptr) return def;
+  // A present-but-valueless numeric flag ("--seed --tsv": the value was
+  // forgotten) must not silently read as the default either.
+  if (!e->has_value) FlagValueError(name, "", "an integer");
+  const char* s = e->value.c_str();
+  char* end = nullptr;
+  const int64_t v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') {
+    FlagValueError(name, e->value, "an integer");
+  }
+  return v;
 }
 
 double Flags::GetDouble(const std::string& name, double def) const {
   const Entry* e = Find(name);
-  if (e == nullptr || !e->has_value) return def;
-  return std::strtod(e->value.c_str(), nullptr);
+  if (e == nullptr) return def;
+  if (!e->has_value) FlagValueError(name, "", "a number");
+  return ParseDoubleOrDie(name, e->value);
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {
@@ -63,12 +99,20 @@ bool Flags::GetBool(const std::string& name, bool def) const {
 std::vector<double> Flags::GetDoubleList(const std::string& name,
                                          const std::vector<double>& def) const {
   const Entry* e = Find(name);
-  if (e == nullptr || !e->has_value) return def;
+  if (e == nullptr) return def;
+  if (!e->has_value || e->value.empty() || e->value.back() == ',') {
+    FlagValueError(name, e->value, "a comma-separated list of numbers");
+  }
   std::vector<double> out;
   std::stringstream ss(e->value);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::strtod(item.c_str(), nullptr));
+    if (item.empty()) {
+      // An empty element ("0.5,,0.7") used to be skipped silently,
+      // shrinking the sweep grid without a trace.
+      FlagValueError(name, e->value, "a comma-separated list of numbers");
+    }
+    out.push_back(ParseDoubleOrDie(name, item));
   }
   return out;
 }

@@ -2,6 +2,12 @@
 // Syntax: --name=value or --name value; bare --name sets a bool flag true.
 // Unknown flags are collected so binaries can report them; positional
 // arguments are preserved.
+//
+// Numeric getters (GetInt, GetDouble, GetDoubleList) validate strictly: a
+// value that does not parse in full — trailing junk, an empty value, a
+// flag present without any value, or an empty list element — prints the
+// offending flag name to stderr and exits with status 2, instead of
+// silently reading as 0 (or the default) and producing a garbage run.
 #ifndef SSSJ_UTIL_FLAGS_H_
 #define SSSJ_UTIL_FLAGS_H_
 

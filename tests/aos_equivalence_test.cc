@@ -132,9 +132,8 @@ class AosL2Index {
 
     L2PhaseStats unused;
     L2VerifyCandidates(x, params_, L2IndexOptions{}, cands_, residuals_,
-                       &unused, [out](const ResultPair& p) {
-                         out->push_back(p);
-                       });
+                       /*kernel=*/nullptr, &unused,
+                       [out](const ResultPair& p) { out->push_back(p); });
 
     const L2IndexSplit split = L2ComputeIndexSplit(v, params_.theta);
     if (split.first_indexed < n) {

@@ -1,0 +1,90 @@
+// Pins for strict numeric flag validation: a value that does not parse in
+// full must exit with a non-zero status naming the offending flag — never
+// silently read as 0.0 (the pre-fix behavior turned --theta=O.7 into a
+// garbage run with a clean exit status).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/flags.h"
+
+namespace sssj {
+namespace {
+
+TEST(FlagsValidationDeathTest, BadScalarExitsNamingFlag) {
+  const char* argv[] = {"prog", "--theta=abc"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT(f.GetDouble("theta", 0.7), ::testing::ExitedWithCode(2),
+              "--theta");
+}
+
+TEST(FlagsValidationDeathTest, TrailingJunkExitsNamingFlag) {
+  const char* argv[] = {"prog", "--lambda=0.01x"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT(f.GetDouble("lambda", 0.01), ::testing::ExitedWithCode(2),
+              "--lambda");
+}
+
+TEST(FlagsValidationDeathTest, EmptyScalarValueExits) {
+  const char* argv[] = {"prog", "--theta="};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT(f.GetDouble("theta", 0.7), ::testing::ExitedWithCode(2),
+              "--theta");
+}
+
+TEST(FlagsValidationDeathTest, ValuelessNumericFlagExits) {
+  // "--theta --tsv": the value was forgotten; the parser records a bare
+  // flag. Falling back to the default here would silently run with the
+  // wrong parameters.
+  const char* argv[] = {"prog", "--theta", "--tsv"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_EXIT(f.GetDouble("theta", 0.7), ::testing::ExitedWithCode(2),
+              "--theta");
+  EXPECT_EXIT(f.GetDoubleList("theta", {}), ::testing::ExitedWithCode(2),
+              "--theta");
+  EXPECT_EXIT(f.GetInt("theta", 1), ::testing::ExitedWithCode(2), "--theta");
+}
+
+TEST(FlagsValidationDeathTest, BadIntExitsNamingFlag) {
+  const char* argv[] = {"prog", "--seed=12q"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT(f.GetInt("seed", 42), ::testing::ExitedWithCode(2), "--seed");
+}
+
+TEST(FlagsValidationDeathTest, BadListElementExitsNamingFlag) {
+  const char* argv[] = {"prog", "--theta-list=0.5,oops,0.9"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT(f.GetDoubleList("theta-list", {}),
+              ::testing::ExitedWithCode(2), "--theta-list");
+}
+
+TEST(FlagsValidationDeathTest, EmptyListItemExits) {
+  const char* argv[] = {"prog", "--theta-list=0.5,,0.9"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT(f.GetDoubleList("theta-list", {}),
+              ::testing::ExitedWithCode(2), "--theta-list");
+}
+
+TEST(FlagsValidationDeathTest, TrailingCommaExits) {
+  const char* argv[] = {"prog", "--theta-list=0.5,0.9,"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT(f.GetDoubleList("theta-list", {}),
+              ::testing::ExitedWithCode(2), "--theta-list");
+}
+
+TEST(FlagsValidationTest, WellFormedValuesStillParse) {
+  const char* argv[] = {"prog", "--theta=0.75", "--seed=-3",
+                        "--theta-list=1e-3,0.5,.25", "--inf=inf"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(f.GetDouble("theta", 0.0), 0.75);
+  EXPECT_EQ(f.GetInt("seed", 0), -3);
+  const auto v = f.GetDoubleList("theta-list", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1e-3);
+  EXPECT_DOUBLE_EQ(v[2], 0.25);
+  // strtod accepts "inf"/"nan" spellings; full consumption is the bar.
+  EXPECT_TRUE(std::isinf(f.GetDouble("inf", 0.0)));
+}
+
+}  // namespace
+}  // namespace sssj

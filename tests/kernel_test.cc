@@ -1,0 +1,227 @@
+// Kernel equivalence suite, primitive level: the SIMD kernels against
+// their scalar references on randomized inputs, lengths straddling every
+// lane-width boundary, denormals, and ±0.0 — at every ISA level this
+// machine can execute (the test re-runs itself with the dispatch forced
+// down to the narrower paths).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "index/kernels.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "util/simd.h"
+
+namespace sssj {
+namespace {
+
+using testing::UnitVec;
+
+// Lengths around the 2- and 4-lane boundaries plus block edges.
+const size_t kLens[] = {0, 1, 3, 4, 7, 8, 9, 31, 33};
+
+// ISA levels to exercise: everything the host can actually run.
+std::vector<SimdLevel> TestableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  const SimdLevel detected = DetectSimdLevel();
+  if (detected == SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kSse2);
+    levels.push_back(SimdLevel::kAvx2);
+  } else if (detected != SimdLevel::kScalar) {
+    levels.push_back(detected);
+  }
+  return levels;
+}
+
+class KernelLevelTest : public ::testing::TestWithParam<SimdLevel> {
+ protected:
+  void SetUp() override { ForceSimdLevelForTest(GetParam()); }
+  void TearDown() override { ForceSimdLevelForTest(DetectSimdLevel()); }
+};
+
+TEST_P(KernelLevelTest, ExpBlockMatchesStdExp) {
+  Rng rng(101);
+  for (size_t len : kLens) {
+    std::vector<double> x(len);
+    std::vector<double> out(len, -1.0);
+    for (size_t i = 0; i < len; ++i) {
+      // The engine's domain: arguments in [-708, 0].
+      x[i] = -708.0 * rng.NextDouble();
+    }
+    if (len > 0) x[0] = 0.0;
+    if (len > 1) x[1] = -0.0;
+    if (len > 2) x[2] = -4.9e-324;  // denormal argument
+    simd::ExpBlock(x.data(), len, out.data());
+    for (size_t i = 0; i < len; ++i) {
+      const double expected = std::exp(x[i]);
+      EXPECT_NEAR(out[i], expected, 1e-12 * expected)
+          << "x=" << x[i] << " len=" << len << " lane=" << i
+          << " level=" << ToString(ActiveSimdLevel());
+    }
+  }
+}
+
+TEST_P(KernelLevelTest, ExpBlockBatchingInvariant) {
+  // The engine's determinism bar requires exp(x) to have ONE value per
+  // ISA level regardless of how a span batches it: posting-list spans
+  // split at buffer wrap points, which differ between otherwise
+  // identical runs. Evaluate a block in one call, element by element,
+  // and at every offset of a misaligned split — all must agree bitwise.
+  Rng rng(505);
+  std::vector<double> x(33);
+  for (double& v : x) v = -700.0 * rng.NextDouble();
+  std::vector<double> whole(x.size());
+  simd::ExpBlock(x.data(), x.size(), whole.data());
+  for (size_t split = 0; split <= x.size(); ++split) {
+    std::vector<double> parts(x.size());
+    simd::ExpBlock(x.data(), split, parts.data());
+    simd::ExpBlock(x.data() + split, x.size() - split, parts.data() + split);
+    for (size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(whole[i], parts[i])
+          << "split=" << split << " lane=" << i
+          << " level=" << ToString(ActiveSimdLevel());
+    }
+  }
+  std::vector<double> single(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    simd::ExpBlock(x.data() + i, 1, single.data() + i);
+  }
+  for (size_t i = 0; i < x.size(); ++i) ASSERT_EQ(whole[i], single[i]);
+}
+
+TEST_P(KernelLevelTest, ExpBlockExactAtZero) {
+  const double xs[] = {0.0, -0.0};
+  double out[2];
+  simd::ExpBlock(xs, 2, out);
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], 1.0);
+}
+
+TEST_P(KernelLevelTest, ExpBlockUnderflowsToZeroNotGarbage) {
+  // std::exp returns shrinking denormals over [-745.1, -708]; the kernel
+  // must stay within both the relative band (x ≥ -700) and, deeper down,
+  // produce something ≤ the tiniest relevant magnitude, never garbage.
+  const double xs[] = {-700.0, -720.0, -745.0, -746.0, -800.0, -1e9};
+  double out[6];
+  simd::ExpBlock(xs, 6, out);
+  EXPECT_NEAR(out[0], std::exp(-700.0), 1e-12 * std::exp(-700.0));
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_GE(out[i], 0.0);
+    EXPECT_LT(out[i], 1e-300) << "x=" << xs[i];
+  }
+  EXPECT_EQ(out[5], 0.0);
+}
+
+TEST_P(KernelLevelTest, DecayColumnMatchesScalarReference) {
+  Rng rng(202);
+  const double lambda = 0.001;
+  for (size_t len : kLens) {
+    std::vector<Timestamp> ts(len);
+    const Timestamp now = 1000.0;
+    for (size_t i = 0; i < len; ++i) ts[i] = 1000.0 * rng.NextDouble();
+    if (len > 0) ts[0] = now;  // Δt = 0 → decay exactly 1
+    std::vector<double> out(len, -1.0);
+    kernels::DecayColumn(ts.data(), len, now, lambda, out.data());
+    for (size_t i = 0; i < len; ++i) {
+      const double expected = std::exp(-lambda * (now - ts[i]));
+      EXPECT_NEAR(out[i], expected, 1e-12 * expected)
+          << "lane " << i << " of " << len;
+    }
+  }
+  // λ = 0 (no forgetting): decay is exactly 1 everywhere.
+  std::vector<Timestamp> ts(9, 3.0);
+  std::vector<double> out(9);
+  kernels::DecayColumn(ts.data(), 9, 7.0, 0.0, out.data());
+  for (double d : out) EXPECT_EQ(d, 1.0);
+}
+
+TEST_P(KernelLevelTest, ProductColumnBitIdenticalIncludingEdgeValues) {
+  Rng rng(303);
+  for (size_t len : kLens) {
+    std::vector<double> col(len);
+    for (size_t i = 0; i < len; ++i) col[i] = rng.NextDouble();
+    if (len > 0) col[0] = 0.0;
+    if (len > 1) col[1] = -0.0;
+    if (len > 2) col[2] = 4.9e-324;  // denormal
+    if (len > 3) col[3] = 1e-310;    // denormal
+    for (double q : {0.37, -0.0, 0.0, 1e-308}) {
+      std::vector<double> out(len, -1.0);
+      kernels::ProductColumn(col.data(), len, q, out.data());
+      for (size_t i = 0; i < len; ++i) {
+        const double expected = q * col[i];
+        EXPECT_EQ(out[i], expected) << "q=" << q << " lane " << i;
+        // Signed-zero bit pattern must match too.
+        EXPECT_EQ(std::signbit(out[i]), std::signbit(expected));
+      }
+    }
+  }
+}
+
+TEST_P(KernelLevelTest, SparseDotBitIdenticalToScalarMerge) {
+  Rng rng(404);
+  const size_t nnzs[] = {0, 1, 3, 4, 7, 8, 9, 31, 33, 100, 400};
+  const auto make = [&](size_t nnz, DimId dims) {
+    std::vector<Coord> coords;
+    for (size_t i = 0; i < nnz; ++i) {
+      coords.push_back(Coord{static_cast<DimId>(rng.NextBelow(dims)),
+                             0.05 + rng.NextDouble()});
+    }
+    return UnitVec(std::move(coords));
+  };
+  for (size_t na : nnzs) {
+    for (size_t nb : {size_t{0}, size_t{1}, size_t{8}, size_t{33},
+                      size_t{400}}) {
+      for (DimId dims : {DimId{50}, DimId{5000}}) {
+        const SparseVector a = make(na, dims);
+        const SparseVector b = make(nb, dims);
+        const double scalar = kernels::SparseDot(a, b, /*use_simd=*/false);
+        const double simd = kernels::SparseDot(a, b, /*use_simd=*/true);
+        EXPECT_EQ(scalar, simd)
+            << "na=" << na << " nb=" << nb << " dims=" << dims;
+        EXPECT_EQ(scalar, a.Dot(b));
+      }
+    }
+  }
+}
+
+TEST_P(KernelLevelTest, SparseDotDisjointAndIdenticalVectors) {
+  std::vector<Coord> lo, hi;
+  for (DimId d = 0; d < 40; ++d) lo.push_back(Coord{d, 1.0});
+  for (DimId d = 1000; d < 1040; ++d) hi.push_back(Coord{d, 1.0});
+  const SparseVector a = UnitVec(std::move(lo));
+  const SparseVector b = UnitVec(std::move(hi));
+  EXPECT_EQ(kernels::SparseDot(a, b, true), 0.0);
+  EXPECT_EQ(kernels::SparseDot(a, a, true), a.Dot(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, KernelLevelTest,
+                         ::testing::ValuesIn(TestableLevels()),
+                         [](const ::testing::TestParamInfo<SimdLevel>& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(KernelModeTest, ParseAndToStringRoundTrip) {
+  KernelMode m;
+  ASSERT_TRUE(ParseKernelMode("scalar", &m));
+  EXPECT_EQ(m, KernelMode::kScalar);
+  ASSERT_TRUE(ParseKernelMode("SIMD", &m));
+  EXPECT_EQ(m, KernelMode::kSimd);
+  ASSERT_TRUE(ParseKernelMode("Auto", &m));
+  EXPECT_EQ(m, KernelMode::kAuto);
+  EXPECT_FALSE(ParseKernelMode("avx512", &m));
+  EXPECT_STREQ(ToString(KernelMode::kScalar), "scalar");
+  EXPECT_STREQ(ToString(KernelMode::kSimd), "simd");
+  EXPECT_STREQ(ToString(KernelMode::kAuto), "auto");
+}
+
+TEST(KernelModeTest, ScalarModeNeverUsesSimd) {
+  EXPECT_FALSE(KernelModeUsesSimd(KernelMode::kScalar));
+  EXPECT_TRUE(KernelModeUsesSimd(KernelMode::kSimd));
+  // kAuto tracks hardware: with any vector ISA present it selects simd.
+  EXPECT_EQ(KernelModeUsesSimd(KernelMode::kAuto),
+            DetectSimdLevel() != SimdLevel::kScalar);
+}
+
+}  // namespace
+}  // namespace sssj

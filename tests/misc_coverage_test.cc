@@ -1,6 +1,6 @@
 // Small behaviors not covered elsewhere: result formatting, stats string,
 // decay names, profile metadata, candidate-map growth with sentinels,
-// container copy semantics, TF-IDF determinism.
+// TF-IDF determinism.
 #include <gtest/gtest.h>
 
 #include "core/decay.h"
@@ -10,7 +10,6 @@
 #include "data/text.h"
 #include "index/candidate_map.h"
 #include "tests/test_util.h"
-#include "util/circular_buffer.h"
 
 namespace sssj {
 namespace {
@@ -84,25 +83,6 @@ TEST(CandidateMapTest, GrowthPreservesPrunedSentinels) {
   size_t live = 0;
   m.ForEachLive([&](VectorId, double, Timestamp) { ++live; });
   EXPECT_EQ(live, 300u);
-}
-
-TEST(CircularBufferTest, CopyIsIndependent) {
-  CircularBuffer<int> a;
-  for (int i = 0; i < 20; ++i) a.push_back(i);
-  a.truncate_front(5);
-  CircularBuffer<int> b = a;
-  a.clear();
-  ASSERT_EQ(b.size(), 15u);
-  EXPECT_EQ(b.front(), 5);
-  EXPECT_EQ(b.back(), 19);
-}
-
-TEST(CircularBufferTest, MoveTransfersContents) {
-  CircularBuffer<int> a;
-  for (int i = 0; i < 10; ++i) a.push_back(i);
-  CircularBuffer<int> b = std::move(a);
-  EXPECT_EQ(b.size(), 10u);
-  EXPECT_EQ(b.front(), 0);
 }
 
 TEST(RunStatsTest, ToStringListsAllHeadlineCounters) {
