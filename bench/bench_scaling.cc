@@ -11,12 +11,17 @@
 // the MiniBatch window-close fan-out on the dense WebSpam-like profile
 // (--mb-thread-list / --mb-scale), where per-window query cost dominates;
 // MB output is bit-identical across thread counts, so the pairs column
-// doubles as a determinism check. Skip both with --no-threads.
+// doubles as a determinism check. A fourth sweeps JoinService tenancy
+// (--session-list, default 1,2,4,8): K concurrent sessions each fed the
+// full stream from its own thread, so the per-session throughput column
+// is the multi-tenant overhead. Skip all of them with --no-threads.
 #include <iostream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "core/join_service.h"
 #include "util/timer.h"
 
 namespace sssj {
@@ -39,11 +44,11 @@ void PrintThreadSweep(const Stream& stream, Framework framework, double theta,
     cfg.theta = theta;
     cfg.lambda = lambda;
     cfg.num_threads = threads;
-    auto engine = SssjEngine::Create(cfg);
     CountingSink sink;
+    auto engine = *SssjEngine::Make(cfg, &sink);
     Timer timer;
-    engine->PushBatch(stream, &sink);
-    engine->Flush(&sink);  // MB drains its windows; no-op for STR
+    engine->PushBatch(stream);
+    engine->Flush();  // MB drains its windows; no-op for STR
     *pairs = sink.count();
     *mem = engine->MemoryBytes();
     return timer.ElapsedSeconds();
@@ -153,6 +158,66 @@ int Run(int argc, char** argv) {
             << " (bit-identical output at every thread count)\n";
     PrintThreadSweep(stream, Framework::kMiniBatch, theta, lambda,
                      mb_thread_list, args.tsv, caption.str());
+  }
+
+  // ---- Multi-tenant sweep: K concurrent JoinService sessions vs 1 ----
+  // Every session runs the same STR-L2 config over the same stream, each
+  // fed from its own thread. Per-session work is constant, so the
+  // aggregate-throughput column exposes exactly the multi-tenant overhead
+  // (registry locks, shared allocator pressure, cache competition); the
+  // pairs column must equal K × the single-session count.
+  {
+    const std::vector<double> session_list =
+        flags.GetDoubleList("session-list", {1, 2, 4, 8});
+    const Stream stream = GenerateProfile(
+        DatasetProfile::kRcv1, flags.GetDouble("service-scale", args.scale),
+        args.seed);
+    TablePrinter table({"sessions", "time(s)", "agg_kvec/s", "per_sess_kvec/s",
+                        "slowdown", "pairs", "mem(MB)"},
+                       args.tsv);
+    double baseline_seconds = 0.0;
+    for (double sessions_d : session_list) {
+      const size_t k = sessions_d < 1 ? 1 : static_cast<size_t>(sessions_d);
+      JoinService service;
+      EngineConfig cfg;
+      cfg.framework = Framework::kStreaming;
+      cfg.index = IndexScheme::kL2;
+      cfg.theta = theta;
+      cfg.lambda = lambda;
+      std::vector<CountingSink> sinks(k);
+      std::vector<JoinService::SessionHandle> handles(k);
+      for (size_t s = 0; s < k; ++s) {
+        handles[s] = *service.CreateSession(
+            {"tenant-" + std::to_string(s), cfg, &sinks[s]});
+      }
+      Timer timer;
+      std::vector<std::thread> feeders;
+      feeders.reserve(k);
+      for (size_t s = 0; s < k; ++s) {
+        feeders.emplace_back([&, s] {
+          for (const StreamItem& item : stream) {
+            service.Push(handles[s], item.ts, item.vec);
+          }
+        });
+      }
+      for (std::thread& t : feeders) t.join();
+      const double seconds = timer.ElapsedSeconds();
+      if (baseline_seconds == 0.0) baseline_seconds = seconds;
+      uint64_t pairs = 0;
+      for (const CountingSink& sink : sinks) pairs += sink.count();
+      const ServiceStats stats = service.Stats();
+      table.AddRow({std::to_string(k), FormatDouble(seconds, 3),
+                    FormatDouble(k * stream.size() / seconds / 1000.0, 1),
+                    FormatDouble(stream.size() / seconds / 1000.0, 1),
+                    FormatDouble(seconds / baseline_seconds, 2) + "x",
+                    std::to_string(pairs),
+                    FormatDouble(stats.memory_bytes / (1024.0 * 1024.0), 2)});
+    }
+    std::cout << "\nJoinService multi-tenancy: K concurrent sessions, each "
+                 "fed the full RCV1Like stream (n="
+              << stream.size() << ") from its own thread; per-session kvec/s "
+              << "vs K shows the multi-tenant overhead\n";
+    table.Print(std::cout);
   }
   return 0;
 }

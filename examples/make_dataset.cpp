@@ -60,12 +60,11 @@ int main(int argc, char** argv) {
     format = out.size() > 4 && out.substr(out.size() - 4) == ".bin" ? "bin"
                                                                     : "text";
   }
-  std::string error;
-  const bool ok = format == "bin"
-                      ? sssj::WriteBinaryStream(stream, out, &error)
-                      : sssj::WriteTextStream(stream, out, &error);
-  if (!ok) {
-    std::fprintf(stderr, "write failed: %s\n", error.c_str());
+  const sssj::Status status = format == "bin"
+                                  ? sssj::WriteBinaryStream(stream, out)
+                                  : sssj::WriteTextStream(stream, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
     return 1;
   }
   uint64_t nnz = 0;

@@ -79,12 +79,28 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // One sink bound at creation; `is_duplicate` is reset before each push,
+  // so the callback flags the message currently being processed (STR
+  // emits synchronously inside Push).
+  bool is_duplicate = false;
+  sssj::CallbackSink sink([&](const sssj::ResultPair& p) {
+    // p.b is the current message; p.a an earlier similar one. If the
+    // earlier one was shown (not itself suppressed), suppress this one.
+    (void)p;
+    is_duplicate = true;
+  });
+
   sssj::EngineConfig config;
   config.framework = sssj::Framework::kStreaming;
   config.index = sssj::IndexScheme::kL2;
   config.theta = params.theta;
   config.lambda = params.lambda;
-  auto engine = sssj::SssjEngine::Create(config);
+  auto engine_or = sssj::SssjEngine::Make(config, &sink);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine_or.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = *std::move(engine_or);
 
   sssj::Rng rng(7);
   const auto feed = SimulateFeed(n, rng);
@@ -96,15 +112,9 @@ int main(int argc, char** argv) {
 
   for (const auto& [ts, text] : feed) {
     const sssj::VectorId id = engine->next_id();
-    bool is_duplicate = false;
-    sssj::CallbackSink sink([&](const sssj::ResultPair& p) {
-      // p.b is the current message; p.a an earlier similar one. If the
-      // earlier one was shown (not itself suppressed), suppress this one.
-      (void)p;
-      is_duplicate = true;
-    });
+    is_duplicate = false;
     const sssj::SparseVector vec = tfidf.AddAndTransform(text);
-    if (vec.empty() || !engine->Push(ts, vec, &sink)) {
+    if (vec.empty() || !engine->Push(ts, vec).ok()) {
       ++skipped;  // vocabulary too fresh to vectorize — show it
       continue;
     }

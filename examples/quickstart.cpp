@@ -1,13 +1,15 @@
-// Quickstart: the 60-second tour of the sssj public API.
+// Quickstart: the 60-second tour of the sssj v2 public API.
 //
 //   ./examples/quickstart
 //
-// Builds a streaming engine (STR framework, L2 index), feeds a small
-// timestamped stream, and prints every time-dependent similar pair as soon
-// as it is discovered.
+// Builds a streaming engine (STR framework, L2 index) with a sink
+// pipeline bound at creation, feeds a small timestamped stream with
+// Status-checked pushes, and prints every time-dependent similar pair as
+// soon as it is discovered.
 #include <cstdio>
 
 #include "core/engine.h"
+#include "core/sinks.h"
 
 int main() {
   // 1. Pick the join parameters. θ is the similarity threshold; λ is the
@@ -20,25 +22,32 @@ int main() {
   config.theta = 0.7;
   config.lambda = 0.05;
 
-  auto engine = sssj::SssjEngine::Create(config);
-  if (engine == nullptr) {
-    std::fprintf(stderr, "invalid engine configuration\n");
-    return 1;
-  }
-  std::printf("engine: %s-%s, theta=%.2f lambda=%.3f horizon=%.1f\n",
-              sssj::ToString(config.framework), sssj::ToString(config.index),
-              config.theta, config.lambda, engine->params().tau);
-
-  // 2. Results arrive through a sink; CallbackSink invokes a lambda for
-  //    each discovered pair (STR reports pairs immediately on arrival).
-  sssj::CallbackSink sink([](const sssj::ResultPair& p) {
+  // 2. Results flow through a sink chain bound at engine creation. Here:
+  //    every pair goes to a callback AND the 3 best pairs are tracked —
+  //    TeeSink fans out, TopKSink keeps the best-k by decayed similarity.
+  //    (CollectorSink, FilterSink, SamplingSink compose the same way.)
+  sssj::CallbackSink printer([](const sssj::ResultPair& p) {
     std::printf("  similar: #%llu (t=%.1f) ~ #%llu (t=%.1f)  "
                 "cosine=%.3f  decayed=%.3f\n",
                 static_cast<unsigned long long>(p.a), p.ta,
                 static_cast<unsigned long long>(p.b), p.tb, p.dot, p.sim);
   });
+  sssj::TopKSink best(3);
+  sssj::TeeSink sink({&printer, &best});
 
-  // 3. Feed timestamped sparse vectors (they are unit-normalized for you).
+  // 3. Every fallible call returns sssj::Status (or StatusOr<T>) naming
+  //    exactly what went wrong — no more nullptr/bool guessing.
+  auto engine_or = sssj::SssjEngine::Make(config, &sink);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine_or.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = *std::move(engine_or);
+  std::printf("engine: %s-%s, theta=%.2f lambda=%.3f horizon=%.1f\n",
+              sssj::ToString(config.framework), sssj::ToString(config.index),
+              config.theta, config.lambda, engine->params().tau);
+
+  // 4. Feed timestamped sparse vectors (they are unit-normalized for you).
   //    Vectors are (dimension, weight) lists — think TF-IDF over terms.
   using sssj::Coord;
   struct Doc {
@@ -54,12 +63,16 @@ int main() {
                                                // in time — beyond τ ≈ 7.1
   };
   for (const Doc& d : docs) {
-    engine->Push(d.ts, sssj::SparseVector::FromCoords(d.coords), &sink);
+    const sssj::Status status =
+        engine->Push(d.ts, sssj::SparseVector::FromCoords(d.coords));
+    if (!status.ok()) {
+      std::fprintf(stderr, "push rejected: %s\n", status.ToString().c_str());
+    }
   }
 
-  // 4. Flush at end-of-stream (a no-op for STR; required for MB, which
+  // 5. Flush at end-of-stream (a no-op for STR; required for MB, which
   //    buffers up to two windows).
-  engine->Flush(&sink);
+  engine->Flush();
 
   const sssj::RunStats& stats = engine->stats();
   std::printf("processed %llu vectors, emitted %llu pairs, "
@@ -67,5 +80,14 @@ int main() {
               static_cast<unsigned long long>(stats.vectors_processed),
               static_cast<unsigned long long>(stats.pairs_emitted),
               static_cast<unsigned long long>(stats.entries_traversed));
+  std::printf("best pair kept by TopKSink: ");
+  const auto top = best.TopPairs();
+  if (!top.empty()) {
+    std::printf("#%llu ~ #%llu (decayed=%.3f)\n",
+                static_cast<unsigned long long>(top[0].a),
+                static_cast<unsigned long long>(top[0].b), top[0].sim);
+  } else {
+    std::printf("none\n");
+  }
   return 0;
 }

@@ -31,20 +31,31 @@
 //   --quiet              suppress per-pair output on stdout; pairs still
 //                        go to --output when one is given (stats are on
 //                        stderr either way)
+//   --min-dot=<v>        sink pipeline: drop pairs whose raw cosine is
+//                        below v before writing (FilterSink stage)
+//   --top-k=<k>          sink pipeline: also report the k best pairs by
+//                        decayed similarity at the end (TopKSink stage)
 //   --memory             also print the live footprint after the run
 //                        (STR: posting columns + residual store; MB:
 //                        buffered windows + peak window-index bytes)
+//
+// Unknown flags are an error (exit 2): a typo like --thta=0.9 must not
+// silently run with the default.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "core/engine.h"
+#include "core/sinks.h"
 #include "data/io.h"
 #include "util/flags.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
   sssj::Flags flags(argc, argv);
+  flags.RejectUnknown(
+      {"input", "format", "framework", "index", "theta", "lambda", "kernel",
+       "threads", "output", "quiet", "min-dot", "top-k", "memory"});
   const std::string input = flags.GetString("input", "");
   if (input.empty()) {
     std::fprintf(stderr, "--input is required (see header of this file)\n");
@@ -52,19 +63,23 @@ int main(int argc, char** argv) {
   }
 
   sssj::EngineConfig config;
-  if (!sssj::ParseFramework(flags.GetString("framework", "STR"),
-                            &config.framework) ||
-      !sssj::ParseIndexScheme(flags.GetString("index", "L2"),
-                              &config.index)) {
-    std::fprintf(stderr, "unknown --framework or --index\n");
+  const auto framework =
+      sssj::ParseFramework(flags.GetString("framework", "STR"));
+  const auto index = sssj::ParseIndexScheme(flags.GetString("index", "L2"));
+  if (!framework.ok() || !index.ok()) {
+    const sssj::Status& bad = !framework.ok() ? framework.status()
+                                              : index.status();
+    std::fprintf(stderr, "%s\n", bad.ToString().c_str());
     return 1;
   }
+  config.framework = *framework;
+  config.index = *index;
   config.theta = flags.GetDouble("theta", 0.7);
   config.lambda = flags.GetDouble("lambda", 0.01);
   config.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   if (flags.Has("kernel")) {
     // GetString's default would mask a bare `--kernel` (no value) as the
-    // scalar default — the silent-fallback class this PR stamps out.
+    // scalar default — the silent-fallback class this flag guards against.
     const std::string kernel_str = flags.GetString("kernel", "");
     if (!sssj::ParseKernelMode(kernel_str, &config.kernel)) {
       std::fprintf(stderr,
@@ -74,13 +89,6 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  auto engine = sssj::SssjEngine::Create(config);
-  if (engine == nullptr) {
-    std::fprintf(stderr,
-                 "invalid configuration (theta in (0,1]? lambda >= 0? "
-                 "STR-AP is unsupported)\n");
-    return 1;
-  }
 
   std::string format = flags.GetString("format", "");
   if (format.empty()) {
@@ -89,13 +97,12 @@ int main(int argc, char** argv) {
                  : "text";
   }
   sssj::Stream stream;
-  std::string error;
-  const bool ok = format == "bin"
-                      ? sssj::ReadBinaryStream(input, &stream, {}, &error)
-                      : sssj::ReadTextStream(input, &stream, {}, &error);
-  if (!ok) {
+  const sssj::Status read_status =
+      format == "bin" ? sssj::ReadBinaryStream(input, &stream)
+                      : sssj::ReadTextStream(input, &stream);
+  if (!read_status.ok()) {
     std::fprintf(stderr, "failed to read %s: %s\n", input.c_str(),
-                 error.c_str());
+                 read_status.ToString().c_str());
     return 1;
   }
 
@@ -117,7 +124,7 @@ int main(int argc, char** argv) {
   // to produce a silently empty output file.
   const bool write_pairs = !quiet || out != &std::cout;
   uint64_t pairs = 0;
-  sssj::CallbackSink sink([&](const sssj::ResultPair& p) {
+  sssj::CallbackSink writer([&](const sssj::ResultPair& p) {
     ++pairs;
     if (write_pairs) {
       (*out) << p.a << ' ' << p.b << ' ' << p.ta << ' ' << p.tb << ' '
@@ -125,21 +132,65 @@ int main(int argc, char** argv) {
     }
   });
 
+  // Sink pipeline, innermost first: writer ← [tee → top-k] ← [min-dot
+  // filter]. The engine sees a single ResultSink regardless of the chain.
+  const int64_t top_k_raw = flags.GetInt("top-k", 0);
+  if (top_k_raw < 0) {
+    std::fprintf(stderr, "invalid value for --top-k: %lld (expected >= 0)\n",
+                 static_cast<long long>(top_k_raw));
+    return 2;
+  }
+  const size_t top_k = static_cast<size_t>(top_k_raw);
+  sssj::TopKSink best(top_k);
+  sssj::TeeSink tee({&writer});
+  if (top_k > 0) tee.Add(&best);
+  sssj::ResultSink* sink = &tee;
+  const double min_dot = flags.GetDouble("min-dot", 0.0);
+  sssj::FilterSink filter(
+      [min_dot](const sssj::ResultPair& p) { return p.dot >= min_dot; }, &tee);
+  if (min_dot > 0.0) sink = &filter;
+
+  auto engine_or = sssj::SssjEngine::Make(config, sink);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = *std::move(engine_or);
+
   sssj::Timer timer;
-  engine->PushBatch(stream, &sink);
-  engine->Flush(&sink);
+  const sssj::BatchPushResult pushed = engine->PushBatch(stream);
+  engine->Flush();
   const double secs = timer.ElapsedSeconds();
+  for (const auto& reject : pushed.rejects) {
+    std::fprintf(stderr, "item %zu rejected: %s\n", reject.index,
+                 reject.status.ToString().c_str());
+  }
 
   const sssj::RunStats& s = engine->stats();
   std::fprintf(stderr,
                "%s-%s theta=%.3f lambda=%.4g tau=%.4g kernel=%s: "
-               "%zu vectors, %llu pairs, %.3fs (%.0f vec/s)\n",
+               "%zu vectors (%zu accepted), %llu pairs, %.3fs (%.0f vec/s)\n",
                sssj::ToString(config.framework), sssj::ToString(config.index),
                config.theta, config.lambda, engine->params().tau,
-               sssj::ToString(config.kernel), stream.size(),
+               sssj::ToString(config.kernel), stream.size(), pushed.accepted,
                static_cast<unsigned long long>(pairs), secs,
                stream.size() / std::max(secs, 1e-9));
   std::fprintf(stderr, "stats: %s\n", s.ToString().c_str());
+  if (min_dot > 0.0) {
+    std::fprintf(stderr,
+                 "min-dot filter: %llu pairs passed, %llu dropped\n",
+                 static_cast<unsigned long long>(filter.passed()),
+                 static_cast<unsigned long long>(filter.dropped()));
+  }
+  if (top_k > 0) {
+    std::fprintf(stderr, "top-%zu pairs by decayed similarity:\n", top_k);
+    for (const sssj::ResultPair& p : best.TopPairs()) {
+      std::fprintf(stderr, "  %llu %llu sim=%.6f dot=%.6f\n",
+                   static_cast<unsigned long long>(p.a),
+                   static_cast<unsigned long long>(p.b), p.sim, p.dot);
+    }
+  }
   if (flags.GetBool("memory", false)) {
     const size_t bytes = engine->MemoryBytes();
     std::fprintf(stderr, "memory: %zu bytes (%.2f MB) across %llu live entries\n",

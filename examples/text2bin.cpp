@@ -29,18 +29,20 @@ int main(int argc, char** argv) {
   opts.require_ordered = !flags.GetBool("unordered", false);
 
   sssj::Stream stream;
-  std::string error;
-  const bool read_ok = to_text
-                           ? sssj::ReadBinaryStream(in, &stream, opts, &error)
-                           : sssj::ReadTextStream(in, &stream, opts, &error);
-  if (!read_ok) {
-    std::fprintf(stderr, "read failed: %s\n", error.c_str());
+  const sssj::Status read_status =
+      to_text ? sssj::ReadBinaryStream(in, &stream, opts)
+              : sssj::ReadTextStream(in, &stream, opts);
+  if (!read_status.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 read_status.ToString().c_str());
     return 1;
   }
-  const bool write_ok = to_text ? sssj::WriteTextStream(stream, out, &error)
-                                : sssj::WriteBinaryStream(stream, out, &error);
-  if (!write_ok) {
-    std::fprintf(stderr, "write failed: %s\n", error.c_str());
+  const sssj::Status write_status = to_text
+                                        ? sssj::WriteTextStream(stream, out)
+                                        : sssj::WriteBinaryStream(stream, out);
+  if (!write_status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n",
+                 write_status.ToString().c_str());
     return 1;
   }
   std::fprintf(stderr, "converted %zu vectors: %s -> %s\n", stream.size(),

@@ -78,18 +78,23 @@ int main(int argc, char** argv) {
   const double event_end = event_start + 10.0;
   int event_posts = 0;
 
-  sssj::EngineConfig config;
-  config.framework = sssj::Framework::kStreaming;
-  config.index = sssj::IndexScheme::kL2;
-  config.theta = params.theta;
-  config.lambda = params.lambda;
-  auto engine = sssj::SssjEngine::Create(config);
-
   UnionFind clusters;
   std::unordered_map<sssj::VectorId, double> first_seen;
   sssj::CallbackSink sink([&](const sssj::ResultPair& p) {
     clusters.Union(p.a, p.b);
   });
+
+  sssj::EngineConfig config;
+  config.framework = sssj::Framework::kStreaming;
+  config.index = sssj::IndexScheme::kL2;
+  config.theta = params.theta;
+  config.lambda = params.lambda;
+  auto engine_or = sssj::SssjEngine::Make(config, &sink);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine_or.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = *std::move(engine_or);
 
   std::unordered_map<sssj::VectorId, bool> is_event_post;
   while (gen.HasNext()) {
@@ -109,12 +114,12 @@ int main(int argc, char** argv) {
       ++event_posts;
     }
     const sssj::VectorId id = engine->next_id();
-    if (engine->Push(item.ts, item.vec, &sink)) {
+    if (engine->Push(item.ts, item.vec).ok()) {
       first_seen[id] = item.ts;
       is_event_post[id] = event;
     }
   }
-  engine->Flush(&sink);
+  engine->Flush();
 
   // Aggregate cluster sizes.
   std::map<sssj::VectorId, std::vector<sssj::VectorId>> groups;

@@ -9,6 +9,7 @@
 // make the semantic difference concrete.
 #include <cstdio>
 
+#include "core/sinks.h"
 #include "data/generator.h"
 #include "index/decayed_stream_index.h"
 #include "util/flags.h"
@@ -45,19 +46,31 @@ int main(int argc, char** argv) {
 
   std::printf("windowed join over %d posts, horizon=%.0f, theta=%.2f\n", n,
               window, theta);
-  std::printf("%-16s %8s %12s %12s\n", "decay", "pairs", "entries",
-              "full_dots");
+  std::printf("%-16s %8s %12s %12s  %s\n", "decay", "pairs", "entries",
+              "full_dots", "best pair (sim)");
   for (const Family& fam : families) {
     sssj::GeneralDecayL2Index index(theta, fam.f);
-    sssj::CountingSink sink;
+    // Sink chain: count everything, and keep the single best pair — one
+    // TeeSink bound once, instead of re-plumbing sinks per use case.
+    sssj::CountingSink counter;
+    sssj::TopKSink best(1);
+    sssj::TeeSink sink({&counter, &best});
     for (const sssj::StreamItem& item : stream) {
       index.ProcessArrival(item, &sink);
     }
-    std::printf("%-16s %8llu %12llu %12llu\n", fam.label,
-                static_cast<unsigned long long>(sink.count()),
+    const auto top = best.TopPairs();
+    char best_buf[64] = "-";
+    if (!top.empty()) {
+      std::snprintf(best_buf, sizeof(best_buf), "#%llu ~ #%llu (%.3f)",
+                    static_cast<unsigned long long>(top[0].a),
+                    static_cast<unsigned long long>(top[0].b), top[0].sim);
+    }
+    std::printf("%-16s %8llu %12llu %12llu  %s\n", fam.label,
+                static_cast<unsigned long long>(counter.count()),
                 static_cast<unsigned long long>(
                     index.stats().entries_traversed),
-                static_cast<unsigned long long>(index.stats().full_dots));
+                static_cast<unsigned long long>(index.stats().full_dots),
+                best_buf);
   }
   std::printf(
       "(same horizon: the window family keeps every in-horizon pair with "

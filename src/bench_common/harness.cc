@@ -17,15 +17,16 @@ RunResult RunJoin(const Stream& stream, const RunConfig& config) {
   ec.lambda = config.lambda;
   ec.kernel = config.kernel;
   ec.normalize_inputs = false;  // generator/profile streams are unit already
-  auto engine = SssjEngine::Create(ec);
-  if (engine == nullptr) return result;  // valid=false
+  CountingSink sink;
+  auto engine_or = SssjEngine::Make(ec, &sink);
+  if (!engine_or.ok()) return result;  // valid=false (e.g. STR-AP)
+  auto engine = *std::move(engine_or);
   result.valid = true;
 
-  CountingSink sink;
   Timer timer;
   constexpr size_t kBudgetCheckStride = 64;
   for (size_t i = 0; i < stream.size(); ++i) {
-    engine->Push(stream[i].ts, stream[i].vec, &sink);
+    engine->Push(stream[i].ts, stream[i].vec);
     if ((i % kBudgetCheckStride) == 0 &&
         timer.ElapsedSeconds() > config.budget_seconds) {
       result.seconds = timer.ElapsedSeconds();
@@ -35,7 +36,7 @@ RunResult RunJoin(const Stream& stream, const RunConfig& config) {
       return result;  // completed=false
     }
   }
-  engine->Flush(&sink);
+  engine->Flush();
   result.seconds = timer.ElapsedSeconds();
   result.completed = result.seconds <= config.budget_seconds;
   result.pairs = sink.count();

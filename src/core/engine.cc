@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "index/inv_index.h"
 #include "index/prefix_index.h"
@@ -33,28 +34,22 @@ std::unique_ptr<BatchIndex> MakeBatchIndex(IndexScheme scheme, double theta,
   return nullptr;
 }
 
-std::unique_ptr<StreamIndex> MakeStreamIndex(IndexScheme scheme,
-                                             const DecayParams& params,
-                                             size_t num_threads,
-                                             bool use_simd) {
-  switch (scheme) {
-    case IndexScheme::kInv:
-      return std::make_unique<StreamInvIndex>(params, use_simd);
-    case IndexScheme::kL2ap:
-      return std::make_unique<StreamL2apIndex>(params, /*ic_theta_slack=*/0.0,
-                                               /*use_l2_bounds=*/true,
-                                               use_simd);
-    case IndexScheme::kL2:
-      if (num_threads > 1) {
-        return std::make_unique<ShardedStreamIndex>(params, num_threads,
-                                                    L2IndexOptions{}, use_simd);
-      }
-      return std::make_unique<StreamL2Index>(params, L2IndexOptions{},
-                                             use_simd);
-    case IndexScheme::kAp:
-      return nullptr;  // STR-AP: omitted (paper §5.2)
-  }
-  return nullptr;
+std::string FormatValue(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+// Stand-in for an unbound sink: the joins unconditionally Emit into the
+// sink they are handed, so "discard results" is a sink that ignores them.
+class DiscardSink : public ResultSink {
+ public:
+  void Emit(const ResultPair&) override {}
+};
+
+ResultSink* OrDiscard(ResultSink* sink) {
+  static DiscardSink* discard = new DiscardSink;  // leaked singleton
+  return sink != nullptr ? sink : discard;
 }
 
 }  // namespace
@@ -77,107 +72,221 @@ const char* ToString(IndexScheme s) {
   return "?";
 }
 
-bool ParseFramework(const std::string& s, Framework* out) {
+StatusOr<Framework> ParseFramework(const std::string& s) {
   const std::string l = AsciiLower(s);
-  if (l == "mb" || l == "minibatch") {
-    *out = Framework::kMiniBatch;
-    return true;
-  }
-  if (l == "str" || l == "streaming") {
-    *out = Framework::kStreaming;
-    return true;
-  }
-  return false;
+  if (l == "mb" || l == "minibatch") return Framework::kMiniBatch;
+  if (l == "str" || l == "streaming") return Framework::kStreaming;
+  return Status::InvalidArgument("unknown framework '" + s +
+                                 "' (expected MB/minibatch or "
+                                 "STR/streaming)");
+}
+
+StatusOr<IndexScheme> ParseIndexScheme(const std::string& s) {
+  const std::string l = AsciiLower(s);
+  if (l == "inv") return IndexScheme::kInv;
+  if (l == "ap") return IndexScheme::kAp;
+  if (l == "l2ap") return IndexScheme::kL2ap;
+  if (l == "l2") return IndexScheme::kL2;
+  return Status::InvalidArgument("unknown index scheme '" + s +
+                                 "' (expected INV, AP, L2AP, or L2)");
+}
+
+bool ParseFramework(const std::string& s, Framework* out) {
+  StatusOr<Framework> parsed = ParseFramework(s);
+  if (!parsed.ok()) return false;
+  *out = *parsed;
+  return true;
 }
 
 bool ParseIndexScheme(const std::string& s, IndexScheme* out) {
-  const std::string l = AsciiLower(s);
-  if (l == "inv") {
-    *out = IndexScheme::kInv;
-    return true;
-  }
-  if (l == "ap") {
-    *out = IndexScheme::kAp;
-    return true;
-  }
-  if (l == "l2ap") {
-    *out = IndexScheme::kL2ap;
-    return true;
-  }
-  if (l == "l2") {
-    *out = IndexScheme::kL2;
-    return true;
-  }
-  return false;
+  StatusOr<IndexScheme> parsed = ParseIndexScheme(s);
+  if (!parsed.ok()) return false;
+  *out = *parsed;
+  return true;
 }
 
-SssjEngine::SssjEngine(const EngineConfig& config, const DecayParams& params)
-    : config_(config), params_(params) {}
+SssjEngine::SssjEngine(const EngineConfig& config, const DecayParams& params,
+                       ResultSink* sink)
+    : config_(config), params_(params), sink_(sink) {}
 
 SssjEngine::~SssjEngine() = default;
 
-std::unique_ptr<SssjEngine> SssjEngine::Create(const EngineConfig& config) {
+StatusOr<std::unique_ptr<SssjEngine>> SssjEngine::Make(
+    const EngineConfig& config, ResultSink* sink) {
+  if (!(config.theta > 0.0) || config.theta > 1.0 ||
+      !std::isfinite(config.theta)) {
+    return Status(StatusCode::kOutOfRange,
+                  "theta must be in (0, 1]; got " + FormatValue(config.theta));
+  }
+  if (!(config.lambda >= 0.0) || !std::isfinite(config.lambda)) {
+    return Status(StatusCode::kOutOfRange,
+                  "lambda must be finite and >= 0; got " +
+                      FormatValue(config.lambda));
+  }
+  if (config.framework == Framework::kStreaming &&
+      config.index == IndexScheme::kAp) {
+    return Status::Unimplemented(
+        "STR-AP is not supported: the paper omits the streaming AP scheme "
+        "as impractical (maintaining the prefix-filter max vector online "
+        "forces continual re-indexing, see §5.2); use STR-L2AP or MB-AP "
+        "instead");
+  }
   DecayParams params;
-  if (!DecayParams::Make(config.theta, config.lambda, &params)) return nullptr;
+  if (!DecayParams::Make(config.theta, config.lambda, &params)) {
+    return Status::Internal("DecayParams rejected validated theta/lambda");
+  }
 
-  std::unique_ptr<SssjEngine> engine(new SssjEngine(config, params));
+  std::unique_ptr<SssjEngine> engine(new SssjEngine(config, params, sink));
   const size_t num_threads =
       config.num_threads < 1 ? 1 : static_cast<size_t>(config.num_threads);
   const bool use_simd = KernelModeUsesSimd(config.kernel);
   if (config.framework == Framework::kMiniBatch) {
     const IndexScheme scheme = config.index;
     const double theta = config.theta;
-    engine->mb_ = std::make_unique<MiniBatchJoin>(
-        params,
-        [scheme, theta, use_simd] {
-          return MakeBatchIndex(scheme, theta, use_simd);
-        },
-        /*window_factor=*/1.0, num_threads);
+    auto factory = [scheme, theta, use_simd] {
+      return MakeBatchIndex(scheme, theta, use_simd);
+    };
+    if (config.pool != nullptr && num_threads > 1) {
+      engine->mb_ = std::make_unique<MiniBatchJoin>(
+          params, std::move(factory), /*window_factor=*/1.0, config.pool);
+    } else {
+      engine->mb_ = std::make_unique<MiniBatchJoin>(
+          params, std::move(factory), /*window_factor=*/1.0, num_threads);
+    }
   } else {
-    auto index = MakeStreamIndex(config.index, params, num_threads, use_simd);
-    if (index == nullptr) return nullptr;
+    std::unique_ptr<StreamIndex> index;
+    switch (config.index) {
+      case IndexScheme::kInv:
+        index = std::make_unique<StreamInvIndex>(params, use_simd);
+        break;
+      case IndexScheme::kL2ap:
+        index = std::make_unique<StreamL2apIndex>(params,
+                                                  /*ic_theta_slack=*/0.0,
+                                                  /*use_l2_bounds=*/true,
+                                                  use_simd);
+        break;
+      case IndexScheme::kL2:
+        if (num_threads > 1) {
+          index = std::make_unique<ShardedStreamIndex>(
+              params, num_threads, config.pool, L2IndexOptions{}, use_simd);
+        } else {
+          index = std::make_unique<StreamL2Index>(params, L2IndexOptions{},
+                                                  use_simd);
+        }
+        break;
+      case IndexScheme::kAp:
+        return Status::Internal("STR-AP slipped past validation");
+    }
     engine->str_ = std::make_unique<StreamingJoin>(params, std::move(index));
   }
   return engine;
 }
 
-bool SssjEngine::Push(Timestamp ts, SparseVector vec, ResultSink* sink) {
-  if (!std::isfinite(ts)) return false;
+std::unique_ptr<SssjEngine> SssjEngine::Create(const EngineConfig& config) {
+  StatusOr<std::unique_ptr<SssjEngine>> engine = Make(config);
+  if (!engine.ok()) return nullptr;
+  return *std::move(engine);
+}
+
+Status SssjEngine::PushImpl(Timestamp ts, SparseVector vec, ResultSink* sink) {
+  if (!std::isfinite(ts)) {
+    return Status::InvalidArgument("timestamp must be finite; got " +
+                                   FormatValue(ts));
+  }
   if (config_.normalize_inputs) {
     vec.Normalize();
+    if (vec.empty()) {
+      return Status::InvalidArgument(
+          "vector is empty after cleaning (no finite positive coordinates)");
+    }
+    if (!vec.IsUnit()) {
+      return Status::InvalidArgument(
+          "vector is not normalizable (zero or non-finite norm)");
+    }
+  } else {
+    if (vec.empty()) {
+      return Status::InvalidArgument(
+          "vector is empty after cleaning (no finite positive coordinates)");
+    }
+    if (!vec.IsUnit()) {
+      return Status::FailedPrecondition(
+          "input is not unit-normalized and EngineConfig::normalize_inputs "
+          "is false; normalize the vector or enable normalize_inputs");
+    }
   }
-  if (vec.empty() || !vec.IsUnit()) return false;
+  // Diagnose a time regression here, where the last accepted timestamp is
+  // known, instead of letting the join silently refuse the item.
+  const bool started = (mb_ != nullptr) ? mb_->started() : str_->started();
+  const Timestamp last_ts = (mb_ != nullptr) ? mb_->last_ts() : str_->last_ts();
+  if (started && ts < last_ts) {
+    return Status::FailedPrecondition(
+        "timestamp regression: " + FormatValue(ts) +
+        " is earlier than the last accepted timestamp " +
+        FormatValue(last_ts));
+  }
 
   StreamItem item;
   item.id = next_id_;
   item.ts = ts;
   item.vec = std::move(vec);
 
-  const bool ok = (mb_ != nullptr) ? mb_->Push(item, sink)
-                                   : str_->Push(item, sink);
-  if (ok) ++next_id_;
-  return ok;
+  const bool ok = (mb_ != nullptr) ? mb_->Push(item, OrDiscard(sink))
+                                   : str_->Push(item, OrDiscard(sink));
+  if (!ok) {
+    return Status::Internal("join rejected a validated item");
+  }
+  ++next_id_;
+  return Status::Ok();
+}
+
+Status SssjEngine::Push(Timestamp ts, SparseVector vec) {
+  return PushImpl(ts, std::move(vec), sink_);
+}
+
+Status SssjEngine::Push(const StreamItem& item) {
+  return PushImpl(item.ts, item.vec, sink_);
+}
+
+BatchPushResult SssjEngine::PushBatch(const Stream& batch) {
+  BatchPushResult result;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Status status = PushImpl(batch[i].ts, batch[i].vec, sink_);
+    if (status.ok()) {
+      ++result.accepted;
+    } else {
+      result.rejects.push_back({i, std::move(status)});
+    }
+  }
+  return result;
+}
+
+void SssjEngine::FlushImpl(ResultSink* sink) {
+  if (mb_ != nullptr) {
+    mb_->Flush(OrDiscard(sink));
+  } else {
+    str_->Flush(OrDiscard(sink));
+  }
+}
+
+void SssjEngine::Flush() { FlushImpl(sink_); }
+
+bool SssjEngine::Push(Timestamp ts, SparseVector vec, ResultSink* sink) {
+  return PushImpl(ts, std::move(vec), sink).ok();
 }
 
 bool SssjEngine::Push(const StreamItem& item, ResultSink* sink) {
-  return Push(item.ts, item.vec, sink);
+  return PushImpl(item.ts, item.vec, sink).ok();
 }
 
 size_t SssjEngine::PushBatch(const Stream& batch, ResultSink* sink) {
   size_t accepted = 0;
   for (const StreamItem& item : batch) {
-    if (Push(item.ts, item.vec, sink)) ++accepted;
+    if (PushImpl(item.ts, item.vec, sink).ok()) ++accepted;
   }
   return accepted;
 }
 
-void SssjEngine::Flush(ResultSink* sink) {
-  if (mb_ != nullptr) {
-    mb_->Flush(sink);
-  } else {
-    str_->Flush(sink);
-  }
-}
+void SssjEngine::Flush(ResultSink* sink) { FlushImpl(sink); }
 
 const RunStats& SssjEngine::stats() const {
   return (mb_ != nullptr) ? mb_->stats() : str_->stats();
@@ -194,31 +303,21 @@ namespace {
 constexpr char kEngineCheckpointMagic[8] = {'S', 'S', 'S', 'J',
                                             'E', 'N', 'G', '2'};
 
-void SetEngineError(std::string* error, const std::string& msg) {
-  if (error != nullptr) *error = msg;
-}
-
 }  // namespace
 
-bool SssjEngine::SaveCheckpoint(const std::string& path,
-                                std::string* error) const {
+Status SssjEngine::SaveCheckpoint(const std::string& path) const {
   if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
       config_.num_threads > 1) {
-    SetEngineError(error,
-                   "checkpointing is supported for single-threaded STR-L2 "
-                   "only");
-    return false;
+    return Status::Unimplemented(
+        "checkpointing is supported for single-threaded STR-L2 only");
   }
-  const auto* index =
-      dynamic_cast<const StreamL2Index*>(&str_->index());
+  const auto* index = dynamic_cast<const StreamL2Index*>(&str_->index());
   if (index == nullptr) {
-    SetEngineError(error, "internal: unexpected index type");
-    return false;
+    return Status::Internal("unexpected index type");
   }
   std::ofstream f(path, std::ios::binary);
   if (!f) {
-    SetEngineError(error, "cannot open " + path + " for writing");
-    return false;
+    return Status::IoError("cannot open " + path + " for writing");
   }
   const uint64_t next_id = next_id_;
   const Timestamp last_ts = str_->last_ts();
@@ -228,38 +327,32 @@ bool SssjEngine::SaveCheckpoint(const std::string& path,
   f.write(reinterpret_cast<const char*>(&last_ts), sizeof(last_ts));
   f.write(reinterpret_cast<const char*>(&started), sizeof(started));
   if (!index->Serialize(f) || !f.good()) {
-    SetEngineError(error, "write failure on " + path);
-    return false;
+    return Status::IoError("write failure on " + path);
   }
-  return true;
+  return Status::Ok();
 }
 
-bool SssjEngine::LoadCheckpoint(const std::string& path, std::string* error) {
+Status SssjEngine::LoadCheckpoint(const std::string& path) {
   if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
       config_.num_threads > 1) {
-    SetEngineError(error,
-                   "checkpointing is supported for single-threaded STR-L2 "
-                   "only");
-    return false;
+    return Status::Unimplemented(
+        "checkpointing is supported for single-threaded STR-L2 only");
   }
   auto* index = dynamic_cast<StreamL2Index*>(str_->mutable_index());
   if (index == nullptr) {
-    SetEngineError(error, "internal: unexpected index type");
-    return false;
+    return Status::Internal("unexpected index type");
   }
   std::ifstream f(path, std::ios::binary);
   if (!f) {
-    SetEngineError(error, "cannot open " + path);
-    return false;
+    return Status::NotFound("cannot open " + path);
   }
   char magic[8];
   f.read(magic, sizeof(magic));
   if (!f.good() ||
       std::memcmp(magic, kEngineCheckpointMagic, sizeof(magic)) != 0) {
-    SetEngineError(error,
-                   path + ": not a sssj engine checkpoint (bad or stale "
-                          "header; files from older builds are not readable)");
-    return false;
+    return Status::DataLoss(
+        path + ": not a sssj engine checkpoint (bad or stale header; files "
+               "from older builds are not readable)");
   }
   uint64_t next_id;
   Timestamp last_ts;
@@ -275,17 +368,29 @@ bool SssjEngine::LoadCheckpoint(const std::string& path, std::string* error) {
                         KernelModeUsesSimd(config_.kernel));
   std::string index_error;
   if (!f.good() || !scratch.Deserialize(f, &index_error)) {
-    SetEngineError(error, path + ": " +
-                              (index_error.empty() ? "truncated checkpoint"
-                                                   : index_error));
-    return false;
+    return Status::DataLoss(
+        path + ": " +
+        (index_error.empty() ? "truncated checkpoint" : index_error));
   }
   const RunStats saved_stats = index->stats();  // counters are per-process
   *index = std::move(scratch);
   index->stats() = saved_stats;
   next_id_ = next_id;
   str_->RestoreClock(last_ts, started != 0);
-  return true;
+  return Status::Ok();
+}
+
+bool SssjEngine::SaveCheckpoint(const std::string& path,
+                                std::string* error) const {
+  const Status status = SaveCheckpoint(path);
+  if (!status.ok() && error != nullptr) *error = status.message();
+  return status.ok();
+}
+
+bool SssjEngine::LoadCheckpoint(const std::string& path, std::string* error) {
+  const Status status = LoadCheckpoint(path);
+  if (!status.ok() && error != nullptr) *error = status.message();
+  return status.ok();
 }
 
 }  // namespace sssj

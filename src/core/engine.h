@@ -1,6 +1,6 @@
 // SssjEngine — the library's public facade. Picks a framework (MB / STR)
 // and an indexing scheme (INV / AP / L2AP / L2), validates inputs, assigns
-// stream ids, and forwards results to a sink.
+// stream ids, and forwards results to the sink bound at creation.
 //
 //   sssj::EngineConfig cfg;
 //   cfg.framework = sssj::Framework::kStreaming;
@@ -8,11 +8,18 @@
 //   cfg.theta = 0.7;
 //   cfg.lambda = 0.01;
 //   cfg.num_threads = 4;            // shard the STR-L2 hot path (optional)
-//   auto engine = sssj::SssjEngine::Create(cfg);
 //   sssj::CallbackSink sink([](const sssj::ResultPair& p) { ... });
-//   engine->Push(ts, vec, &sink);   // repeatedly, in time order
-//   engine->PushBatch(items, &sink);  // or hand over whole batches
-//   engine->Flush(&sink);           // at end of stream (MB drains windows)
+//   auto engine = sssj::SssjEngine::Make(cfg, &sink);
+//   if (!engine.ok()) { /* engine.status() says exactly why */ }
+//   (*engine)->Push(ts, vec);            // repeatedly, in time order
+//   (*engine)->PushBatch(items);         // or hand over whole batches
+//   (*engine)->Flush();                  // at end of stream (MB drains)
+//
+// Every fallible call returns sssj::Status (core/status.h); Push failures
+// carry the per-item reject reason (empty after cleaning, non-
+// normalizable, timestamp regression). Multi-tenant serving — many named
+// engines behind one manager with a shared thread pool — lives one layer
+// up in core/join_service.h.
 //
 // Parallel execution: with num_threads > 1 the STR-L2 configuration runs
 // on a dimension-sharded index (index/sharded_stream_index.h) that
@@ -31,12 +38,15 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/result.h"
 #include "core/similarity.h"
 #include "core/stats.h"
+#include "core/status.h"
 #include "core/stream_item.h"
 #include "util/simd.h"
+#include "util/thread_pool.h"
 
 namespace sssj {
 
@@ -46,9 +56,15 @@ enum class IndexScheme { kInv, kAp, kL2ap, kL2 };
 const char* ToString(Framework f);
 const char* ToString(IndexScheme s);
 // Case-insensitive parse ("MB"/"minibatch", "STR"/"streaming"; "INV",
-// "AP", "L2AP", "L2"). Returns false on unknown names.
-bool ParseFramework(const std::string& s, Framework* out);
-bool ParseIndexScheme(const std::string& s, IndexScheme* out);
+// "AP", "L2AP", "L2"). Unknown names yield kInvalidArgument naming the
+// input.
+StatusOr<Framework> ParseFramework(const std::string& s);
+StatusOr<IndexScheme> ParseIndexScheme(const std::string& s);
+// Deprecated out-param forms (v1 API); gone next release.
+[[deprecated("use the StatusOr overload")]] bool ParseFramework(
+    const std::string& s, Framework* out);
+[[deprecated("use the StatusOr overload")]] bool ParseIndexScheme(
+    const std::string& s, IndexScheme* out);
 
 struct EngineConfig {
   Framework framework = Framework::kStreaming;
@@ -67,6 +83,13 @@ struct EngineConfig {
   // supported there). Ignored by STR-INV and STR-L2AP. Values < 1 are
   // clamped to 1.
   int num_threads = 1;
+  // Optional pool for those parallel paths, shared with other engines
+  // (JoinService sets this so N sessions share one pool instead of
+  // spawning N). Null (default) gives the engine a private pool when
+  // num_threads > 1. The pool serializes concurrent fork/join jobs, and
+  // which pool runs the work never affects the output (determinism hangs
+  // on num_threads — the shard/chunk count — not on pool size).
+  std::shared_ptr<ThreadPool> pool;
   // Scoring-kernel selection for the hot posting-scan loops
   // (index/kernels.h). kScalar (default) is the bit-exact reference path.
   // kSimd selects the vectorized kernels: the MB schemes and STR-INV stay
@@ -79,55 +102,100 @@ struct EngineConfig {
   KernelMode kernel = KernelMode::kScalar;
 };
 
+// Outcome of PushBatch: how many items were accepted, and for each
+// rejected item its position in the batch plus the same Status Push would
+// have returned. Rejects do not consume ids and do not stop the batch.
+struct BatchPushResult {
+  size_t accepted = 0;
+  struct Reject {
+    size_t index = 0;  // position within the pushed batch
+    Status status;
+  };
+  std::vector<Reject> rejects;
+  bool all_accepted() const { return rejects.empty(); }
+};
+
 class MiniBatchJoin;
 class StreamingJoin;
 
 class SssjEngine {
  public:
-  // Returns nullptr for invalid configs: theta outside (0,1], negative
-  // lambda, or the STR-AP combination (omitted by the paper as impractical
-  // — see §5.2 — and not implemented here).
-  static std::unique_ptr<SssjEngine> Create(const EngineConfig& config);
+  // Validates the config and builds the engine, with `sink` (borrowed,
+  // may be null to discard results, rebindable via BindSink) receiving
+  // every discovered pair. Failures:
+  //   kOutOfRange      theta outside (0, 1], lambda negative/non-finite
+  //   kUnimplemented   the STR-AP combination (omitted by the paper as
+  //                    impractical — see §5.2 — and not implemented here)
+  static StatusOr<std::unique_ptr<SssjEngine>> Make(
+      const EngineConfig& config, ResultSink* sink = nullptr);
+
+  // Deprecated v1 factory: nullptr swallows the reason Make reports.
+  [[deprecated("use SssjEngine::Make")]] static std::unique_ptr<SssjEngine>
+  Create(const EngineConfig& config);
 
   ~SssjEngine();
   SssjEngine(const SssjEngine&) = delete;
   SssjEngine& operator=(const SssjEngine&) = delete;
 
-  // Feeds one vector with its arrival time. Returns false (and rejects the
-  // item) if the vector is empty after cleaning, not normalizable, or the
-  // timestamp decreases. Ids are assigned sequentially from 0.
-  bool Push(Timestamp ts, SparseVector vec, ResultSink* sink);
+  // Rebinds the result sink (null discards). Takes effect for the next
+  // Push/Flush; never call it concurrently with them.
+  void BindSink(ResultSink* sink) { sink_ = sink; }
+  ResultSink* sink() const { return sink_; }
+
+  // Feeds one vector with its arrival time; pairs go to the bound sink.
+  // Ids are assigned sequentially from 0; a rejected item consumes no id.
+  // Failures:
+  //   kInvalidArgument     non-finite timestamp; vector empty after
+  //                        cleaning; vector not normalizable
+  //   kFailedPrecondition  non-unit input while normalize_inputs is off;
+  //                        timestamp earlier than the last accepted one
+  Status Push(Timestamp ts, SparseVector vec);
 
   // Convenience for pre-built items; the item's id is ignored and
   // reassigned.
-  bool Push(const StreamItem& item, ResultSink* sink);
+  Status Push(const StreamItem& item);
 
-  // Batched ingestion: feeds every item of `batch` in order and returns
-  // the number accepted. Items that fail Push's validation (empty after
-  // cleaning, non-normalizable, decreasing timestamp) are skipped; later
-  // items are still processed. Sharing `sink` with other threads requires
-  // a thread-safe sink (e.g. ConcurrentCollectingSink).
-  size_t PushBatch(const Stream& batch, ResultSink* sink);
+  // Batched ingestion: feeds every item of `batch` in order. Items that
+  // fail Push's validation are skipped — later items are still processed
+  // — and reported per item in the result.
+  BatchPushResult PushBatch(const Stream& batch);
 
-  // Drains any buffered state (MB windows). STR emits eagerly, so this is
-  // a no-op for it.
-  void Flush(ResultSink* sink);
+  // Drains any buffered state (MB windows) into the bound sink. STR emits
+  // eagerly, so this is a no-op for it.
+  void Flush();
+
+  // Deprecated v1 entry points taking the sink per call; they bypass the
+  // bound sink and report failure as bool with the reason dropped.
+  [[deprecated("use Make(config, sink) + Push(ts, vec)")]] bool Push(
+      Timestamp ts, SparseVector vec, ResultSink* sink);
+  [[deprecated("use Make(config, sink) + Push(item)")]] bool Push(
+      const StreamItem& item, ResultSink* sink);
+  [[deprecated("use Make(config, sink) + PushBatch(batch)")]] size_t
+  PushBatch(const Stream& batch, ResultSink* sink);
+  [[deprecated("use Make(config, sink) + Flush()")]] void Flush(
+      ResultSink* sink);
 
   // Id that will be assigned to the next accepted item.
   VectorId next_id() const { return next_id_; }
 
   // Checkpoint/restore for long-running streaming jobs. Supported for the
-  // STR-L2 configuration (the paper's recommended index); other configs
-  // return false. A checkpoint captures the live index state, the id
-  // counter, and the stream clock — restoring into an engine created with
-  // the same config and then replaying the remainder of the stream yields
-  // exactly the output an uninterrupted run would have produced (tested).
-  // The file carries a magic + version header and the engine parameters;
-  // LoadCheckpoint rejects stale, truncated, or mismatched files with a
-  // human-readable reason in *error.
-  bool SaveCheckpoint(const std::string& path,
-                      std::string* error = nullptr) const;
-  bool LoadCheckpoint(const std::string& path, std::string* error = nullptr);
+  // single-threaded STR-L2 configuration (the paper's recommended index);
+  // other configs return kUnimplemented. A checkpoint captures the live
+  // index state, the id counter, and the stream clock — restoring into an
+  // engine created with the same config and then replaying the remainder
+  // of the stream yields exactly the output an uninterrupted run would
+  // have produced (tested). The file carries a magic + version header and
+  // the engine parameters; LoadCheckpoint rejects stale, truncated, or
+  // mismatched files (kDataLoss / kInvalidArgument) without touching the
+  // live engine state.
+  Status SaveCheckpoint(const std::string& path) const;
+  Status LoadCheckpoint(const std::string& path);
+  // Deprecated v1 forms (note: no default for `error` — new code calling
+  // with just a path gets the Status overloads above).
+  [[deprecated("use the Status overload")]] bool SaveCheckpoint(
+      const std::string& path, std::string* error) const;
+  [[deprecated("use the Status overload")]] bool LoadCheckpoint(
+      const std::string& path, std::string* error);
 
   // Approximate resident bytes of the live state. STR: the online index
   // (posting-list columns + residual store). MB: the buffered windows plus
@@ -141,10 +209,15 @@ class SssjEngine {
   const EngineConfig& config() const { return config_; }
 
  private:
-  SssjEngine(const EngineConfig& config, const DecayParams& params);
+  SssjEngine(const EngineConfig& config, const DecayParams& params,
+             ResultSink* sink);
+
+  Status PushImpl(Timestamp ts, SparseVector vec, ResultSink* sink);
+  void FlushImpl(ResultSink* sink);
 
   EngineConfig config_;
   DecayParams params_;
+  ResultSink* sink_ = nullptr;
   VectorId next_id_ = 0;
   std::unique_ptr<MiniBatchJoin> mb_;
   std::unique_ptr<StreamingJoin> str_;

@@ -1,0 +1,184 @@
+#include "core/join_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sssj {
+
+JoinService::JoinService(const Options& options) : options_(options) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_shared<ThreadPool>(options_.num_threads);
+  }
+}
+
+JoinService::~JoinService() = default;
+
+Status JoinService::UnknownSession() {
+  return Status::NotFound("unknown or closed session handle");
+}
+
+StatusOr<JoinService::SessionHandle> JoinService::CreateSession(
+    SessionOptions options) {
+  if (options.name.empty()) {
+    return Status::InvalidArgument("session name must be non-empty");
+  }
+  // Build the engine outside the registry lock: engine construction may
+  // spawn a private pool, and a rejected config must not disturb the map.
+  EngineConfig config = options.engine;
+  if (pool_ != nullptr && config.num_threads > 1) {
+    config.pool = pool_;
+  }
+  ResultSink* sink =
+      options.sink != nullptr ? options.sink : options.owned_sink.get();
+  StatusOr<std::unique_ptr<SssjEngine>> engine = SssjEngine::Make(config, sink);
+  if (!engine.ok()) return engine.status();
+
+  auto session = std::make_shared<Session>();
+  session->name = options.name;
+  session->engine = *std::move(engine);
+  session->owned_sink = std::move(options.owned_sink);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_name_.count(options.name) != 0) {
+    return Status::AlreadyExists("a session named '" + options.name +
+                                 "' already exists");
+  }
+  const uint64_t id = next_id_++;
+  sessions_.emplace(id, std::move(session));
+  by_name_.emplace(options.name, id);
+  return SessionHandle(id);
+}
+
+StatusOr<JoinService::SessionHandle> JoinService::FindSession(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no session named '" + name + "'");
+  }
+  return SessionHandle(it->second);
+}
+
+std::shared_ptr<JoinService::Session> JoinService::Lookup(
+    SessionHandle handle) const {
+  if (!handle.valid()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(handle.id_);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Status JoinService::CloseSession(SessionHandle handle) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(handle.id_);
+    if (it == sessions_.end()) return UnknownSession();
+    session = it->second;
+    sessions_.erase(it);
+    by_name_.erase(session->name);
+  }
+  // The registry no longer hands the session out, but a racing call that
+  // looked it up before the erase may still hold it; `closed` makes that
+  // race a clean kNotFound instead of a push into a flushed engine.
+  std::lock_guard<std::mutex> lock(session->mu);
+  session->closed = true;
+  session->engine->Flush();
+  return Status::Ok();
+}
+
+Status JoinService::Push(SessionHandle handle, Timestamp ts, SparseVector vec) {
+  std::shared_ptr<Session> session = Lookup(handle);
+  if (session == nullptr) return UnknownSession();
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->closed) return UnknownSession();
+  return session->engine->Push(ts, std::move(vec));
+}
+
+StatusOr<BatchPushResult> JoinService::PushBatch(SessionHandle handle,
+                                                 const Stream& batch) {
+  std::shared_ptr<Session> session = Lookup(handle);
+  if (session == nullptr) return UnknownSession();
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->closed) return UnknownSession();
+  return session->engine->PushBatch(batch);
+}
+
+Status JoinService::Flush(SessionHandle handle) {
+  std::shared_ptr<Session> session = Lookup(handle);
+  if (session == nullptr) return UnknownSession();
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->closed) return UnknownSession();
+  session->engine->Flush();
+  return Status::Ok();
+}
+
+Status JoinService::SaveCheckpoint(SessionHandle handle,
+                                   const std::string& path) const {
+  std::shared_ptr<Session> session = Lookup(handle);
+  if (session == nullptr) return UnknownSession();
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->closed) return UnknownSession();
+  return session->engine->SaveCheckpoint(path);
+}
+
+Status JoinService::LoadCheckpoint(SessionHandle handle,
+                                   const std::string& path) {
+  std::shared_ptr<Session> session = Lookup(handle);
+  if (session == nullptr) return UnknownSession();
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->closed) return UnknownSession();
+  return session->engine->LoadCheckpoint(path);
+}
+
+StatusOr<RunStats> JoinService::SessionStats(SessionHandle handle) const {
+  std::shared_ptr<Session> session = Lookup(handle);
+  if (session == nullptr) return UnknownSession();
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->closed) return UnknownSession();
+  return session->engine->stats();
+}
+
+StatusOr<size_t> JoinService::SessionMemoryBytes(SessionHandle handle) const {
+  std::shared_ptr<Session> session = Lookup(handle);
+  if (session == nullptr) return UnknownSession();
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->closed) return UnknownSession();
+  return session->engine->MemoryBytes();
+}
+
+size_t JoinService::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+ServiceStats JoinService::Stats() const {
+  // Snapshot the registry, then visit sessions without the registry lock
+  // so pushes on other sessions keep flowing while we aggregate.
+  std::vector<std::shared_ptr<Session>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) snapshot.push_back(session);
+  }
+  ServiceStats stats;
+  for (const auto& session : snapshot) {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->closed) continue;
+    ServiceStats::SessionEntry entry;
+    entry.name = session->name;
+    entry.vectors_processed = session->engine->stats().vectors_processed;
+    entry.pairs_emitted = session->engine->stats().pairs_emitted;
+    entry.memory_bytes = session->engine->MemoryBytes();
+    stats.vectors_processed += entry.vectors_processed;
+    stats.pairs_emitted += entry.pairs_emitted;
+    stats.memory_bytes += entry.memory_bytes;
+    stats.sessions.push_back(std::move(entry));
+  }
+  stats.num_sessions = stats.sessions.size();
+  std::sort(stats.sessions.begin(), stats.sessions.end(),
+            [](const ServiceStats::SessionEntry& a,
+               const ServiceStats::SessionEntry& b) { return a.name < b.name; });
+  return stats;
+}
+
+}  // namespace sssj

@@ -1,0 +1,173 @@
+// JoinService — multi-tenant session manager over SssjEngine.
+//
+// One process serving many users means many independent joins: each
+// tenant (a user's feed, a topic, a shard of the corpus) gets a named
+// *session* — its own engine with its own EngineConfig, sink chain,
+// stats, id space, and memory accounting — while the service owns the
+// shared machinery: one ThreadPool for every session's parallel hot
+// paths (instead of one pool per engine) and the aggregate capacity view.
+//
+//   sssj::JoinService service({/*num_threads=*/8});
+//   sssj::CollectorSink news_sink;
+//   auto news = service.CreateSession({"news", news_cfg, &news_sink});
+//   auto spam = service.CreateSession({"spam", spam_cfg, &spam_sink});
+//   service.Push(*news, ts, vec);            // thread A
+//   service.Push(*spam, ts2, vec2);          // thread B, concurrently
+//   service.CloseSession(*news);             // flushes, then destroys
+//
+// Thread-safety: every method is safe to call from any thread. Calls on
+// *distinct* sessions run concurrently (each session has its own lock;
+// the registry lock is held only for the lookup). Calls on the *same*
+// session are serialized by its lock — the per-session stream is a
+// totally ordered sequence, exactly like a standalone engine. Output per
+// session is bit-identical to a standalone engine with the same config
+// fed the same stream (tested with TSan), because engines never share
+// mutable state — the shared pool only lends threads, and pool size
+// never affects results (determinism hangs on EngineConfig::num_threads).
+//
+// Sink lifetime: a session's sink chain is bound at creation. A borrowed
+// `sink` must outlive the session; an `owned_sink` chain head is adopted
+// and destroyed with it. Sinks of different sessions are independent, so
+// they need no locking unless the application shares one across sessions
+// (then use a thread-safe sink such as ConcurrentCollectingSink).
+#ifndef SSSJ_CORE_JOIN_SERVICE_H_
+#define SSSJ_CORE_JOIN_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/status.h"
+#include "util/thread_pool.h"
+
+namespace sssj {
+
+// Service-wide knobs (namespace-scope so it can default-construct in the
+// JoinService constructor's default argument).
+struct JoinServiceOptions {
+  // Worker threads shared by every session's parallel hot paths (sharded
+  // STR-L2, MB window close). 1 disables the shared pool: sessions with
+  // num_threads > 1 then get private pools, as standalone engines do.
+  size_t num_threads = 1;
+};
+
+// Aggregate capacity view across live sessions, for monitoring.
+struct ServiceStats {
+  size_t num_sessions = 0;
+  uint64_t vectors_processed = 0;  // sum over live sessions
+  uint64_t pairs_emitted = 0;      // sum over live sessions
+  size_t memory_bytes = 0;         // sum of engine MemoryBytes()
+
+  struct SessionEntry {
+    std::string name;
+    uint64_t vectors_processed = 0;
+    uint64_t pairs_emitted = 0;
+    size_t memory_bytes = 0;
+  };
+  std::vector<SessionEntry> sessions;  // sorted by session name
+};
+
+class JoinService {
+ public:
+  // Opaque session handle; cheap to copy. A default-constructed handle is
+  // invalid and every call taking it returns kNotFound.
+  class SessionHandle {
+   public:
+    SessionHandle() = default;
+    bool valid() const { return id_ != 0; }
+
+   private:
+    friend class JoinService;
+    explicit SessionHandle(uint64_t id) : id_(id) {}
+    uint64_t id_ = 0;
+  };
+
+  using Options = JoinServiceOptions;
+
+  struct SessionOptions {
+    std::string name;  // must be non-empty and unique within the service
+    EngineConfig engine;
+    // Where this session's pairs go: either borrowed (must outlive the
+    // session) or adopted. If both are set, `sink` wins and `owned_sink`
+    // is just kept alive; if neither, results are discarded.
+    ResultSink* sink = nullptr;
+    std::unique_ptr<ResultSink> owned_sink;
+
+    SessionOptions() = default;
+    SessionOptions(std::string name_in, const EngineConfig& engine_in,
+                   ResultSink* sink_in)
+        : name(std::move(name_in)), engine(engine_in), sink(sink_in) {}
+  };
+
+  explicit JoinService(const Options& options = {});
+  // Destroys all sessions without flushing; CloseSession first if the MB
+  // windows' tail results matter.
+  ~JoinService();
+
+  JoinService(const JoinService&) = delete;
+  JoinService& operator=(const JoinService&) = delete;
+
+  // Creates a session. Failures:
+  //   kInvalidArgument  empty session name
+  //   kAlreadyExists    a live session already has this name
+  //   (plus anything SssjEngine::Make rejects, forwarded verbatim)
+  // EngineConfig::pool is overridden with the service pool (when the
+  // service has one and the session asks for num_threads > 1).
+  StatusOr<SessionHandle> CreateSession(SessionOptions options);
+
+  // Looks a live session up by name (kNotFound otherwise).
+  StatusOr<SessionHandle> FindSession(const std::string& name) const;
+
+  // Flushes buffered state into the session's sink, then destroys the
+  // session. The name becomes reusable.
+  Status CloseSession(SessionHandle handle);
+
+  // Per-session mirrors of the engine API; all return kNotFound for an
+  // unknown/closed handle, otherwise exactly what the underlying engine
+  // returns.
+  Status Push(SessionHandle handle, Timestamp ts, SparseVector vec);
+  StatusOr<BatchPushResult> PushBatch(SessionHandle handle,
+                                      const Stream& batch);
+  Status Flush(SessionHandle handle);
+  Status SaveCheckpoint(SessionHandle handle, const std::string& path) const;
+  Status LoadCheckpoint(SessionHandle handle, const std::string& path);
+  StatusOr<RunStats> SessionStats(SessionHandle handle) const;
+  StatusOr<size_t> SessionMemoryBytes(SessionHandle handle) const;
+
+  size_t num_sessions() const;
+
+  // Aggregates per-session RunStats / MemoryBytes under the session locks
+  // — safe while other threads keep pushing.
+  ServiceStats Stats() const;
+
+ private:
+  struct Session {
+    std::mutex mu;
+    std::string name;
+    // Declared before `engine` so it outlives engine teardown (members
+    // destroy in reverse order; the engine's bound sink points here).
+    std::unique_ptr<ResultSink> owned_sink;
+    std::unique_ptr<SssjEngine> engine;  // guarded by mu
+    bool closed = false;                 // guarded by mu
+  };
+
+  // Registry lookup; returns null after CloseSession erased the id.
+  std::shared_ptr<Session> Lookup(SessionHandle handle) const;
+  static Status UnknownSession();
+
+  Options options_;
+  std::shared_ptr<ThreadPool> pool_;  // null when options_.num_threads <= 1
+
+  mutable std::mutex mu_;  // guards the registry maps and next_id_
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  std::unordered_map<std::string, uint64_t> by_name_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_CORE_JOIN_SERVICE_H_

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "core/types.h"
 
 namespace sssj {
@@ -84,15 +85,28 @@ class ConcurrentCollectingSink : public ResultSink {
   std::vector<ResultPair> pairs_;
 };
 
-// Forwards each pair to a callback (applications).
+// Forwards each pair to a callback (applications). An empty callback is a
+// construction error: status() reports it and Emit becomes a no-op —
+// previously the first Emit threw std::bad_function_call from deep inside
+// the join.
 class CallbackSink : public ResultSink {
  public:
   using Callback = std::function<void(const ResultPair&)>;
-  explicit CallbackSink(Callback cb) : cb_(std::move(cb)) {}
-  void Emit(const ResultPair& pair) override { cb_(pair); }
+  explicit CallbackSink(Callback cb) : cb_(std::move(cb)) {
+    if (!cb_) {
+      status_ = Status::InvalidArgument(
+          "CallbackSink constructed with an empty callback; pairs emitted "
+          "to it will be dropped");
+    }
+  }
+  void Emit(const ResultPair& pair) override {
+    if (cb_) cb_(pair);
+  }
+  const Status& status() const { return status_; }
 
  private:
   Callback cb_;
+  Status status_;
 };
 
 }  // namespace sssj

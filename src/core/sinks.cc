@@ -1,0 +1,49 @@
+#include "core/sinks.h"
+
+#include <algorithm>
+
+namespace sssj {
+
+namespace {
+
+// Heap comparator ordering "better" pairs first (higher sim, ties by
+// ascending pair id), so the heap root is the currently worst kept pair.
+// Eviction compares sims strictly, so an incoming tie never evicts an
+// already-kept pair.
+struct WorseForHeap {
+  bool operator()(const ResultPair& x, const ResultPair& y) const {
+    if (x.sim != y.sim) return x.sim > y.sim;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  }
+};
+
+}  // namespace
+
+void TopKSink::Emit(const ResultPair& pair) {
+  ++seen_;
+  if (k_ == 0) return;
+  if (heap_.size() < k_) {
+    heap_.push_back(pair);
+    std::push_heap(heap_.begin(), heap_.end(), WorseForHeap{});
+    return;
+  }
+  const ResultPair& worst = heap_.front();
+  if (pair.sim > worst.sim) {
+    std::pop_heap(heap_.begin(), heap_.end(), WorseForHeap{});
+    heap_.back() = pair;
+    std::push_heap(heap_.begin(), heap_.end(), WorseForHeap{});
+  }
+}
+
+std::vector<ResultPair> TopKSink::TopPairs() const {
+  std::vector<ResultPair> out = heap_;
+  std::sort(out.begin(), out.end(), [](const ResultPair& x, const ResultPair& y) {
+    if (x.sim != y.sim) return x.sim > y.sim;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  return out;
+}
+
+}  // namespace sssj

@@ -1,0 +1,160 @@
+// Composable result-routing sinks. A session (or engine) binds one sink
+// at creation; these adapters let that one sink be a whole pipeline:
+//
+//   CollectorSink all;                       // terminal: keep everything
+//   TopKSink best(10);                       // terminal: 10 best pairs
+//   FilterSink strong([](const ResultPair& p) { return p.dot >= 0.9; },
+//                     &all);                 // predicate stage
+//   TeeSink tee({&strong, &best});           // fan-out stage
+//   auto engine = SssjEngine::Make(cfg, &tee);
+//
+// Ownership: every stage forwards to downstream sinks it does NOT own by
+// default (`ResultSink*` stays borrowed, caller keeps it alive — handy
+// when the terminal collector must outlive the chain to be read). A stage
+// can also adopt a downstream stage via the unique_ptr constructors /
+// Own(), so an entire chain can be handed to JoinService as a single
+// owned head. Thread-safety matches the sinks they wrap: the adapters add
+// no locking of their own, so a chain shared across threads needs a
+// thread-safe terminal (ConcurrentCollectingSink) and stateless stages.
+#ifndef SSSJ_CORE_SINKS_H_
+#define SSSJ_CORE_SINKS_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "core/result.h"
+#include "util/random.h"
+
+namespace sssj {
+
+// Fan-out: forwards every pair to each output, in registration order.
+class TeeSink : public ResultSink {
+ public:
+  TeeSink() = default;
+  TeeSink(std::initializer_list<ResultSink*> outputs) {
+    for (ResultSink* s : outputs) Add(s);
+  }
+
+  // Borrowed output; the caller keeps it alive.
+  void Add(ResultSink* sink) {
+    if (sink != nullptr) outputs_.push_back(sink);
+  }
+  // Adopted output; destroyed with the tee.
+  void Own(std::unique_ptr<ResultSink> sink) {
+    if (sink == nullptr) return;
+    outputs_.push_back(sink.get());
+    owned_.push_back(std::move(sink));
+  }
+
+  void Emit(const ResultPair& pair) override {
+    for (ResultSink* s : outputs_) s->Emit(pair);
+  }
+
+  size_t num_outputs() const { return outputs_.size(); }
+
+ private:
+  std::vector<ResultSink*> outputs_;
+  std::vector<std::unique_ptr<ResultSink>> owned_;
+};
+
+// Predicate stage: forwards the pairs the predicate accepts. An empty
+// predicate accepts everything (the stage degenerates to a pass-through).
+class FilterSink : public ResultSink {
+ public:
+  using Predicate = std::function<bool(const ResultPair&)>;
+
+  FilterSink(Predicate pred, ResultSink* downstream)
+      : pred_(std::move(pred)), downstream_(downstream) {}
+  FilterSink(Predicate pred, std::unique_ptr<ResultSink> downstream)
+      : pred_(std::move(pred)),
+        downstream_(downstream.get()),
+        owned_(std::move(downstream)) {}
+
+  void Emit(const ResultPair& pair) override {
+    if (!pred_ || pred_(pair)) {
+      ++passed_;
+      if (downstream_ != nullptr) downstream_->Emit(pair);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  uint64_t passed() const { return passed_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  Predicate pred_;
+  ResultSink* downstream_;
+  std::unique_ptr<ResultSink> owned_;
+  uint64_t passed_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// Terminal stage keeping the stream's best k pairs by decayed similarity
+// (`sim`), with deterministic tie-breaking: equal-sim pairs are kept in
+// favor of the earlier-emitted one, and TopPairs() orders ties by pair id.
+// k = 0 keeps nothing.
+class TopKSink : public ResultSink {
+ public:
+  explicit TopKSink(size_t k) : k_(k) {}
+
+  void Emit(const ResultPair& pair) override;
+
+  // Best-first: descending sim, ties by ascending (a, b).
+  std::vector<ResultPair> TopPairs() const;
+
+  size_t size() const { return heap_.size(); }
+  uint64_t seen() const { return seen_; }
+  void Clear() {
+    heap_.clear();
+    seen_ = 0;
+  }
+
+ private:
+  size_t k_;
+  uint64_t seen_ = 0;
+  std::vector<ResultPair> heap_;  // min-heap on (sim, emission recency)
+};
+
+// Bernoulli sampling stage: forwards each pair independently with
+// probability p, using its own seeded generator — a fixed seed makes a
+// run reproducible regardless of what else draws randomness. p >= 1
+// forwards everything, p <= 0 nothing.
+class SamplingSink : public ResultSink {
+ public:
+  SamplingSink(double probability, ResultSink* downstream,
+               uint64_t seed = 0x5353534a)  // "SSSJ"
+      : probability_(probability), downstream_(downstream), rng_(seed) {}
+  SamplingSink(double probability, std::unique_ptr<ResultSink> downstream,
+               uint64_t seed = 0x5353534a)
+      : probability_(probability),
+        downstream_(downstream.get()),
+        owned_(std::move(downstream)),
+        rng_(seed) {}
+
+  void Emit(const ResultPair& pair) override {
+    ++seen_;
+    if (rng_.NextDouble() < probability_) {
+      ++forwarded_;
+      if (downstream_ != nullptr) downstream_->Emit(pair);
+    }
+  }
+
+  uint64_t seen() const { return seen_; }
+  uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  double probability_;
+  ResultSink* downstream_;
+  std::unique_ptr<ResultSink> owned_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  uint64_t forwarded_ = 0;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_CORE_SINKS_H_

@@ -12,28 +12,22 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'S', 'S', 'J', 'B', 'I', 'N', '1'};
 
-void SetError(std::string* error, const std::string& msg) {
-  if (error != nullptr) *error = msg;
-}
-
-bool FinishItem(std::vector<Coord> coords, Timestamp ts, const ReadOptions& opts,
-                Stream* out, std::string* error) {
+Status FinishItem(std::vector<Coord> coords, Timestamp ts,
+                  const ReadOptions& opts, Stream* out) {
   SparseVector vec = SparseVector::FromCoords(std::move(coords));
   if (opts.normalize) vec.Normalize();
   if (vec.empty()) {
-    SetError(error, "empty vector after cleaning");
-    return false;
+    return Status::InvalidArgument("empty vector after cleaning");
   }
   if (opts.require_ordered && !out->empty() && ts < out->back().ts) {
-    SetError(error, "decreasing timestamp");
-    return false;
+    return Status::InvalidArgument("decreasing timestamp");
   }
   StreamItem item;
   item.id = out->size();
   item.ts = ts;
   item.vec = std::move(vec);
   out->push_back(std::move(item));
-  return true;
+  return Status::Ok();
 }
 
 template <typename T>
@@ -50,12 +44,10 @@ bool ReadRaw(std::ifstream& f, T* v) {
 
 }  // namespace
 
-bool WriteTextStream(const Stream& stream, const std::string& path,
-                     std::string* error) {
+Status WriteTextStream(const Stream& stream, const std::string& path) {
   std::ofstream f(path);
   if (!f) {
-    SetError(error, "cannot open " + path + " for writing");
-    return false;
+    return Status::IoError("cannot open " + path + " for writing");
   }
   f.precision(17);
   f << "# sssj text stream: <ts> <dim>:<value> ...\n";
@@ -66,18 +58,16 @@ bool WriteTextStream(const Stream& stream, const std::string& path,
   }
   f.flush();
   if (!f.good()) {
-    SetError(error, "write failure on " + path);
-    return false;
+    return Status::IoError("write failure on " + path);
   }
-  return true;
+  return Status::Ok();
 }
 
-bool ReadTextStream(const std::string& path, Stream* out,
-                    const ReadOptions& opts, std::string* error) {
+Status ReadTextStream(const std::string& path, Stream* out,
+                      const ReadOptions& opts) {
   std::ifstream f(path);
   if (!f) {
-    SetError(error, "cannot open " + path);
-    return false;
+    return Status::NotFound("cannot open " + path);
   }
   out->clear();
   std::string line;
@@ -88,38 +78,35 @@ bool ReadTextStream(const std::string& path, Stream* out,
     std::istringstream ss(line);
     Timestamp ts;
     if (!(ss >> ts)) {
-      SetError(error, path + ":" + std::to_string(lineno) + ": bad timestamp");
-      return false;
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": bad timestamp");
     }
     std::vector<Coord> coords;
     std::string tok;
     while (ss >> tok) {
       const auto colon = tok.find(':');
       if (colon == std::string::npos) {
-        SetError(error,
-                 path + ":" + std::to_string(lineno) + ": bad coord " + tok);
-        return false;
+        return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                       ": bad coord " + tok);
       }
       Coord c;
       c.dim = static_cast<DimId>(std::strtoul(tok.c_str(), nullptr, 10));
       c.value = std::strtod(tok.c_str() + colon + 1, nullptr);
       coords.push_back(c);
     }
-    if (!FinishItem(std::move(coords), ts, opts, out, error)) {
-      SetError(error, path + ":" + std::to_string(lineno) + ": " +
-                          (error != nullptr ? *error : "bad item"));
-      return false;
+    Status status = FinishItem(std::move(coords), ts, opts, out);
+    if (!status.ok()) {
+      return Status(status.code(), path + ":" + std::to_string(lineno) +
+                                       ": " + status.message());
     }
   }
-  return true;
+  return Status::Ok();
 }
 
-bool WriteBinaryStream(const Stream& stream, const std::string& path,
-                       std::string* error) {
+Status WriteBinaryStream(const Stream& stream, const std::string& path) {
   std::ofstream f(path, std::ios::binary);
   if (!f) {
-    SetError(error, "cannot open " + path + " for writing");
-    return false;
+    return Status::IoError("cannot open " + path + " for writing");
   }
   f.write(kMagic, sizeof(kMagic));
   const uint64_t count = stream.size();
@@ -135,29 +122,25 @@ bool WriteBinaryStream(const Stream& stream, const std::string& path,
   }
   f.flush();
   if (!f.good()) {
-    SetError(error, "write failure on " + path);
-    return false;
+    return Status::IoError("write failure on " + path);
   }
-  return true;
+  return Status::Ok();
 }
 
-bool ReadBinaryStream(const std::string& path, Stream* out,
-                      const ReadOptions& opts, std::string* error) {
+Status ReadBinaryStream(const std::string& path, Stream* out,
+                        const ReadOptions& opts) {
   std::ifstream f(path, std::ios::binary);
   if (!f) {
-    SetError(error, "cannot open " + path);
-    return false;
+    return Status::NotFound("cannot open " + path);
   }
   char magic[8];
   f.read(magic, sizeof(magic));
   if (!f.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    SetError(error, path + ": not an sssj binary stream");
-    return false;
+    return Status::InvalidArgument(path + ": not an sssj binary stream");
   }
   uint64_t count = 0;
   if (!ReadRaw(f, &count)) {
-    SetError(error, path + ": truncated header");
-    return false;
+    return Status::DataLoss(path + ": truncated header");
   }
   out->clear();
   // Cap the reservation: `count` comes from untrusted input and a
@@ -168,22 +151,52 @@ bool ReadBinaryStream(const std::string& path, Stream* out,
     Timestamp ts;
     uint32_t nnz;
     if (!ReadRaw(f, &ts) || !ReadRaw(f, &nnz)) {
-      SetError(error, path + ": truncated item header");
-      return false;
+      return Status::DataLoss(path + ": truncated item header");
     }
     std::vector<Coord> coords;
     coords.reserve(nnz);
     for (uint32_t k = 0; k < nnz; ++k) {
       Coord c;
       if (!ReadRaw(f, &c.dim) || !ReadRaw(f, &c.value)) {
-        SetError(error, path + ": truncated coordinates");
-        return false;
+        return Status::DataLoss(path + ": truncated coordinates");
       }
       coords.push_back(c);
     }
-    if (!FinishItem(std::move(coords), ts, opts, out, error)) return false;
+    Status status = FinishItem(std::move(coords), ts, opts, out);
+    if (!status.ok()) {
+      return Status(status.code(),
+                    path + ": item " + std::to_string(i) + ": " +
+                        status.message());
+    }
   }
-  return true;
+  return Status::Ok();
+}
+
+namespace {
+bool AdaptStatus(const Status& status, std::string* error) {
+  if (!status.ok() && error != nullptr) *error = status.message();
+  return status.ok();
+}
+}  // namespace
+
+bool WriteTextStream(const Stream& stream, const std::string& path,
+                     std::string* error) {
+  return AdaptStatus(WriteTextStream(stream, path), error);
+}
+
+bool ReadTextStream(const std::string& path, Stream* out,
+                    const ReadOptions& opts, std::string* error) {
+  return AdaptStatus(ReadTextStream(path, out, opts), error);
+}
+
+bool WriteBinaryStream(const Stream& stream, const std::string& path,
+                       std::string* error) {
+  return AdaptStatus(WriteBinaryStream(stream, path), error);
+}
+
+bool ReadBinaryStream(const std::string& path, Stream* out,
+                      const ReadOptions& opts, std::string* error) {
+  return AdaptStatus(ReadBinaryStream(path, out, opts), error);
 }
 
 }  // namespace sssj

@@ -10,13 +10,19 @@
 //   f64 ts, u32 nnz, nnz × (u32 dim, f64 value). Little-endian.
 //
 // Readers assign sequential ids, validate time order, and (optionally)
-// unit-normalize. All functions return false on I/O or format errors and
-// report the problem via `error` when non-null.
+// unit-normalize. All functions return a Status locating the problem
+// (path, line/position, and what was wrong):
+//   kNotFound         the file cannot be opened for reading
+//   kInvalidArgument  malformed contents (bad timestamp/coordinate,
+//                     wrong magic, empty vector, decreasing timestamp)
+//   kDataLoss         a binary file ends mid-record
+//   kIoError          the OS failed a write/open-for-write
 #ifndef SSSJ_DATA_IO_H_
 #define SSSJ_DATA_IO_H_
 
 #include <string>
 
+#include "core/status.h"
 #include "core/stream_item.h"
 
 namespace sssj {
@@ -26,17 +32,27 @@ struct ReadOptions {
   bool require_ordered = true;  // fail on decreasing timestamps
 };
 
-bool WriteTextStream(const Stream& stream, const std::string& path,
-                     std::string* error = nullptr);
-bool ReadTextStream(const std::string& path, Stream* out,
-                    const ReadOptions& opts = {},
-                    std::string* error = nullptr);
+Status WriteTextStream(const Stream& stream, const std::string& path);
+Status ReadTextStream(const std::string& path, Stream* out,
+                      const ReadOptions& opts = {});
 
-bool WriteBinaryStream(const Stream& stream, const std::string& path,
-                       std::string* error = nullptr);
-bool ReadBinaryStream(const std::string& path, Stream* out,
-                      const ReadOptions& opts = {},
-                      std::string* error = nullptr);
+Status WriteBinaryStream(const Stream& stream, const std::string& path);
+Status ReadBinaryStream(const std::string& path, Stream* out,
+                        const ReadOptions& opts = {});
+
+// Deprecated v1 forms (note: no defaulted trailing parameters — new code
+// calling without the out-param gets the Status overloads above); gone
+// next release.
+[[deprecated("use the Status overload")]] bool WriteTextStream(
+    const Stream& stream, const std::string& path, std::string* error);
+[[deprecated("use the Status overload")]] bool ReadTextStream(
+    const std::string& path, Stream* out, const ReadOptions& opts,
+    std::string* error);
+[[deprecated("use the Status overload")]] bool WriteBinaryStream(
+    const Stream& stream, const std::string& path, std::string* error);
+[[deprecated("use the Status overload")]] bool ReadBinaryStream(
+    const std::string& path, Stream* out, const ReadOptions& opts,
+    std::string* error);
 
 }  // namespace sssj
 

@@ -6,10 +6,20 @@ ShardedStreamIndex::ShardedStreamIndex(const DecayParams& params,
                                        size_t num_threads,
                                        const L2IndexOptions& options,
                                        bool use_simd)
+    : ShardedStreamIndex(params, num_threads, nullptr, options, use_simd) {}
+
+ShardedStreamIndex::ShardedStreamIndex(const DecayParams& params,
+                                       size_t num_threads,
+                                       std::shared_ptr<ThreadPool> pool,
+                                       const L2IndexOptions& options,
+                                       bool use_simd)
     : params_(params),
       options_(options),
       shards_(num_threads < 1 ? 1 : num_threads),
-      pool_(num_threads < 1 ? 1 : num_threads) {
+      pool_(std::move(pool)) {
+  if (pool_ == nullptr) {
+    pool_ = std::make_shared<ThreadPool>(shards_.size());
+  }
   for (Shard& shard : shards_) {
     shard.kernel.use_simd = use_simd;
     // Each worker owns ~1/S of the candidates; above the column
@@ -35,7 +45,7 @@ void ShardedStreamIndex::ProcessArrival(const StreamItem& x,
   // ---- Parallel phase 1: candidate generation ----
   // Lists are read-only here (expiry is deferred to phase 2, where each
   // worker owns the lists it truncates), so cross-shard lookups are safe.
-  pool_.ParallelFor(S, [&](size_t w) {
+  pool_->ParallelFor(S, [&](size_t w) {
     Shard& shard = shards_[w];
     shard.phase_stats = L2PhaseStats{};
     shard.pairs.clear();
@@ -60,7 +70,7 @@ void ShardedStreamIndex::ProcessArrival(const StreamItem& x,
   // identical for all workers, so it is computed once up front.
   const L2IndexSplit split = L2ComputeIndexSplit(v, params_.theta);
   const size_t n = v.nnz();
-  pool_.ParallelFor(S, [&](size_t w) {
+  pool_->ParallelFor(S, [&](size_t w) {
     Shard& shard = shards_[w];
     L2VerifyCandidates(
         x, params_, options_, shard.cands, residuals_, &shard.kernel,

@@ -53,6 +53,18 @@ class ShardedStreamIndex : public StreamIndex {
                               const L2IndexOptions& options = {},
                               bool use_simd = false);
 
+  // Same, but runs the two per-arrival barriers on an injected pool shared
+  // with other indexes (JoinService: one pool per service, not one per
+  // engine). The shard count stays `num_threads` — it determines the
+  // candidate partition and hence the output order — while the pool may
+  // have any size; a null pool gets a private one. Output is identical to
+  // the own-pool constructor: determinism depends on the shard count, not
+  // on which thread runs which shard.
+  ShardedStreamIndex(const DecayParams& params, size_t num_threads,
+                     std::shared_ptr<ThreadPool> pool,
+                     const L2IndexOptions& options = {},
+                     bool use_simd = false);
+
   void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
   void Clear() override;
   const char* name() const override { return "L2-SHARDED"; }
@@ -79,7 +91,7 @@ class ShardedStreamIndex : public StreamIndex {
   std::vector<Shard> shards_;
   ResidualStore residuals_;  // shared; written only by the coordinator
   std::vector<double> prefix_norms_;  // scratch; read-only during phases
-  ThreadPool pool_;
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace sssj

@@ -12,7 +12,17 @@ MiniBatchJoin::MiniBatchJoin(const DecayParams& params, IndexFactory factory,
     : params_(params),
       factory_(std::move(factory)),
       window_len_(params.tau * std::max(window_factor, 1.0)) {
-  if (num_threads > 1) pool_ = std::make_unique<ThreadPool>(num_threads);
+  if (num_threads > 1) pool_ = std::make_shared<ThreadPool>(num_threads);
+}
+
+MiniBatchJoin::MiniBatchJoin(const DecayParams& params, IndexFactory factory,
+                             double window_factor,
+                             std::shared_ptr<ThreadPool> pool)
+    : params_(params),
+      factory_(std::move(factory)),
+      window_len_(params.tau * std::max(window_factor, 1.0)),
+      pool_(std::move(pool)) {
+  if (pool_ != nullptr && pool_->num_threads() == 1) pool_.reset();
 }
 
 namespace {

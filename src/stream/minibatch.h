@@ -66,6 +66,14 @@ class MiniBatchJoin {
   MiniBatchJoin(const DecayParams& params, IndexFactory factory,
                 double window_factor = 1.0, size_t num_threads = 1);
 
+  // Same, but running window closes on an injected pool shared with other
+  // joins (JoinService creates one pool per service, not one per engine).
+  // A null pool keeps the sequential path. Output is bit-identical to the
+  // own-pool constructor for any pool size: chunk buffers are drained in
+  // arrival order either way.
+  MiniBatchJoin(const DecayParams& params, IndexFactory factory,
+                double window_factor, std::shared_ptr<ThreadPool> pool);
+
   // Feeds one arrival; emits any pairs that became reportable (i.e. when
   // `x` closes one or more windows). Returns false on a time-order
   // violation (the item is rejected, state unchanged).
@@ -95,6 +103,12 @@ class MiniBatchJoin {
     return pool_ == nullptr ? 1 : pool_->num_threads();
   }
 
+  // Stream-clock state, exposed so the engine can diagnose a time
+  // regression precisely before delegating. `started()` is false again
+  // after a Flush (the next Push begins a fresh run).
+  Timestamp last_ts() const { return last_ts_; }
+  bool started() const { return started_; }
+
  private:
   void CloseWindow(ResultSink* sink);
   void QueryWindowParallel(const BatchIndex& index, ResultSink* sink);
@@ -121,7 +135,7 @@ class MiniBatchJoin {
   bool started_ = false;
   RunStats stats_;
   std::vector<ResultPair> scratch_pairs_;
-  std::unique_ptr<ThreadPool> pool_;  // nullptr → sequential close
+  std::shared_ptr<ThreadPool> pool_;  // nullptr → sequential close
   std::vector<QueryChunk> chunks_;
   size_t peak_index_bytes_ = 0;
 };

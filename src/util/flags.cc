@@ -52,6 +52,26 @@ Flags::Flags(int argc, char** argv) {
   }
 }
 
+void Flags::RejectUnknown(const std::vector<std::string>& known) const {
+  for (const auto& e : entries_) {
+    bool found = false;
+    for (const auto& k : known) {
+      if (e.name == k) {
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    std::ostringstream accepted;
+    for (size_t i = 0; i < known.size(); ++i) {
+      accepted << (i > 0 ? ", " : "") << "--" << known[i];
+    }
+    std::fprintf(stderr, "unknown flag --%s (accepted: %s)\n",
+                 e.name.c_str(), accepted.str().c_str());
+    std::exit(2);
+  }
+}
+
 const Flags::Entry* Flags::Find(const std::string& name) const {
   for (const auto& e : entries_) {
     if (e.name == name) return &e;

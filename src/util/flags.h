@@ -30,6 +30,13 @@ class Flags {
   std::vector<double> GetDoubleList(const std::string& name,
                                     const std::vector<double>& def) const;
 
+  // Guards against typos: every flag on the command line must be in
+  // `known`, or the program prints the offending flag (and the accepted
+  // list) to stderr and exits with status 2 — the flag-name analogue of
+  // the strict numeric-value validation below. Call it once, right after
+  // construction, with the binary's full flag set.
+  void RejectUnknown(const std::vector<std::string>& known) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 

@@ -25,6 +25,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // One job at a time: a second caller (another session of a JoinService
+  // sharing this pool) blocks here until the current fork/join completes.
+  std::lock_guard<std::mutex> caller_lock(caller_mu_);
   {
     std::unique_lock<std::mutex> lock(mu_);
     // Wait out stragglers from the previous job before touching its state.

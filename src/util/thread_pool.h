@@ -45,8 +45,10 @@ class ThreadPool {
   // and the calling thread, and returns once all n calls finished. Calls
   // are not ordered; fn must be safe to invoke concurrently from
   // different threads for different i. Must not be called reentrantly
-  // (from inside fn) or from multiple threads at once, and fn must not
-  // throw.
+  // (from inside fn), and fn must not throw. Concurrent ParallelFor calls
+  // from different threads are safe but serialized: one pool can be
+  // shared by many engines (JoinService injects one per service), and
+  // simultaneous jobs simply queue on the caller mutex.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size() + 1; }
@@ -55,6 +57,7 @@ class ThreadPool {
   void WorkerLoop();
   void RunTasks();
 
+  std::mutex caller_mu_;  // serializes concurrent ParallelFor callers
   std::mutex mu_;
   std::condition_variable work_ready_;  // signals workers: epoch_ changed
   std::condition_variable idle_;        // signals caller: active_ hit 0

@@ -157,11 +157,12 @@ TEST(CheckpointTest, EngineLoadRejectsGarbageWithClearError) {
     std::ofstream f(path, std::ios::binary);
     f << "this is not a checkpoint at all, not even close";
   }
-  auto engine = SssjEngine::Create(cfg);
-  std::string err;
-  EXPECT_FALSE(engine->LoadCheckpoint(path, &err));
-  EXPECT_NE(err.find("not a sssj engine checkpoint"), std::string::npos)
-      << err;
+  auto engine = *SssjEngine::Make(cfg);
+  const Status status = engine->LoadCheckpoint(path);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("not a sssj engine checkpoint"),
+            std::string::npos)
+      << status.ToString();
   std::remove(path.c_str());
 }
 
@@ -175,19 +176,20 @@ TEST(CheckpointTest, EngineLoadReportsParameterMismatch) {
   const Stream stream = TestStream();
   const std::string path = ::testing::TempDir() + "/sssj_mismatch.ckp";
   {
-    auto engine = SssjEngine::Create(cfg);
     CollectorSink sink;
+    auto engine = *SssjEngine::Make(cfg, &sink);
     for (size_t i = 0; i < 50; ++i) {
-      engine->Push(stream[i].ts, stream[i].vec, &sink);
+      engine->Push(stream[i].ts, stream[i].vec);
     }
-    std::string err;
-    ASSERT_TRUE(engine->SaveCheckpoint(path, &err)) << err;
+    const Status saved = engine->SaveCheckpoint(path);
+    ASSERT_TRUE(saved.ok()) << saved.ToString();
   }
   cfg.theta = 0.8;  // different engine params
-  auto engine = SssjEngine::Create(cfg);
-  std::string err;
-  EXPECT_FALSE(engine->LoadCheckpoint(path, &err));
-  EXPECT_NE(err.find("parameter mismatch"), std::string::npos) << err;
+  auto engine = *SssjEngine::Make(cfg);
+  const Status status = engine->LoadCheckpoint(path);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("parameter mismatch"), std::string::npos)
+      << status.ToString();
   std::remove(path.c_str());
 }
 
@@ -203,32 +205,35 @@ TEST(CheckpointTest, EngineRoundTripThroughFile) {
   const std::string path = ::testing::TempDir() + "/sssj_engine.ckp";
 
   // Reference.
-  auto ref = SssjEngine::Create(cfg);
   CollectorSink ref_sink;
+  auto ref = *SssjEngine::Make(cfg, &ref_sink);
   for (const StreamItem& item : stream) {
-    ref->Push(item.ts, item.vec, &ref_sink);
+    ref->Push(item.ts, item.vec);
   }
 
   // Interrupted + resumed.
   CollectorSink sink;
   {
-    auto engine = SssjEngine::Create(cfg);
+    auto engine = *SssjEngine::Make(cfg, &sink);
     for (size_t i = 0; i < cut; ++i) {
-      engine->Push(stream[i].ts, stream[i].vec, &sink);
+      engine->Push(stream[i].ts, stream[i].vec);
     }
-    std::string err;
-    ASSERT_TRUE(engine->SaveCheckpoint(path, &err)) << err;
+    const Status saved = engine->SaveCheckpoint(path);
+    ASSERT_TRUE(saved.ok()) << saved.ToString();
   }
   {
-    auto engine = SssjEngine::Create(cfg);
-    std::string err;
-    ASSERT_TRUE(engine->LoadCheckpoint(path, &err)) << err;
+    auto engine = *SssjEngine::Make(cfg, &sink);
+    const Status loaded = engine->LoadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.ToString();
     EXPECT_EQ(engine->next_id(), cut);
-    // Time order is still enforced after restore.
-    EXPECT_FALSE(
-        engine->Push(stream[cut].ts - 100.0, stream[cut].vec, &sink));
+    // Time order is still enforced after restore, with the precise reason.
+    const Status regressed =
+        engine->Push(stream[cut].ts - 100.0, stream[cut].vec);
+    EXPECT_EQ(regressed.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(regressed.message().find("timestamp regression"),
+              std::string::npos);
     for (size_t i = cut; i < stream.size(); ++i) {
-      ASSERT_TRUE(engine->Push(stream[i].ts, stream[i].vec, &sink));
+      ASSERT_TRUE(engine->Push(stream[i].ts, stream[i].vec).ok());
     }
   }
   EXPECT_EQ(PairSet(sink.pairs()), PairSet(ref_sink.pairs()));
@@ -251,19 +256,19 @@ TEST(CheckpointTest, FailedEngineLoadLeavesLiveStateUntouched) {
   const std::string path = ::testing::TempDir() + "/sssj_truncated.ckp";
 
   // Uninterrupted reference.
-  auto ref = SssjEngine::Create(cfg);
   CollectorSink ref_sink;
-  for (const StreamItem& item : stream) ref->Push(item.ts, item.vec, &ref_sink);
+  auto ref = *SssjEngine::Make(cfg, &ref_sink);
+  for (const StreamItem& item : stream) ref->Push(item.ts, item.vec);
 
   // Live engine: run half, save, truncate the file on disk, then attempt
   // to load the damaged checkpoint into the SAME live engine.
-  auto engine = SssjEngine::Create(cfg);
   CollectorSink sink;
+  auto engine = *SssjEngine::Make(cfg, &sink);
   for (size_t i = 0; i < cut; ++i) {
-    engine->Push(stream[i].ts, stream[i].vec, &sink);
+    engine->Push(stream[i].ts, stream[i].vec);
   }
-  std::string err;
-  ASSERT_TRUE(engine->SaveCheckpoint(path, &err)) << err;
+  const Status saved = engine->SaveCheckpoint(path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
   {
     std::ifstream in(path, std::ios::binary);
     std::string full((std::istreambuf_iterator<char>(in)),
@@ -274,32 +279,48 @@ TEST(CheckpointTest, FailedEngineLoadLeavesLiveStateUntouched) {
               static_cast<std::streamsize>(full.size() / 2));  // mid-record
   }
   const VectorId id_before = engine->next_id();
-  EXPECT_FALSE(engine->LoadCheckpoint(path, &err));
-  EXPECT_FALSE(err.empty());
+  const Status loaded = engine->LoadCheckpoint(path);
+  EXPECT_EQ(loaded.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(loaded.message().empty());
   EXPECT_EQ(engine->next_id(), id_before);
 
   // The live engine keeps producing the uninterrupted run's output.
   for (size_t i = cut; i < stream.size(); ++i) {
-    ASSERT_TRUE(engine->Push(stream[i].ts, stream[i].vec, &sink));
+    ASSERT_TRUE(engine->Push(stream[i].ts, stream[i].vec).ok());
   }
   EXPECT_EQ(PairSet(sink.pairs()), PairSet(ref_sink.pairs()));
   EXPECT_EQ(sink.pairs().size(), ref_sink.pairs().size());
   std::remove(path.c_str());
 }
 
-TEST(CheckpointTest, UnsupportedConfigsRefuse) {
+TEST(CheckpointTest, UnsupportedConfigsRefuseWithUnimplemented) {
   EngineConfig cfg;
   cfg.framework = Framework::kMiniBatch;
   cfg.index = IndexScheme::kL2;
-  auto mb = SssjEngine::Create(cfg);
-  std::string err;
-  EXPECT_FALSE(mb->SaveCheckpoint("/tmp/x.ckp", &err));
-  EXPECT_FALSE(err.empty());
+  auto mb = *SssjEngine::Make(cfg);
+  const Status mb_status = mb->SaveCheckpoint("/tmp/x.ckp");
+  EXPECT_EQ(mb_status.code(), StatusCode::kUnimplemented);
+  EXPECT_NE(mb_status.message().find("single-threaded STR-L2 only"),
+            std::string::npos);
 
   cfg.framework = Framework::kStreaming;
   cfg.index = IndexScheme::kL2ap;
-  auto l2ap = SssjEngine::Create(cfg);
-  EXPECT_FALSE(l2ap->SaveCheckpoint("/tmp/x.ckp", &err));
+  auto l2ap = *SssjEngine::Make(cfg);
+  EXPECT_EQ(l2ap->SaveCheckpoint("/tmp/x.ckp").code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(CheckpointTest, MissingAndUnwritablePathsReportPreciseCodes) {
+  EngineConfig cfg;
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kL2;
+  auto engine = *SssjEngine::Make(cfg);
+  const Status missing = engine->LoadCheckpoint("/nonexistent/sssj.ckp");
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.message().find("cannot open"), std::string::npos);
+  const Status unwritable = engine->SaveCheckpoint("/nonexistent/dir/s.ckp");
+  EXPECT_EQ(unwritable.code(), StatusCode::kIoError);
+  EXPECT_NE(unwritable.message().find("for writing"), std::string::npos);
 }
 
 TEST(CheckpointTest, EmptyIndexRoundTrips) {

@@ -1,4 +1,5 @@
-// SssjEngine facade: config validation, input cleaning, id assignment, and
+// SssjEngine facade: config validation (Status codes + pinned diagnostic
+// messages), input cleaning, id assignment, per-item reject reasons, and
 // end-to-end equivalence with the oracle through the public API.
 #include "core/engine.h"
 
@@ -10,37 +11,72 @@ namespace sssj {
 namespace {
 
 using ::sssj::testing::ExpectMatchesOracle;
+using ::sssj::testing::Item;
 using ::sssj::testing::RandomStream;
 using ::sssj::testing::RandomStreamSpec;
 using ::sssj::testing::RawVec;
 using ::sssj::testing::UnitVec;
 
-TEST(EngineTest, CreateRejectsInvalidTheta) {
+TEST(EngineTest, MakeRejectsInvalidThetaWithPinnedDiagnostic) {
   EngineConfig cfg;
   cfg.theta = 0.0;
-  EXPECT_EQ(SssjEngine::Create(cfg), nullptr);
+  auto zero = SssjEngine::Make(cfg);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(zero.status().message().find("theta must be in (0, 1]"),
+            std::string::npos);
+  EXPECT_NE(zero.status().message().find("got 0"), std::string::npos);
+
   cfg.theta = 1.5;
-  EXPECT_EQ(SssjEngine::Create(cfg), nullptr);
+  auto big = SssjEngine::Make(cfg);
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(big.status().message().find("got 1.5"), std::string::npos);
 }
 
-TEST(EngineTest, CreateRejectsNegativeLambda) {
+TEST(EngineTest, MakeRejectsNegativeLambdaWithPinnedDiagnostic) {
   EngineConfig cfg;
   cfg.lambda = -1.0;
-  EXPECT_EQ(SssjEngine::Create(cfg), nullptr);
+  auto made = SssjEngine::Make(cfg);
+  ASSERT_FALSE(made.ok());
+  EXPECT_EQ(made.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(made.status().message().find("lambda must be finite and >= 0"),
+            std::string::npos);
+  EXPECT_NE(made.status().message().find("got -1"), std::string::npos);
 }
 
-TEST(EngineTest, CreateRejectsStreamingAp) {
+TEST(EngineTest, MakeRejectsStreamingApWithPaperRationale) {
   EngineConfig cfg;
   cfg.framework = Framework::kStreaming;
   cfg.index = IndexScheme::kAp;
-  EXPECT_EQ(SssjEngine::Create(cfg), nullptr);
+  auto made = SssjEngine::Make(cfg);
+  ASSERT_FALSE(made.ok());
+  EXPECT_EQ(made.status().code(), StatusCode::kUnimplemented);
+  // The message must teach, not just refuse: name the combination, the
+  // paper's rationale, and the alternatives.
+  EXPECT_NE(made.status().message().find("STR-AP is not supported"),
+            std::string::npos);
+  EXPECT_NE(made.status().message().find("§5.2"), std::string::npos);
+  EXPECT_NE(made.status().message().find("use STR-L2AP or MB-AP"),
+            std::string::npos);
 }
 
-TEST(EngineTest, CreateAcceptsMiniBatchAp) {
+TEST(EngineTest, DeprecatedCreateStillMapsFailureToNull) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EngineConfig cfg;
+  cfg.theta = 0.0;
+  EXPECT_EQ(SssjEngine::Create(cfg), nullptr);
+  cfg.theta = 0.7;
+  EXPECT_NE(SssjEngine::Create(cfg), nullptr);
+#pragma GCC diagnostic pop
+}
+
+TEST(EngineTest, MakeAcceptsMiniBatchAp) {
   EngineConfig cfg;
   cfg.framework = Framework::kMiniBatch;
   cfg.index = IndexScheme::kAp;
-  EXPECT_NE(SssjEngine::Create(cfg), nullptr);
+  EXPECT_TRUE(SssjEngine::Make(cfg).ok());
 }
 
 TEST(EngineTest, AllSupportedCombinationsConstruct) {
@@ -50,7 +86,7 @@ TEST(EngineTest, AllSupportedCombinationsConstruct) {
       EngineConfig cfg;
       cfg.framework = fw;
       cfg.index = ix;
-      EXPECT_NE(SssjEngine::Create(cfg), nullptr)
+      EXPECT_TRUE(SssjEngine::Make(cfg).ok())
           << ToString(fw) << "-" << ToString(ix);
     }
   }
@@ -60,12 +96,12 @@ TEST(EngineTest, PushNormalizesInputsByDefault) {
   EngineConfig cfg;
   cfg.theta = 0.99;
   cfg.lambda = 0.01;
-  auto engine = SssjEngine::Create(cfg);
   CollectorSink sink;
+  auto engine = *SssjEngine::Make(cfg, &sink);
   // Same direction, different magnitudes → cosine 1 after normalization.
-  EXPECT_TRUE(engine->Push(0.0, RawVec({{1, 2.0}, {2, 4.0}}), &sink));
-  EXPECT_TRUE(engine->Push(0.1, RawVec({{1, 5.0}, {2, 10.0}}), &sink));
-  engine->Flush(&sink);
+  EXPECT_TRUE(engine->Push(0.0, RawVec({{1, 2.0}, {2, 4.0}})).ok());
+  EXPECT_TRUE(engine->Push(0.1, RawVec({{1, 5.0}, {2, 10.0}})).ok());
+  engine->Flush();
   ASSERT_EQ(sink.pairs().size(), 1u);
   EXPECT_NEAR(sink.pairs()[0].dot, 1.0, 1e-9);
 }
@@ -73,36 +109,100 @@ TEST(EngineTest, PushNormalizesInputsByDefault) {
 TEST(EngineTest, PushRejectsNonUnitWhenNormalizationDisabled) {
   EngineConfig cfg;
   cfg.normalize_inputs = false;
-  auto engine = SssjEngine::Create(cfg);
-  CollectorSink sink;
-  EXPECT_FALSE(engine->Push(0.0, RawVec({{1, 2.0}}), &sink));
-  EXPECT_TRUE(engine->Push(0.0, UnitVec({{1, 2.0}}), &sink));
+  auto engine = *SssjEngine::Make(cfg);
+  const Status status = engine->Push(0.0, RawVec({{1, 2.0}}));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("not unit-normalized"), std::string::npos);
+  EXPECT_NE(status.message().find("normalize_inputs"), std::string::npos);
+  EXPECT_TRUE(engine->Push(0.0, UnitVec({{1, 2.0}})).ok());
 }
 
-TEST(EngineTest, PushRejectsEmptyAndNonFinite) {
-  auto engine = SssjEngine::Create(EngineConfig{});
-  CollectorSink sink;
-  EXPECT_FALSE(engine->Push(0.0, SparseVector(), &sink));
-  EXPECT_FALSE(engine->Push(0.0, RawVec({{1, -3.0}}), &sink));  // cleaned away
-  EXPECT_FALSE(engine->Push(std::nan(""), UnitVec({{1, 1.0}}), &sink));
+TEST(EngineTest, PushRejectsEmptyAndNonFiniteWithReasons) {
+  auto engine = *SssjEngine::Make(EngineConfig{});
+  const Status empty = engine->Push(0.0, SparseVector());
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty.message().find("empty after cleaning"), std::string::npos);
+
+  // Cleaned away: the only coordinate is negative.
+  const Status cleaned = engine->Push(0.0, RawVec({{1, -3.0}}));
+  EXPECT_EQ(cleaned.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(cleaned.message().find("empty after cleaning"),
+            std::string::npos);
+
+  const Status bad_ts = engine->Push(std::nan(""), UnitVec({{1, 1.0}}));
+  EXPECT_EQ(bad_ts.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_ts.message().find("timestamp must be finite"),
+            std::string::npos);
 }
 
 TEST(EngineTest, RejectedPushDoesNotConsumeId) {
-  auto engine = SssjEngine::Create(EngineConfig{});
-  CollectorSink sink;
+  auto engine = *SssjEngine::Make(EngineConfig{});
   EXPECT_EQ(engine->next_id(), 0u);
-  engine->Push(0.0, SparseVector(), &sink);  // rejected
+  EXPECT_FALSE(engine->Push(0.0, SparseVector()).ok());  // rejected
   EXPECT_EQ(engine->next_id(), 0u);
-  engine->Push(0.0, UnitVec({{1, 1.0}}), &sink);
+  EXPECT_TRUE(engine->Push(0.0, UnitVec({{1, 1.0}})).ok());
   EXPECT_EQ(engine->next_id(), 1u);
 }
 
-TEST(EngineTest, OutOfOrderTimestampRejected) {
-  auto engine = SssjEngine::Create(EngineConfig{});
-  CollectorSink sink;
-  EXPECT_TRUE(engine->Push(10.0, UnitVec({{1, 1.0}}), &sink));
-  EXPECT_FALSE(engine->Push(9.0, UnitVec({{1, 1.0}}), &sink));
-  EXPECT_TRUE(engine->Push(10.0, UnitVec({{1, 1.0}}), &sink));
+TEST(EngineTest, OutOfOrderTimestampRejectedWithBothTimes) {
+  auto engine = *SssjEngine::Make(EngineConfig{});
+  EXPECT_TRUE(engine->Push(10.0, UnitVec({{1, 1.0}})).ok());
+  const Status status = engine->Push(9.0, UnitVec({{1, 1.0}}));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("timestamp regression"), std::string::npos);
+  EXPECT_NE(status.message().find("9"), std::string::npos);
+  EXPECT_NE(status.message().find("10"), std::string::npos);
+  EXPECT_TRUE(engine->Push(10.0, UnitVec({{1, 1.0}})).ok());
+}
+
+// PushBatch partial acceptance: invalid items interleaved with valid ones
+// must not stop the batch, must not consume ids, and must surface one
+// precise reject reason per bad item.
+TEST(EngineTest, PushBatchPartialAcceptanceReportsPerItemReasons) {
+  for (Framework fw : {Framework::kMiniBatch, Framework::kStreaming}) {
+    EngineConfig cfg;
+    cfg.framework = fw;
+    auto engine = *SssjEngine::Make(cfg);
+
+    Stream batch;
+    batch.push_back(Item(0, 1.0, UnitVec({{1, 1.0}})));       // ok → id 0
+    batch.push_back(Item(0, 2.0, SparseVector()));            // empty
+    batch.push_back(Item(0, 3.0, UnitVec({{2, 1.0}})));       // ok → id 1
+    batch.push_back(Item(0, 0.5, UnitVec({{3, 1.0}})));       // regression
+    batch.push_back(Item(0, 4.0, UnitVec({{1, 1.0}})));       // ok → id 2
+
+    const BatchPushResult result = engine->PushBatch(batch);
+    EXPECT_EQ(result.accepted, 3u) << ToString(fw);
+    EXPECT_FALSE(result.all_accepted());
+    ASSERT_EQ(result.rejects.size(), 2u);
+
+    EXPECT_EQ(result.rejects[0].index, 1u);
+    EXPECT_EQ(result.rejects[0].status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.rejects[0].status.message().find("empty after cleaning"),
+              std::string::npos);
+
+    EXPECT_EQ(result.rejects[1].index, 3u);
+    EXPECT_EQ(result.rejects[1].status.code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_NE(result.rejects[1].status.message().find("timestamp regression"),
+              std::string::npos);
+
+    // Id continuity: rejects consumed no ids, so the three accepted items
+    // got ids 0, 1, 2 and the next accept continues from 3.
+    EXPECT_EQ(engine->next_id(), 3u);
+    EXPECT_TRUE(engine->Push(5.0, UnitVec({{4, 1.0}})).ok());
+    EXPECT_EQ(engine->next_id(), 4u);
+  }
+}
+
+TEST(EngineTest, PushBatchAllAcceptedHasNoRejects) {
+  auto engine = *SssjEngine::Make(EngineConfig{});
+  Stream batch;
+  batch.push_back(Item(0, 1.0, UnitVec({{1, 1.0}})));
+  batch.push_back(Item(0, 2.0, UnitVec({{2, 1.0}})));
+  const BatchPushResult result = engine->PushBatch(batch);
+  EXPECT_EQ(result.accepted, 2u);
+  EXPECT_TRUE(result.all_accepted());
 }
 
 TEST(EngineTest, EndToEndMatchesOracleBothFrameworks) {
@@ -120,35 +220,64 @@ TEST(EngineTest, EndToEndMatchesOracleBothFrameworks) {
     cfg.index = IndexScheme::kL2;
     cfg.theta = params.theta;
     cfg.lambda = params.lambda;
-    auto engine = SssjEngine::Create(cfg);
     CollectorSink sink;
+    auto engine = *SssjEngine::Make(cfg, &sink);
     for (const StreamItem& item : stream) {
-      ASSERT_TRUE(engine->Push(item.ts, item.vec, &sink));
+      ASSERT_TRUE(engine->Push(item.ts, item.vec).ok());
     }
-    engine->Flush(&sink);
+    engine->Flush();
     ExpectMatchesOracle(stream, params, sink.pairs());
     EXPECT_EQ(engine->stats().vectors_processed, stream.size());
   }
 }
 
-TEST(EngineTest, ParseAndToStringRoundTrip) {
-  Framework fw;
-  EXPECT_TRUE(ParseFramework("MB", &fw));
-  EXPECT_EQ(fw, Framework::kMiniBatch);
-  EXPECT_TRUE(ParseFramework("streaming", &fw));
-  EXPECT_EQ(fw, Framework::kStreaming);
-  EXPECT_FALSE(ParseFramework("bogus", &fw));
+TEST(EngineTest, BindSinkRedirectsSubsequentPushes) {
+  EngineConfig cfg;
+  cfg.theta = 0.9;
+  CollectorSink first, second;
+  auto engine = *SssjEngine::Make(cfg, &first);
+  EXPECT_EQ(engine->sink(), &first);
+  engine->Push(0.0, UnitVec({{1, 1.0}}));
+  engine->Push(0.01, UnitVec({{1, 1.0}}));  // pair lands in `first`
+  engine->BindSink(&second);
+  engine->Push(0.02, UnitVec({{1, 1.0}}));  // pairs land in `second`
+  engine->Flush();
+  EXPECT_EQ(first.pairs().size(), 1u);
+  EXPECT_EQ(second.pairs().size(), 2u);  // new item pairs with both others
+}
 
-  IndexScheme ix;
-  EXPECT_TRUE(ParseIndexScheme("l2ap", &ix));
-  EXPECT_EQ(ix, IndexScheme::kL2ap);
-  EXPECT_TRUE(ParseIndexScheme("INV", &ix));
-  EXPECT_EQ(ix, IndexScheme::kInv);
-  EXPECT_TRUE(ParseIndexScheme("L2", &ix));
-  EXPECT_EQ(ix, IndexScheme::kL2);
-  EXPECT_TRUE(ParseIndexScheme("ap", &ix));
-  EXPECT_EQ(ix, IndexScheme::kAp);
-  EXPECT_FALSE(ParseIndexScheme("l3", &ix));
+TEST(EngineTest, NullSinkDiscardsResultsSafely) {
+  EngineConfig cfg;
+  cfg.theta = 0.9;
+  auto engine = *SssjEngine::Make(cfg);  // no sink bound
+  EXPECT_TRUE(engine->Push(0.0, UnitVec({{1, 1.0}})).ok());
+  EXPECT_TRUE(engine->Push(0.01, UnitVec({{1, 1.0}})).ok());
+  engine->Flush();
+  EXPECT_EQ(engine->stats().vectors_processed, 2u);
+}
+
+TEST(EngineTest, ParseAndToStringRoundTrip) {
+  auto fw = ParseFramework("MB");
+  ASSERT_TRUE(fw.ok());
+  EXPECT_EQ(*fw, Framework::kMiniBatch);
+  fw = ParseFramework("streaming");
+  ASSERT_TRUE(fw.ok());
+  EXPECT_EQ(*fw, Framework::kStreaming);
+  fw = ParseFramework("bogus");
+  ASSERT_FALSE(fw.ok());
+  EXPECT_EQ(fw.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(fw.status().message().find("unknown framework 'bogus'"),
+            std::string::npos);
+
+  auto ix = ParseIndexScheme("l2ap");
+  ASSERT_TRUE(ix.ok());
+  EXPECT_EQ(*ix, IndexScheme::kL2ap);
+  EXPECT_EQ(*ParseIndexScheme("INV"), IndexScheme::kInv);
+  EXPECT_EQ(*ParseIndexScheme("L2"), IndexScheme::kL2);
+  EXPECT_EQ(*ParseIndexScheme("ap"), IndexScheme::kAp);
+  ix = ParseIndexScheme("l3");
+  ASSERT_FALSE(ix.ok());
+  EXPECT_EQ(ix.status().code(), StatusCode::kInvalidArgument);
 
   EXPECT_STREQ(ToString(Framework::kMiniBatch), "MB");
   EXPECT_STREQ(ToString(IndexScheme::kL2ap), "L2AP");
@@ -157,16 +286,33 @@ TEST(EngineTest, ParseAndToStringRoundTrip) {
 TEST(EngineTest, CallbackSinkReceivesPairs) {
   EngineConfig cfg;
   cfg.theta = 0.9;
-  auto engine = SssjEngine::Create(cfg);
   int calls = 0;
   CallbackSink sink([&](const ResultPair& p) {
     ++calls;
     EXPECT_LT(p.a, p.b);
   });
-  engine->Push(0.0, UnitVec({{1, 1.0}}), &sink);
-  engine->Push(0.01, UnitVec({{1, 1.0}}), &sink);
-  engine->Flush(&sink);
+  EXPECT_TRUE(sink.status().ok());
+  auto engine = *SssjEngine::Make(cfg, &sink);
+  engine->Push(0.0, UnitVec({{1, 1.0}}));
+  engine->Push(0.01, UnitVec({{1, 1.0}}));
+  engine->Flush();
   EXPECT_EQ(calls, 1);
+}
+
+TEST(EngineTest, EmptyCallbackSinkIsAnErrorNotACrash) {
+  CallbackSink sink{CallbackSink::Callback()};
+  EXPECT_FALSE(sink.status().ok());
+  EXPECT_EQ(sink.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(sink.status().message().find("empty callback"),
+            std::string::npos);
+  // Emitting through it must be a no-op, not std::bad_function_call.
+  EngineConfig cfg;
+  cfg.theta = 0.9;
+  auto engine = *SssjEngine::Make(cfg, &sink);
+  EXPECT_TRUE(engine->Push(0.0, UnitVec({{1, 1.0}})).ok());
+  EXPECT_TRUE(engine->Push(0.01, UnitVec({{1, 1.0}})).ok());
+  engine->Flush();
+  EXPECT_EQ(engine->stats().pairs_emitted, 1u);
 }
 
 }  // namespace

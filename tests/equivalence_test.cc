@@ -26,13 +26,15 @@ std::vector<ResultPair> RunEngine(Framework fw, IndexScheme ix,
   cfg.theta = params.theta;
   cfg.lambda = params.lambda;
   cfg.normalize_inputs = false;
-  auto engine = SssjEngine::Create(cfg);
-  EXPECT_NE(engine, nullptr);
   CollectorSink sink;
+  auto engine_or = SssjEngine::Make(cfg, &sink);
+  EXPECT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  auto engine = *std::move(engine_or);
   for (const StreamItem& item : stream) {
-    EXPECT_TRUE(engine->Push(item.ts, item.vec, &sink));
+    const Status status = engine->Push(item.ts, item.vec);
+    EXPECT_TRUE(status.ok()) << status.ToString();
   }
-  engine->Flush(&sink);
+  engine->Flush();
   return sink.pairs();
 }
 

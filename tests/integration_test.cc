@@ -39,10 +39,10 @@ TEST(IntegrationTest, LambdaZeroStreamingEqualsBatchApss) {
   cfg.theta = 0.6;
   cfg.lambda = 0.0;
   cfg.normalize_inputs = false;
-  auto engine = SssjEngine::Create(cfg);
   CollectorSink sink;
+  auto engine = *SssjEngine::Make(cfg, &sink);
   for (const auto& item : stream) {
-    ASSERT_TRUE(engine->Push(item.ts, item.vec, &sink));
+    ASSERT_TRUE(engine->Push(item.ts, item.vec).ok());
   }
   EXPECT_EQ(PairSet(sink.pairs()), PairSet(batch));
 }
@@ -61,12 +61,12 @@ TEST(IntegrationTest, MiniBatchBoundaryTies) {
   cfg.theta = params.theta;
   cfg.lambda = params.lambda;
   cfg.normalize_inputs = false;
-  auto engine = SssjEngine::Create(cfg);
   CollectorSink sink;
+  auto engine = *SssjEngine::Make(cfg, &sink);
   for (const auto& item : stream) {
-    ASSERT_TRUE(engine->Push(item.ts, item.vec, &sink));
+    ASSERT_TRUE(engine->Push(item.ts, item.vec).ok());
   }
-  engine->Flush(&sink);
+  engine->Flush();
   ::sssj::testing::ExpectMatchesOracle(stream, params, sink.pairs());
 }
 
@@ -94,10 +94,10 @@ TEST(IntegrationTest, LongStreamSoakBoundedMemoryAndAgreement) {
     cfg.theta = params.theta;
     cfg.lambda = params.lambda;
     cfg.normalize_inputs = false;
-    auto engine = SssjEngine::Create(cfg);
     CountingSink sink;
+    auto engine = *SssjEngine::Make(cfg, &sink);
     for (const auto& item : stream) {
-      ASSERT_TRUE(engine->Push(item.ts, item.vec, &sink));
+      ASSERT_TRUE(engine->Push(item.ts, item.vec).ok());
     }
     counts[k] = sink.count();
     peaks[k] = engine->stats().peak_index_entries;
@@ -123,9 +123,9 @@ TEST(IntegrationTest, FileRoundTripPreservesJoin) {
   spec.seed = 88;
   const Stream stream = CorpusGenerator(spec).Generate();
   const std::string path = ::testing::TempDir() + "/sssj_integration.txt";
-  ASSERT_TRUE(WriteTextStream(stream, path));
+  ASSERT_TRUE(WriteTextStream(stream, path).ok());
   Stream loaded;
-  ASSERT_TRUE(ReadTextStream(path, &loaded));
+  ASSERT_TRUE(ReadTextStream(path, &loaded).ok());
   std::remove(path.c_str());
 
   DecayParams params;
@@ -135,9 +135,9 @@ TEST(IntegrationTest, FileRoundTripPreservesJoin) {
     cfg.theta = params.theta;
     cfg.lambda = params.lambda;
     cfg.normalize_inputs = false;
-    auto engine = SssjEngine::Create(cfg);
     CollectorSink sink;
-    for (const auto& item : s) engine->Push(item.ts, item.vec, &sink);
+    auto engine = *SssjEngine::Make(cfg, &sink);
+    for (const auto& item : s) engine->Push(item.ts, item.vec);
     return PairSet(sink.pairs());
   };
   EXPECT_EQ(run(stream), run(loaded));

@@ -47,10 +47,11 @@ class IoTest : public ::testing::Test {
 TEST_F(IoTest, TextRoundTrip) {
   const Stream original = SampleStream();
   const std::string path = TempPath("round.txt");
-  std::string err;
-  ASSERT_TRUE(WriteTextStream(original, path, &err)) << err;
+  Status status = WriteTextStream(original, path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
   Stream loaded;
-  ASSERT_TRUE(ReadTextStream(path, &loaded, {}, &err)) << err;
+  status = ReadTextStream(path, &loaded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
   ExpectStreamsEqual(original, loaded, 1e-12);
   std::remove(path.c_str());
 }
@@ -58,10 +59,11 @@ TEST_F(IoTest, TextRoundTrip) {
 TEST_F(IoTest, BinaryRoundTripIsExact) {
   const Stream original = SampleStream();
   const std::string path = TempPath("round.bin");
-  std::string err;
-  ASSERT_TRUE(WriteBinaryStream(original, path, &err)) << err;
+  Status status = WriteBinaryStream(original, path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
   Stream loaded;
-  ASSERT_TRUE(ReadBinaryStream(path, &loaded, {}, &err)) << err;
+  status = ReadBinaryStream(path, &loaded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
   ExpectStreamsEqual(original, loaded, 0.0);
   std::remove(path.c_str());
 }
@@ -70,23 +72,31 @@ TEST_F(IoTest, TextToBinaryConversionPreservesStream) {
   const Stream original = SampleStream();
   const std::string tpath = TempPath("conv.txt");
   const std::string bpath = TempPath("conv.bin");
-  ASSERT_TRUE(WriteTextStream(original, tpath));
+  ASSERT_TRUE(WriteTextStream(original, tpath).ok());
   Stream from_text;
-  ASSERT_TRUE(ReadTextStream(tpath, &from_text));
-  ASSERT_TRUE(WriteBinaryStream(from_text, bpath));
+  ASSERT_TRUE(ReadTextStream(tpath, &from_text).ok());
+  ASSERT_TRUE(WriteBinaryStream(from_text, bpath).ok());
   Stream from_bin;
-  ASSERT_TRUE(ReadBinaryStream(bpath, &from_bin));
+  ASSERT_TRUE(ReadBinaryStream(bpath, &from_bin).ok());
   ExpectStreamsEqual(from_text, from_bin, 0.0);
   std::remove(tpath.c_str());
   std::remove(bpath.c_str());
 }
 
-TEST_F(IoTest, ReadMissingFileFails) {
+TEST_F(IoTest, ReadMissingFileFailsWithNotFound) {
   Stream s;
-  std::string err;
-  EXPECT_FALSE(ReadTextStream("/nonexistent/sssj.txt", &s, {}, &err));
-  EXPECT_FALSE(err.empty());
-  EXPECT_FALSE(ReadBinaryStream("/nonexistent/sssj.bin", &s, {}, &err));
+  const Status text = ReadTextStream("/nonexistent/sssj.txt", &s);
+  EXPECT_EQ(text.code(), StatusCode::kNotFound);
+  EXPECT_NE(text.message().find("cannot open"), std::string::npos);
+  EXPECT_NE(text.message().find("/nonexistent/sssj.txt"), std::string::npos);
+  const Status bin = ReadBinaryStream("/nonexistent/sssj.bin", &s);
+  EXPECT_EQ(bin.code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, WriteToUnwritablePathFailsWithIoError) {
+  const Status status = WriteTextStream({}, "/nonexistent/dir/sssj.txt");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("for writing"), std::string::npos);
 }
 
 TEST_F(IoTest, TextCommentsAndBlankLinesSkipped) {
@@ -96,24 +106,38 @@ TEST_F(IoTest, TextCommentsAndBlankLinesSkipped) {
     f << "# comment\n\n1.5 3:0.6 4:0.8\n# another\n2.5 3:1.0\n";
   }
   Stream s;
-  std::string err;
-  ASSERT_TRUE(ReadTextStream(path, &s, {}, &err)) << err;
+  const Status status = ReadTextStream(path, &s);
+  ASSERT_TRUE(status.ok()) << status.ToString();
   ASSERT_EQ(s.size(), 2u);
   EXPECT_DOUBLE_EQ(s[0].ts, 1.5);
   EXPECT_EQ(s[0].vec.nnz(), 2u);
   std::remove(path.c_str());
 }
 
-TEST_F(IoTest, TextMalformedCoordFails) {
+TEST_F(IoTest, TextMalformedCoordFailsWithLineNumber) {
   const std::string path = TempPath("bad.txt");
   {
     std::ofstream f(path);
-    f << "1.0 3=0.5\n";
+    f << "1.0 3:0.5\n2.0 3=0.5\n";
   }
   Stream s;
-  std::string err;
-  EXPECT_FALSE(ReadTextStream(path, &s, {}, &err));
-  EXPECT_NE(err.find("bad coord"), std::string::npos);
+  const Status status = ReadTextStream(path, &s);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bad coord"), std::string::npos);
+  EXPECT_NE(status.message().find(":2:"), std::string::npos);  // line number
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, TextBadTimestampFails) {
+  const std::string path = TempPath("badts.txt");
+  {
+    std::ofstream f(path);
+    f << "abc 1:1.0\n";
+  }
+  Stream s;
+  const Status status = ReadTextStream(path, &s);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bad timestamp"), std::string::npos);
   std::remove(path.c_str());
 }
 
@@ -124,11 +148,13 @@ TEST_F(IoTest, OutOfOrderTimestampsRejectedWhenRequired) {
     f << "2.0 1:1.0\n1.0 1:1.0\n";
   }
   Stream s;
-  std::string err;
-  EXPECT_FALSE(ReadTextStream(path, &s, {}, &err));
+  const Status strict = ReadTextStream(path, &s);
+  EXPECT_EQ(strict.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(strict.message().find("decreasing timestamp"), std::string::npos);
   ReadOptions opts;
   opts.require_ordered = false;
-  EXPECT_TRUE(ReadTextStream(path, &s, opts, &err)) << err;
+  const Status lax = ReadTextStream(path, &s, opts);
+  EXPECT_TRUE(lax.ok()) << lax.ToString();
   EXPECT_EQ(s.size(), 2u);
   std::remove(path.c_str());
 }
@@ -140,10 +166,10 @@ TEST_F(IoTest, NormalizationOnReadIsOptional) {
     f << "0.0 1:3.0 2:4.0\n";
   }
   Stream normalized, raw;
-  ASSERT_TRUE(ReadTextStream(path, &normalized));
+  ASSERT_TRUE(ReadTextStream(path, &normalized).ok());
   ReadOptions opts;
   opts.normalize = false;
-  ASSERT_TRUE(ReadTextStream(path, &raw, opts));
+  ASSERT_TRUE(ReadTextStream(path, &raw, opts).ok());
   EXPECT_TRUE(normalized[0].vec.IsUnit());
   EXPECT_DOUBLE_EQ(raw[0].vec.norm(), 5.0);
   std::remove(path.c_str());
@@ -156,16 +182,16 @@ TEST_F(IoTest, BinaryRejectsWrongMagic) {
     f << "NOTSSSJ!garbage";
   }
   Stream s;
-  std::string err;
-  EXPECT_FALSE(ReadBinaryStream(path, &s, {}, &err));
-  EXPECT_NE(err.find("not an sssj binary"), std::string::npos);
+  const Status status = ReadBinaryStream(path, &s);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("not an sssj binary"), std::string::npos);
   std::remove(path.c_str());
 }
 
-TEST_F(IoTest, BinaryRejectsTruncatedFile) {
+TEST_F(IoTest, BinaryRejectsTruncatedFileWithDataLoss) {
   const Stream original = SampleStream();
   const std::string path = TempPath("trunc.bin");
-  ASSERT_TRUE(WriteBinaryStream(original, path));
+  ASSERT_TRUE(WriteBinaryStream(original, path).ok());
   // Truncate the file in the middle.
   {
     std::ifstream in(path, std::ios::binary);
@@ -175,18 +201,31 @@ TEST_F(IoTest, BinaryRejectsTruncatedFile) {
     out.write(content.data(), static_cast<std::streamsize>(content.size() / 2));
   }
   Stream s;
-  std::string err;
-  EXPECT_FALSE(ReadBinaryStream(path, &s, {}, &err));
+  const Status status = ReadBinaryStream(path, &s);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("truncated"), std::string::npos);
   std::remove(path.c_str());
 }
 
 TEST_F(IoTest, EmptyStreamRoundTrips) {
   const std::string path = TempPath("empty.bin");
-  ASSERT_TRUE(WriteBinaryStream({}, path));
+  ASSERT_TRUE(WriteBinaryStream({}, path).ok());
   Stream s = {Item(0, 0.0, UnitVec({{1, 1.0}}))};  // must be cleared
-  ASSERT_TRUE(ReadBinaryStream(path, &s));
+  ASSERT_TRUE(ReadBinaryStream(path, &s).ok());
   EXPECT_TRUE(s.empty());
   std::remove(path.c_str());
+}
+
+// The deprecated bool-with-out-param forms must keep working (and keep
+// reporting the Status message) until they are removed next release.
+TEST_F(IoTest, DeprecatedBoolWrappersStillReport) {
+  Stream s;
+  std::string err;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_FALSE(ReadTextStream("/nonexistent/sssj.txt", &s, {}, &err));
+#pragma GCC diagnostic pop
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
 }
 
 }  // namespace

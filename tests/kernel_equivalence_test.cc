@@ -28,11 +28,12 @@ std::vector<ResultPair> RunEngine(Framework fw, IndexScheme ix,
   cfg.kernel = kernel;
   cfg.num_threads = threads;
   cfg.normalize_inputs = false;  // profile streams are unit already
-  auto engine = SssjEngine::Create(cfg);
-  EXPECT_NE(engine, nullptr);
   CollectorSink sink;
-  engine->PushBatch(stream, &sink);
-  engine->Flush(&sink);
+  auto engine_or = SssjEngine::Make(cfg, &sink);
+  EXPECT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  auto engine = *std::move(engine_or);
+  engine->PushBatch(stream);
+  engine->Flush();
   return sink.pairs();
 }
 

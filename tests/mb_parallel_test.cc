@@ -153,11 +153,12 @@ TEST(MiniBatchParallelTest, EnginePlumbsThreadsIntoMiniBatch) {
     cfg.theta = 0.5;
     cfg.lambda = 0.05;
     cfg.num_threads = threads;
-    auto engine = SssjEngine::Create(cfg);
-    EXPECT_NE(engine, nullptr);
     CollectorSink sink;
-    engine->PushBatch(stream, &sink);
-    engine->Flush(&sink);
+    auto engine_or = SssjEngine::Make(cfg, &sink);
+    EXPECT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    auto engine = *std::move(engine_or);
+    engine->PushBatch(stream);
+    engine->Flush();
     return sink.pairs();
   };
   const auto sequential = run(1);

@@ -47,13 +47,14 @@ void CheckAll(const Stream& stream, const DecayParams& params) {
     cfg.theta = params.theta;
     cfg.lambda = params.lambda;
     cfg.normalize_inputs = false;
-    auto engine = SssjEngine::Create(cfg);
-    ASSERT_NE(engine, nullptr);
     CollectorSink sink;
+    auto engine_or = SssjEngine::Make(cfg, &sink);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    auto engine = *std::move(engine_or);
     for (const StreamItem& item : stream) {
-      ASSERT_TRUE(engine->Push(item.ts, item.vec, &sink));
+      ASSERT_TRUE(engine->Push(item.ts, item.vec).ok());
     }
-    engine->Flush(&sink);
+    engine->Flush();
     ExpectMatchesOracle(stream, params, sink.pairs());
   }
 }
@@ -254,10 +255,10 @@ TEST(PropertyTest, FrameworksEmitSameCount) {
     cfg.theta = params.theta;
     cfg.lambda = params.lambda;
     cfg.normalize_inputs = false;
-    auto engine = SssjEngine::Create(cfg);
     CountingSink sink;
-    for (const StreamItem& item : stream) engine->Push(item.ts, item.vec, &sink);
-    engine->Flush(&sink);
+    auto engine = *SssjEngine::Make(cfg, &sink);
+    for (const StreamItem& item : stream) engine->Push(item.ts, item.vec);
+    engine->Flush();
     counts[i++] = sink.count();
   }
   EXPECT_EQ(counts[0], counts[1]);

@@ -43,11 +43,12 @@ std::vector<ResultPair> RunEngine(const Stream& stream, double theta,
   cfg.theta = theta;
   cfg.lambda = lambda;
   cfg.num_threads = num_threads;
-  auto engine = SssjEngine::Create(cfg);
-  EXPECT_NE(engine, nullptr);
   CollectorSink sink;
-  const size_t accepted = engine->PushBatch(stream, &sink);
-  EXPECT_EQ(accepted, stream.size());
+  auto engine_or = SssjEngine::Make(cfg, &sink);
+  EXPECT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  auto engine = *std::move(engine_or);
+  const BatchPushResult pushed = engine->PushBatch(stream);
+  EXPECT_EQ(pushed.accepted, stream.size());
   return sink.SortedPairs();
 }
 
@@ -87,10 +88,11 @@ TEST(ShardedEngineTest, MatchesBruteForceOracle) {
   cfg.theta = params.theta;
   cfg.lambda = params.lambda;
   cfg.num_threads = 4;
-  auto engine = SssjEngine::Create(cfg);
-  ASSERT_NE(engine, nullptr);
   CollectorSink sink;
-  engine->PushBatch(stream, &sink);
+  auto engine_or = SssjEngine::Make(cfg, &sink);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  auto engine = *std::move(engine_or);
+  engine->PushBatch(stream);
   testing::ExpectMatchesOracle(stream, params, sink.pairs());
 }
 
@@ -179,14 +181,14 @@ TEST(ShardedEngineTest, PushBatchMatchesPerItemPush) {
   cfg.lambda = 0.05;
   cfg.num_threads = 2;
 
-  auto batch_engine = SssjEngine::Create(cfg);
-  auto item_engine = SssjEngine::Create(cfg);
+  CollectorSink batch_sink, item_sink;
+  auto batch_engine = *SssjEngine::Make(cfg, &batch_sink);
+  auto item_engine = *SssjEngine::Make(cfg, &item_sink);
   ASSERT_NE(batch_engine, nullptr);
   ASSERT_NE(item_engine, nullptr);
-  CollectorSink batch_sink, item_sink;
-  EXPECT_EQ(batch_engine->PushBatch(stream, &batch_sink), stream.size());
+  EXPECT_EQ(batch_engine->PushBatch(stream).accepted, stream.size());
   for (const StreamItem& item : stream) {
-    EXPECT_TRUE(item_engine->Push(item.ts, item.vec, &item_sink));
+    EXPECT_TRUE(item_engine->Push(item.ts, item.vec).ok());
   }
   EXPECT_EQ(PairSet(batch_sink.pairs()), PairSet(item_sink.pairs()));
   EXPECT_EQ(batch_engine->next_id(), item_engine->next_id());
@@ -228,15 +230,19 @@ TEST(ShardedEngineTest, PushBatchSkipsInvalidItemsAndContinues) {
   cfg.theta = 0.7;
   cfg.lambda = 0.01;
   cfg.num_threads = 2;
-  auto engine = SssjEngine::Create(cfg);
+  CollectorSink sink;
+  auto engine = *SssjEngine::Make(cfg, &sink);
   ASSERT_NE(engine, nullptr);
 
   Stream batch;
   batch.push_back(Item(0, 10.0, UnitVec({{1, 1.0}})));
   batch.push_back(Item(1, 5.0, UnitVec({{1, 1.0}})));  // time goes backwards
   batch.push_back(Item(2, 11.0, UnitVec({{1, 1.0}})));
-  CollectorSink sink;
-  EXPECT_EQ(engine->PushBatch(batch, &sink), 2u);
+  const BatchPushResult pushed = engine->PushBatch(batch);
+  EXPECT_EQ(pushed.accepted, 2u);
+  ASSERT_EQ(pushed.rejects.size(), 1u);
+  EXPECT_EQ(pushed.rejects[0].index, 1u);
+  EXPECT_EQ(pushed.rejects[0].status.code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(engine->next_id(), 2u);
   ASSERT_EQ(sink.pairs().size(), 1u);  // items 0 and 2 are near-identical
 }
@@ -246,11 +252,11 @@ TEST(ShardedEngineTest, CheckpointingRejectedWithGuidance) {
   cfg.framework = Framework::kStreaming;
   cfg.index = IndexScheme::kL2;
   cfg.num_threads = 4;
-  auto engine = SssjEngine::Create(cfg);
+  auto engine = *SssjEngine::Make(cfg);
   ASSERT_NE(engine, nullptr);
-  std::string error;
-  EXPECT_FALSE(engine->SaveCheckpoint("/tmp/sssj_sharded.ckpt", &error));
-  EXPECT_NE(error.find("single-threaded"), std::string::npos);
+  const Status status = engine->SaveCheckpoint("/tmp/sssj_sharded.ckpt");
+  EXPECT_EQ(status.code(), StatusCode::kUnimplemented);
+  EXPECT_NE(status.message().find("single-threaded"), std::string::npos);
 }
 
 TEST(ConcurrentCollectingSinkTest, ParallelEmitsAreAllRecorded) {

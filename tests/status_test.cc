@@ -1,0 +1,89 @@
+// sssj::Status / StatusOr — the error vocabulary of the v2 public API.
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace sssj {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_TRUE(status.message().empty());
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_EQ(status, Status::Ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad theta");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad theta");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad theta");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kUnimplemented, StatusCode::kDataLoss,
+        StatusCode::kIoError, StatusCode::kInternal}) {
+    EXPECT_STRNE(ToString(code), "UNKNOWN");
+    EXPECT_GT(std::string(ToString(code)).size(), 1u);
+  }
+}
+
+TEST(StatusTest, OkConstructorDropsMessage) {
+  const Status status(StatusCode::kOk, "should vanish");
+  EXPECT_TRUE(status.ok());
+  EXPECT_TRUE(status.message().empty());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::DataLoss("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = Status::NotFound("no such thing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "no such thing");
+}
+
+TEST(StatusOrTest, OkStatusWithoutValueBecomesInternal) {
+  StatusOr<int> result = Status::Ok();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MoveOnlyValueMovesOut) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = *std::move(result);
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperatorReachesValueMembers) {
+  StatusOr<std::string> result = std::string("hello");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+}
+
+}  // namespace
+}  // namespace sssj
