@@ -4,6 +4,8 @@
 // grows linearly in n and the method "is able to run on all datasets",
 // while MB's window-rebuild overhead accumulates. This bench sweeps n at
 // fixed (θ, λ) and prints time and throughput for STR-L2, STR-INV, MB-L2.
+// Everything measured is also written as machine-readable JSON to
+// --json-out (default BENCH_scaling.json; empty string disables).
 //
 // A second table sweeps the sharded engine's thread count (--thread-list,
 // default 1,2,4,8) at a fixed stream and reports throughput and speedup
@@ -15,12 +17,16 @@
 // (--session-list, default 1,2,4,8): K concurrent sessions each fed the
 // full stream from its own thread, so the per-session throughput column
 // is the multi-tenant overhead. Skip all of them with --no-threads.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <iostream>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench_common/bench_json.h"
 #include "core/join_service.h"
 #include "util/timer.h"
 
@@ -73,6 +79,14 @@ void PrintThreadSweep(const Stream& stream, Framework framework, double theta,
   table.Print(std::cout);
 }
 
+// Sorted-percentile helper for the latency columns (nearest-rank on a
+// pre-sorted sample).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<size_t>(std::llround(rank))];
+}
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
   const auto args = bench::ParseCommon(flags, /*default_scale=*/1.0);
@@ -80,6 +94,27 @@ int Run(int argc, char** argv) {
   const double lambda = flags.GetDouble("lambda", 0.01);
   const std::vector<double> scales =
       flags.GetDoubleList("scale-list", {0.25, 0.5, 1.0, 2.0, 4.0});
+  const std::string json_out =
+      flags.GetString("json-out", "BENCH_scaling.json");
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", "scaling")
+      .Set("theta", theta)
+      .Set("lambda", lambda)
+      .Set("seed", args.seed)
+      .Set("hardware_threads",
+           static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  JsonValue scaling_rows = JsonValue::Array();
+  const auto write_doc = [&](JsonValue rows) {
+    doc.Set("scaling", std::move(rows));
+    if (json_out.empty()) return;
+    const Status status = WriteJsonFile(doc, json_out);
+    if (!status.ok()) {
+      std::cerr << "warning: " << status.ToString() << "\n";
+    } else {
+      std::cout << "\nwrote " << json_out << "\n";
+    }
+  };
 
   // Every variant runs once per kernel path; the kernel column turns the
   // scaling table into a scalar-vs-SIMD comparison at each stream length.
@@ -115,6 +150,16 @@ int Run(int argc, char** argv) {
                       std::to_string(r.pairs),
                       std::to_string(r.stats.peak_index_entries),
                       FormatDouble(r.memory_bytes / (1024.0 * 1024.0), 2)});
+        scaling_rows.Push(
+            JsonValue::Object()
+                .Set("n", static_cast<uint64_t>(stream.size()))
+                .Set("variant", v.label)
+                .Set("kernel", ToString(kernel))
+                .Set("seconds", r.seconds)
+                .Set("kvec_per_s", stream.size() / r.seconds / 1000.0)
+                .Set("pairs", r.pairs)
+                .Set("peak_index_entries", r.stats.peak_index_entries)
+                .Set("memory_bytes", r.memory_bytes));
       }
     }
   }
@@ -125,7 +170,10 @@ int Run(int argc, char** argv) {
             << ToString(DetectSimdLevel()) << " kernels)\n";
   table.Print(std::cout);
 
-  if (flags.GetBool("no-threads", false)) return 0;
+  if (flags.GetBool("no-threads", false)) {
+    write_doc(std::move(scaling_rows));
+    return 0;
+  }
 
   // ---- Thread-count sweep over the sharded STR-L2 engine ----
   const std::vector<double> thread_list =
@@ -219,6 +267,133 @@ int Run(int argc, char** argv) {
               << "vs K shows the multi-tenant overhead\n";
     table.Print(std::cout);
   }
+
+  // ---- Async ingestion sweep: inline vs async with K producers ----
+  // K producer threads feed ONE engine. Inline mode serializes them on a
+  // mutex around Push (latency = lock wait + the full scan); async mode
+  // serializes them on the lock-free ring (latency = queue time + the
+  // scan on the pump thread). Same items, same pair count — the columns
+  // isolate what the ingress layer buys: sustained producer-side
+  // throughput and the submit-to-apply latency distribution under
+  // contention. All items share one timestamp so every interleaving is a
+  // valid arrival order.
+  {
+    using SteadyClock = std::chrono::steady_clock;
+    const std::vector<double> producer_list =
+        flags.GetDoubleList("producer-list", {1, 2, 4, 8});
+    const size_t queue_capacity = static_cast<size_t>(
+        flags.GetInt("queue-capacity", 4096));
+    const size_t epoch_items =
+        static_cast<size_t>(flags.GetInt("epoch-items", 256));
+    Stream stream = GenerateProfile(
+        DatasetProfile::kRcv1, flags.GetDouble("ingest-scale", args.scale),
+        args.seed);
+    for (StreamItem& item : stream) item.ts = 0.0;
+    const size_t n = stream.size();
+
+    TablePrinter table({"mode", "producers", "time(s)", "kvec/s", "p50(ms)",
+                        "p95(ms)", "p99(ms)", "pairs", "blocked", "epochs"},
+                       args.tsv);
+    JsonValue sweep_rows = JsonValue::Array();
+    for (double producers_d : producer_list) {
+      const size_t k = producers_d < 1 ? 1 : static_cast<size_t>(producers_d);
+      for (const bool async : {false, true}) {
+        EngineConfig cfg;
+        cfg.framework = Framework::kStreaming;
+        cfg.index = IndexScheme::kL2;
+        cfg.theta = theta;
+        cfg.lambda = lambda;
+        std::vector<SteadyClock::time_point> submitted(n), applied(n);
+        if (async) {
+          cfg.ingest.mode = IngestMode::kAsync;
+          cfg.ingest.queue_capacity = queue_capacity;
+          cfg.ingest.epoch_max_items = epoch_items;
+          cfg.ingest.submit = SubmitPolicy::kBlock;
+          cfg.ingest.on_complete = [&applied](uint64_t ticket,
+                                              const Status&) {
+            applied[ticket] = SteadyClock::now();
+          };
+        }
+        CountingSink sink;
+        auto engine = *SssjEngine::Make(cfg, &sink);
+        std::mutex push_mu;  // inline mode: producers serialize here
+        std::atomic<size_t> next_index{0};  // ticket surrogate for inline
+
+        Timer timer;
+        std::vector<std::thread> feeders;
+        for (size_t p = 0; p < k; ++p) {
+          feeders.emplace_back([&, p] {
+            const size_t begin = p * n / k, end = (p + 1) * n / k;
+            for (size_t i = begin; i < end; ++i) {
+              const SteadyClock::time_point t0 = SteadyClock::now();
+              if (async) {
+                uint64_t ticket = 0;
+                engine->AsyncPush(stream[i].ts, stream[i].vec, &ticket);
+                submitted[ticket] = t0;
+              } else {
+                std::lock_guard<std::mutex> lock(push_mu);
+                engine->Push(stream[i].ts, stream[i].vec);
+                const size_t slot = next_index.fetch_add(1);
+                submitted[slot] = t0;
+                applied[slot] = SteadyClock::now();
+              }
+            }
+          });
+        }
+        for (std::thread& t : feeders) t.join();
+        if (async) engine->Drain();
+        const double seconds = timer.ElapsedSeconds();
+
+        std::vector<double> latencies_ms;
+        latencies_ms.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(applied[i] -
+                                                        submitted[i])
+                  .count());
+        }
+        std::sort(latencies_ms.begin(), latencies_ms.end());
+        const double p50 = Percentile(latencies_ms, 0.50);
+        const double p95 = Percentile(latencies_ms, 0.95);
+        const double p99 = Percentile(latencies_ms, 0.99);
+        const IngestStats ingest = engine->ingest_stats();
+        const char* mode = async ? "async" : "inline";
+        table.AddRow({mode, std::to_string(k), FormatDouble(seconds, 3),
+                      FormatDouble(n / seconds / 1000.0, 1),
+                      FormatDouble(p50, 3), FormatDouble(p95, 3),
+                      FormatDouble(p99, 3), std::to_string(sink.count()),
+                      std::to_string(ingest.blocked_submits),
+                      std::to_string(ingest.epochs_closed)});
+        sweep_rows.Push(JsonValue::Object()
+                            .Set("mode", mode)
+                            .Set("producers", static_cast<uint64_t>(k))
+                            .Set("seconds", seconds)
+                            .Set("kvec_per_s", n / seconds / 1000.0)
+                            .Set("latency_p50_ms", p50)
+                            .Set("latency_p95_ms", p95)
+                            .Set("latency_p99_ms", p99)
+                            .Set("pairs", sink.count())
+                            .Set("blocked_submits", ingest.blocked_submits)
+                            .Set("epochs_closed", ingest.epochs_closed)
+                            .Set("max_queue_depth", ingest.max_queue_depth));
+      }
+    }
+    std::cout << "\nAsync ingestion: K producers feeding one STR-L2 engine "
+                 "(n="
+              << n << ", queue=" << queue_capacity << ", epoch="
+              << epoch_items
+              << " items); inline serializes producers on a mutex, async on "
+                 "the lock-free ring; latency is submit-to-apply\n";
+    table.Print(std::cout);
+    doc.Set("ingest_sweep",
+            JsonValue::Object()
+                .Set("n", static_cast<uint64_t>(n))
+                .Set("queue_capacity", static_cast<uint64_t>(queue_capacity))
+                .Set("epoch_max_items", static_cast<uint64_t>(epoch_items))
+                .Set("rows", std::move(sweep_rows)));
+  }
+
+  write_doc(std::move(scaling_rows));
   return 0;
 }
 

@@ -38,12 +38,30 @@
 //   --memory             also print the live footprint after the run
 //                        (STR: posting columns + residual store; MB:
 //                        buffered windows + peak window-index bytes)
+//   --async              ingest through the async pipeline: the reader
+//                        thread enqueues into a bounded lock-free queue
+//                        and a pump thread drains epochs through the
+//                        same sequential push path — output is
+//                        bit-identical to the inline run; ingest-layer
+//                        counters (epochs, queue depth high-water,
+//                        backpressure) print on stderr
+//   --queue-capacity=<n> async queue bound in items (default 4096;
+//                        rounded up to a power of two)
+//   --epoch-items=<n>    close an epoch after n queued items
+//                        (default 256)
+//   --submit=try|block|timeout
+//                        what AsyncPush does at the high-water mark
+//                        (default block; try surfaces
+//                        RESOURCE_EXHAUSTED rejects on stderr)
 //
 // Unknown flags are an error (exit 2): a typo like --thta=0.9 must not
 // silently run with the default.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/sinks.h"
@@ -55,7 +73,8 @@ int main(int argc, char** argv) {
   sssj::Flags flags(argc, argv);
   flags.RejectUnknown(
       {"input", "format", "framework", "index", "theta", "lambda", "kernel",
-       "threads", "output", "quiet", "min-dot", "top-k", "memory"});
+       "threads", "output", "quiet", "min-dot", "top-k", "memory", "async",
+       "queue-capacity", "epoch-items", "submit"});
   const std::string input = flags.GetString("input", "");
   if (input.empty()) {
     std::fprintf(stderr, "--input is required (see header of this file)\n");
@@ -77,6 +96,33 @@ int main(int argc, char** argv) {
   config.theta = flags.GetDouble("theta", 0.7);
   config.lambda = flags.GetDouble("lambda", 0.01);
   config.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  const bool async = flags.GetBool("async", false);
+  if (async) {
+    config.ingest.mode = sssj::IngestMode::kAsync;
+    config.ingest.queue_capacity =
+        static_cast<size_t>(flags.GetInt("queue-capacity", 4096));
+    config.ingest.epoch_max_items =
+        static_cast<size_t>(flags.GetInt("epoch-items", 256));
+    const std::string submit = flags.GetString("submit", "block");
+    if (submit == "try") {
+      config.ingest.submit = sssj::SubmitPolicy::kTry;
+    } else if (submit == "block") {
+      config.ingest.submit = sssj::SubmitPolicy::kBlock;
+    } else if (submit == "timeout") {
+      config.ingest.submit = sssj::SubmitPolicy::kTimeout;
+    } else {
+      std::fprintf(stderr,
+                   "invalid value for --submit: '%s' (expected try, block, "
+                   "or timeout)\n",
+                   submit.c_str());
+      return 2;
+    }
+  } else if (flags.Has("queue-capacity") || flags.Has("epoch-items") ||
+             flags.Has("submit")) {
+    std::fprintf(stderr,
+                 "--queue-capacity/--epoch-items/--submit require --async\n");
+    return 2;
+  }
   if (flags.Has("kernel")) {
     // GetString's default would mask a bare `--kernel` (no value) as the
     // scalar default — the silent-fallback class this flag guards against.
@@ -150,6 +196,23 @@ int main(int argc, char** argv) {
       [min_dot](const sssj::ResultPair& p) { return p.dot >= min_dot; }, &tee);
   if (min_dot > 0.0) sink = &filter;
 
+  // Async runs surface per-item rejects through the completion callback
+  // (tickets are dense submit order, so a ticket IS the item index here).
+  std::mutex rejects_mu;
+  std::vector<std::pair<uint64_t, sssj::Status>> async_rejects;
+  size_t async_accepted = 0;
+  if (async) {
+    config.ingest.on_complete = [&](uint64_t ticket,
+                                    const sssj::Status& status) {
+      std::lock_guard<std::mutex> lock(rejects_mu);
+      if (status.ok()) {
+        ++async_accepted;
+      } else {
+        async_rejects.emplace_back(ticket, status);
+      }
+    };
+  }
+
   auto engine_or = sssj::SssjEngine::Make(config, sink);
   if (!engine_or.ok()) {
     std::fprintf(stderr, "invalid configuration: %s\n",
@@ -159,13 +222,35 @@ int main(int argc, char** argv) {
   auto engine = *std::move(engine_or);
 
   sssj::Timer timer;
-  const sssj::BatchPushResult pushed = engine->PushBatch(stream);
-  engine->Flush();
-  const double secs = timer.ElapsedSeconds();
-  for (const auto& reject : pushed.rejects) {
-    std::fprintf(stderr, "item %zu rejected: %s\n", reject.index,
-                 reject.status.ToString().c_str());
+  size_t accepted = 0;
+  if (async) {
+    for (const sssj::StreamItem& item : stream) {
+      const sssj::Status status = engine->AsyncPush(item.ts, item.vec);
+      if (!status.ok()) {
+        // Submit-side failure (backpressure under --submit=try/timeout);
+        // distinct from the per-item validation rejects below.
+        std::fprintf(stderr, "submit rejected: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    engine->Drain();
+    engine->Flush();
+    accepted = async_accepted;
+    for (const auto& [ticket, status] : async_rejects) {
+      std::fprintf(stderr, "item %llu rejected: %s\n",
+                   static_cast<unsigned long long>(ticket),
+                   status.ToString().c_str());
+    }
+  } else {
+    const sssj::BatchPushResult pushed = engine->PushBatch(stream);
+    engine->Flush();
+    accepted = pushed.accepted;
+    for (const auto& reject : pushed.rejects) {
+      std::fprintf(stderr, "item %zu rejected: %s\n", reject.index,
+                   reject.status.ToString().c_str());
+    }
   }
+  const double secs = timer.ElapsedSeconds();
 
   const sssj::RunStats& s = engine->stats();
   std::fprintf(stderr,
@@ -173,10 +258,14 @@ int main(int argc, char** argv) {
                "%zu vectors (%zu accepted), %llu pairs, %.3fs (%.0f vec/s)\n",
                sssj::ToString(config.framework), sssj::ToString(config.index),
                config.theta, config.lambda, engine->params().tau,
-               sssj::ToString(config.kernel), stream.size(), pushed.accepted,
+               sssj::ToString(config.kernel), stream.size(), accepted,
                static_cast<unsigned long long>(pairs), secs,
                stream.size() / std::max(secs, 1e-9));
   std::fprintf(stderr, "stats: %s\n", s.ToString().c_str());
+  if (async) {
+    std::fprintf(stderr, "ingest: %s\n",
+                 engine->ingest_stats().ToString().c_str());
+  }
   if (min_dot > 0.0) {
     std::fprintf(stderr,
                  "min-dot filter: %llu pairs passed, %llu dropped\n",

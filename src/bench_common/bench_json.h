@@ -1,0 +1,82 @@
+// Minimal JSON emitter for machine-readable bench artifacts
+// (BENCH_scaling.json and friends): benches build a JsonValue tree next
+// to the human-readable tables they print, then WriteJsonFile snapshots
+// it for dashboards / regression tooling to diff. Deliberately tiny — an
+// ordered object/array/scalar tree with correct string escaping and
+// round-trippable number formatting — not a parser, not a library.
+#ifndef SSSJ_BENCH_COMMON_BENCH_JSON_H_
+#define SSSJ_BENCH_COMMON_BENCH_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sssj {
+
+class JsonValue {
+ public:
+  // Scalars. Default-constructed is JSON null.
+  JsonValue() = default;
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}          // NOLINT
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}       // NOLINT
+  JsonValue(int i) : JsonValue(static_cast<int64_t>(i)) {}     // NOLINT
+  JsonValue(int64_t i) : kind_(Kind::kInt), int_(i) {}         // NOLINT
+  JsonValue(uint64_t u) : kind_(Kind::kUint), uint_(u) {}      // NOLINT
+  JsonValue(std::string s)                                     // NOLINT
+      : kind_(Kind::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}      // NOLINT
+
+  static JsonValue Object() { return JsonValue(Kind::kObject); }
+  static JsonValue Array() { return JsonValue(Kind::kArray); }
+
+  // Object member (insertion order preserved); returns *this for
+  // chaining. Must be an object. The &&-qualified overload keeps a chain
+  // started on a temporary (JsonValue::Object().Set(...).Set(...))
+  // movable straight into Push/Set.
+  JsonValue& Set(std::string key, JsonValue value) &;
+  JsonValue&& Set(std::string key, JsonValue value) && {
+    return std::move(Set(std::move(key), std::move(value)));
+  }
+  // Array element; must be an array.
+  JsonValue& Push(JsonValue value) &;
+  JsonValue&& Push(JsonValue value) && {
+    return std::move(Push(std::move(value)));
+  }
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  size_t size() const { return members_.size(); }
+
+  // Pretty-printed (2-space indent) JSON. Non-finite numbers render as
+  // null (JSON has no NaN/Inf); doubles round-trip via max_digits10.
+  void Dump(std::ostream& os) const { DumpIndented(os, 0); }
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInt, kUint, kString, kObject,
+                    kArray };
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+  void DumpIndented(std::ostream& os, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  std::string str_;
+  // Object members (key used) or array elements (key empty, ignored).
+  std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>> members_;
+};
+
+// Writes `value` (plus a trailing newline) to `path`. kIoError when the
+// file cannot be opened or the write fails.
+Status WriteJsonFile(const JsonValue& value, const std::string& path);
+
+}  // namespace sssj
+
+#endif  // SSSJ_BENCH_COMMON_BENCH_JSON_H_

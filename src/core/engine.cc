@@ -91,20 +91,6 @@ StatusOr<IndexScheme> ParseIndexScheme(const std::string& s) {
                                  "' (expected INV, AP, L2AP, or L2)");
 }
 
-bool ParseFramework(const std::string& s, Framework* out) {
-  StatusOr<Framework> parsed = ParseFramework(s);
-  if (!parsed.ok()) return false;
-  *out = *parsed;
-  return true;
-}
-
-bool ParseIndexScheme(const std::string& s, IndexScheme* out) {
-  StatusOr<IndexScheme> parsed = ParseIndexScheme(s);
-  if (!parsed.ok()) return false;
-  *out = *parsed;
-  return true;
-}
-
 SssjEngine::SssjEngine(const EngineConfig& config, const DecayParams& params,
                        ResultSink* sink)
     : config_(config), params_(params), sink_(sink) {}
@@ -122,6 +108,36 @@ StatusOr<std::unique_ptr<SssjEngine>> SssjEngine::Make(
     return Status(StatusCode::kOutOfRange,
                   "lambda must be finite and >= 0; got " +
                       FormatValue(config.lambda));
+  }
+  if (config.ingest.mode == IngestMode::kAsync) {
+    const IngestOptions& ing = config.ingest;
+    if (ing.queue_capacity < 1) {
+      return Status::OutOfRange("ingest.queue_capacity must be >= 1; got 0");
+    }
+    if (ing.high_water > ing.queue_capacity) {
+      return Status::OutOfRange(
+          "ingest.high_water must be <= ingest.queue_capacity (" +
+          std::to_string(ing.queue_capacity) + "); got " +
+          std::to_string(ing.high_water));
+    }
+    if (ing.epoch_max_items < 1) {
+      return Status::OutOfRange("ingest.epoch_max_items must be >= 1; got 0");
+    }
+    if (ing.epoch_max_bytes < 1) {
+      return Status::OutOfRange("ingest.epoch_max_bytes must be >= 1; got 0");
+    }
+    if (!(ing.epoch_max_age_ms >= 0.0) ||
+        !std::isfinite(ing.epoch_max_age_ms)) {
+      return Status::OutOfRange(
+          "ingest.epoch_max_age_ms must be finite and >= 0; got " +
+          FormatValue(ing.epoch_max_age_ms));
+    }
+    if (!(ing.submit_timeout_ms >= 0.0) ||
+        !std::isfinite(ing.submit_timeout_ms)) {
+      return Status::OutOfRange(
+          "ingest.submit_timeout_ms must be finite and >= 0; got " +
+          FormatValue(ing.submit_timeout_ms));
+    }
   }
   if (config.framework == Framework::kStreaming &&
       config.index == IndexScheme::kAp) {
@@ -179,13 +195,19 @@ StatusOr<std::unique_ptr<SssjEngine>> SssjEngine::Make(
     }
     engine->str_ = std::make_unique<StreamingJoin>(params, std::move(index));
   }
+  if (config.ingest.mode == IngestMode::kAsync) {
+    engine->ingest_queue_ = std::make_unique<IngestQueue>(config.ingest);
+    if (!config.ingest.external_pump) {
+      engine->ingest_pump_ = std::make_unique<IngestPump>();
+      SssjEngine* eng = engine.get();
+      engine->ingest_pump_->Register(
+          engine->ingest_queue_.get(),
+          [eng](Stream&& epoch, uint64_t first_ticket) {
+            eng->ApplyEpoch(std::move(epoch), first_ticket);
+          });
+    }
+  }
   return engine;
-}
-
-std::unique_ptr<SssjEngine> SssjEngine::Create(const EngineConfig& config) {
-  StatusOr<std::unique_ptr<SssjEngine>> engine = Make(config);
-  if (!engine.ok()) return nullptr;
-  return *std::move(engine);
 }
 
 Status SssjEngine::PushImpl(Timestamp ts, SparseVector vec, ResultSink* sink) {
@@ -270,23 +292,35 @@ void SssjEngine::FlushImpl(ResultSink* sink) {
 
 void SssjEngine::Flush() { FlushImpl(sink_); }
 
-bool SssjEngine::Push(Timestamp ts, SparseVector vec, ResultSink* sink) {
-  return PushImpl(ts, std::move(vec), sink).ok();
-}
-
-bool SssjEngine::Push(const StreamItem& item, ResultSink* sink) {
-  return PushImpl(item.ts, item.vec, sink).ok();
-}
-
-size_t SssjEngine::PushBatch(const Stream& batch, ResultSink* sink) {
-  size_t accepted = 0;
-  for (const StreamItem& item : batch) {
-    if (PushImpl(item.ts, item.vec, sink).ok()) ++accepted;
+Status SssjEngine::AsyncPush(Timestamp ts, SparseVector vec,
+                             uint64_t* ticket) {
+  if (ingest_queue_ == nullptr) {
+    return Status::FailedPrecondition(
+        "AsyncPush requires EngineConfig::ingest.mode == IngestMode::kAsync; "
+        "this engine ingests inline");
   }
-  return accepted;
+  return ingest_queue_->Submit(ts, std::move(vec), ticket);
 }
 
-void SssjEngine::Flush(ResultSink* sink) { FlushImpl(sink); }
+Status SssjEngine::Drain() {
+  if (ingest_queue_ == nullptr) return Status::Ok();  // inline: nothing queued
+  return ingest_queue_->Drain();
+}
+
+IngestStats SssjEngine::ingest_stats() const {
+  if (ingest_queue_ == nullptr) return IngestStats{};
+  return ingest_queue_->stats();
+}
+
+void SssjEngine::ApplyEpoch(Stream&& epoch, uint64_t first_ticket) {
+  const auto& on_complete =
+      ingest_queue_ != nullptr ? ingest_queue_->on_complete()
+                               : config_.ingest.on_complete;
+  for (size_t i = 0; i < epoch.size(); ++i) {
+    Status status = PushImpl(epoch[i].ts, std::move(epoch[i].vec), sink_);
+    if (on_complete) on_complete(first_ticket + i, status);
+  }
+}
 
 const RunStats& SssjEngine::stats() const {
   return (mb_ != nullptr) ? mb_->stats() : str_->stats();
@@ -378,19 +412,6 @@ Status SssjEngine::LoadCheckpoint(const std::string& path) {
   next_id_ = next_id;
   str_->RestoreClock(last_ts, started != 0);
   return Status::Ok();
-}
-
-bool SssjEngine::SaveCheckpoint(const std::string& path,
-                                std::string* error) const {
-  const Status status = SaveCheckpoint(path);
-  if (!status.ok() && error != nullptr) *error = status.message();
-  return status.ok();
-}
-
-bool SssjEngine::LoadCheckpoint(const std::string& path, std::string* error) {
-  const Status status = LoadCheckpoint(path);
-  if (!status.ok() && error != nullptr) *error = status.message();
-  return status.ok();
 }
 
 }  // namespace sssj

@@ -15,6 +15,14 @@
 //   (*engine)->PushBatch(items);         // or hand over whole batches
 //   (*engine)->Flush();                  // at end of stream (MB drains)
 //
+// With cfg.ingest.mode = IngestMode::kAsync the engine additionally
+// accepts AsyncPush(ts, vec): producers enqueue into a bounded lock-free
+// ring and a background pump drains epochs through the same sequential
+// push path, with explicit backpressure (kResourceExhausted) instead of
+// unbounded queueing — see core/ingest_pump.h. Drain() barriers on
+// everything submitted so far; output is bit-identical to inline Push in
+// arrival (ticket) order.
+//
 // Every fallible call returns sssj::Status (core/status.h); Push failures
 // carry the per-item reject reason (empty after cleaning, non-
 // normalizable, timestamp regression). Multi-tenant serving — many named
@@ -36,10 +44,12 @@
 #ifndef SSSJ_CORE_ENGINE_H_
 #define SSSJ_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/ingest_pump.h"
 #include "core/result.h"
 #include "core/similarity.h"
 #include "core/stats.h"
@@ -60,11 +70,6 @@ const char* ToString(IndexScheme s);
 // input.
 StatusOr<Framework> ParseFramework(const std::string& s);
 StatusOr<IndexScheme> ParseIndexScheme(const std::string& s);
-// Deprecated out-param forms (v1 API); gone next release.
-[[deprecated("use the StatusOr overload")]] bool ParseFramework(
-    const std::string& s, Framework* out);
-[[deprecated("use the StatusOr overload")]] bool ParseIndexScheme(
-    const std::string& s, IndexScheme* out);
 
 struct EngineConfig {
   Framework framework = Framework::kStreaming;
@@ -100,6 +105,13 @@ struct EngineConfig {
   // itself is deterministic for a fixed ISA level and for any thread
   // count). kAuto resolves to kSimd when the CPU has a vector ISA.
   KernelMode kernel = KernelMode::kScalar;
+  // Ingestion mode and queue/epoch/backpressure tuning (core/ingest_pump.h).
+  // The default (IngestMode::kInline) keeps Push synchronous and makes
+  // AsyncPush a kFailedPrecondition. With IngestMode::kAsync the engine
+  // owns a bounded ingress queue and (unless ingest.external_pump) a
+  // private pump thread; AsyncPush enqueues, Drain barriers, and results
+  // are bit-identical to inline Push fed the same arrival order.
+  IngestOptions ingest;
 };
 
 // Outcome of PushBatch: how many items were accepted, and for each
@@ -123,16 +135,17 @@ class SssjEngine {
   // Validates the config and builds the engine, with `sink` (borrowed,
   // may be null to discard results, rebindable via BindSink) receiving
   // every discovered pair. Failures:
-  //   kOutOfRange      theta outside (0, 1], lambda negative/non-finite
+  //   kOutOfRange      theta outside (0, 1], lambda negative/non-finite,
+  //                    or an ingest option outside its domain (zero queue
+  //                    capacity / epoch watermark, bad age or timeout)
   //   kUnimplemented   the STR-AP combination (omitted by the paper as
   //                    impractical — see §5.2 — and not implemented here)
   static StatusOr<std::unique_ptr<SssjEngine>> Make(
       const EngineConfig& config, ResultSink* sink = nullptr);
 
-  // Deprecated v1 factory: nullptr swallows the reason Make reports.
-  [[deprecated("use SssjEngine::Make")]] static std::unique_ptr<SssjEngine>
-  Create(const EngineConfig& config);
-
+  // Stops the private ingest pump (if any) first; items still queued and
+  // not yet applied are dropped — call Drain() before destruction when
+  // every submitted item must be processed.
   ~SssjEngine();
   SssjEngine(const SssjEngine&) = delete;
   SssjEngine& operator=(const SssjEngine&) = delete;
@@ -164,16 +177,38 @@ class SssjEngine {
   // eagerly, so this is a no-op for it.
   void Flush();
 
-  // Deprecated v1 entry points taking the sink per call; they bypass the
-  // bound sink and report failure as bool with the reason dropped.
-  [[deprecated("use Make(config, sink) + Push(ts, vec)")]] bool Push(
-      Timestamp ts, SparseVector vec, ResultSink* sink);
-  [[deprecated("use Make(config, sink) + Push(item)")]] bool Push(
-      const StreamItem& item, ResultSink* sink);
-  [[deprecated("use Make(config, sink) + PushBatch(batch)")]] size_t
-  PushBatch(const Stream& batch, ResultSink* sink);
-  [[deprecated("use Make(config, sink) + Flush()")]] void Flush(
-      ResultSink* sink);
+  // ---- async ingestion (EngineConfig::ingest.mode == kAsync only) ----
+
+  // Enqueues one item without running the scan; the pump applies it later
+  // through the exact sequential push path, so the emitted pairs are
+  // bit-identical to calling Push in the same arrival order. On success
+  // stores the item's dense arrival-order ticket into *ticket (when
+  // given); per-item validation outcomes arrive via
+  // ingest.on_complete(ticket, status). Failures here are submit-side
+  // only:
+  //   kFailedPrecondition  the engine was built with IngestMode::kInline
+  //   kResourceExhausted   the queue is at its high-water mark (kTry, or
+  //                        kTimeout after the deadline)
+  // Safe from any number of producer threads concurrently.
+  Status AsyncPush(Timestamp ts, SparseVector vec, uint64_t* ticket = nullptr);
+
+  // Blocks until every item submitted before this call has been applied.
+  // No-op (OK) for inline engines. Does not Flush(): MB windows may still
+  // be buffering afterwards.
+  Status Drain();
+
+  // Ingress-layer counters (submits, backpressure rejects, epochs, queue
+  // depth). Zero-valued for inline engines.
+  IngestStats ingest_stats() const;
+
+  // The engine's ingress queue (null for inline engines). JoinService uses
+  // this to register sessions with its shared pump.
+  IngestQueue* ingest_queue() const { return ingest_queue_.get(); }
+
+  // Pump side: applies one popped epoch through the sequential push path,
+  // invoking ingest.on_complete per item. Called by the pump thread (or by
+  // the owner's apply wrapper); never call it from producer threads.
+  void ApplyEpoch(Stream&& epoch, uint64_t first_ticket);
 
   // Id that will be assigned to the next accepted item.
   VectorId next_id() const { return next_id_; }
@@ -190,12 +225,6 @@ class SssjEngine {
   // live engine state.
   Status SaveCheckpoint(const std::string& path) const;
   Status LoadCheckpoint(const std::string& path);
-  // Deprecated v1 forms (note: no default for `error` — new code calling
-  // with just a path gets the Status overloads above).
-  [[deprecated("use the Status overload")]] bool SaveCheckpoint(
-      const std::string& path, std::string* error) const;
-  [[deprecated("use the Status overload")]] bool LoadCheckpoint(
-      const std::string& path, std::string* error);
 
   // Approximate resident bytes of the live state. STR: the online index
   // (posting-list columns + residual store). MB: the buffered windows plus
@@ -221,6 +250,11 @@ class SssjEngine {
   VectorId next_id_ = 0;
   std::unique_ptr<MiniBatchJoin> mb_;
   std::unique_ptr<StreamingJoin> str_;
+  // Async ingress. Declaration order matters: the pump is declared last so
+  // its destructor (which joins the pump thread) runs before the queue and
+  // the joins it drains into are torn down.
+  std::unique_ptr<IngestQueue> ingest_queue_;
+  std::unique_ptr<IngestPump> ingest_pump_;
 };
 
 }  // namespace sssj

@@ -1,0 +1,261 @@
+// Async ingestion: bounded per-session queues, epoch-based batch
+// formation, and the pump that drains them — the layer that decouples
+// producers from the generate/verify scan.
+//
+// Inline Push runs the full scan on the caller's thread, so throughput is
+// bounded by worst-case per-item latency. In async mode the producer only
+// pays a lock-free ring-buffer push (util/mpsc_ring.h): items accumulate
+// in a bounded IngestQueue, the queue closes an *epoch* when an
+// item-count / byte / age watermark is reached, and a background
+// IngestPump drains whole epochs through the engine's deterministic
+// sequential push path. Epochs amortize per-item overhead (session lock
+// acquisitions, pump wakeups, batch bookkeeping) without changing any
+// result: an epoch boundary is only a scheduling boundary, every item is
+// still processed one at a time in ring order, so async output is
+// bit-identical to inline Push fed the same arrival order.
+//
+// Backpressure is explicit. A queue never grows past its capacity: when
+// the high-water mark is reached, AsyncPush either fails immediately with
+// kResourceExhausted (kTry), blocks until the pump frees space (kBlock),
+// or blocks with a deadline (kTimeout). Per-item outcomes from the push
+// path — including validation rejects — are reported through the
+// completion callback with the dense *ticket* the submit claimed, so a
+// producer can correlate them without waiting.
+//
+// One pump thread can service any number of queues (JoinService runs one
+// pump for all of its sessions; a standalone async engine owns a private
+// one). The pump sleeps until a registered queue reports a closeable
+// epoch, services every ready queue round-robin, and re-arms a timer for
+// the oldest pending item's age watermark.
+#ifndef SSSJ_CORE_INGEST_PUMP_H_
+#define SSSJ_CORE_INGEST_PUMP_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sparse_vector.h"
+#include "core/status.h"
+#include "core/stream_item.h"
+#include "core/types.h"
+#include "util/mpsc_ring.h"
+
+namespace sssj {
+
+enum class IngestMode {
+  kInline,  // Push runs the scan on the caller's thread (the default)
+  kAsync,   // Push enqueues; a pump drains epochs through the same path
+};
+
+// What AsyncPush does when the queue is at its high-water mark.
+enum class SubmitPolicy {
+  kTry,      // fail immediately with kResourceExhausted
+  kBlock,    // wait until the pump frees space
+  kTimeout,  // wait up to submit_timeout_ms, then kResourceExhausted
+};
+
+const char* ToString(IngestMode m);
+const char* ToString(SubmitPolicy p);
+
+struct IngestOptions {
+  IngestMode mode = IngestMode::kInline;
+
+  // Ring-buffer capacity in items, rounded up to a power of two. This is
+  // the hard bound on queued (submitted but not yet applied) items.
+  size_t queue_capacity = 1024;
+  // Backpressure threshold: submits report kResourceExhausted (or block,
+  // per the policy) once this many items are queued. 0 means "the full
+  // queue_capacity". With racing producers the check is approximate by up
+  // to the producer count, but never exceeds queue_capacity.
+  size_t high_water = 0;
+
+  // Epoch watermarks: the queue asks the pump to close an epoch when any
+  // is reached. Larger epochs amortize per-item overhead; smaller ones
+  // bound submit-to-apply latency. Boundaries never affect results.
+  size_t epoch_max_items = 256;
+  size_t epoch_max_bytes = 1 << 20;
+  // Age watermark: a partial epoch closes once its oldest item has waited
+  // this long, bounding latency when producers trickle. 0 drains eagerly.
+  double epoch_max_age_ms = 1.0;
+
+  SubmitPolicy submit = SubmitPolicy::kBlock;
+  double submit_timeout_ms = 10.0;  // kTimeout only
+
+  // Invoked on the pump thread for every applied item, with the ticket
+  // its AsyncPush returned and the Status the sequential push path
+  // produced — OK for accepted items, the usual per-item reject Status
+  // (kInvalidArgument / kFailedPrecondition) otherwise. Must not call
+  // back into the engine.
+  std::function<void(uint64_t ticket, const Status&)> on_complete;
+
+  // When true the engine creates its queue but no pump: the owner
+  // (JoinService) registers the queue with a shared pump that services
+  // all sessions. Leave false for standalone engines.
+  bool external_pump = false;
+};
+
+// Ingestion-side counters, separate from RunStats (which counts what the
+// scan did); these count what the ingress layer did.
+struct IngestStats {
+  uint64_t submitted = 0;      // accepted into the queue
+  uint64_t rejected_backpressure = 0;  // kResourceExhausted submits
+  uint64_t blocked_submits = 0;  // submits that had to wait for space
+  uint64_t epochs_closed = 0;
+  uint64_t items_applied = 0;
+  uint64_t queue_depth = 0;      // at snapshot time
+  uint64_t max_queue_depth = 0;  // high-water mark observed
+
+  std::string ToString() const;
+};
+
+class IngestPump;
+
+// One session's bounded ingress queue. Producer side (Submit) is safe
+// from any number of threads; the consumer side (PopEpoch/Peek) belongs
+// to the single pump thread servicing the queue.
+class IngestQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit IngestQueue(const IngestOptions& options);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  // Producer side: enqueues one item per the submit policy. On success
+  // stores the claimed ticket (dense, ring order) into *ticket when
+  // given. Fails with kResourceExhausted when the high-water mark holds
+  // (immediately, or after the timeout for kTimeout).
+  Status Submit(Timestamp ts, SparseVector vec, uint64_t* ticket = nullptr);
+
+  // Blocks until every item submitted before this call has been applied
+  // by the pump. kFailedPrecondition when no pump is bound.
+  Status Drain();
+
+  // ---- pump side ----
+
+  // Pops up to one epoch (item/byte watermarks) into *epoch, appending
+  // StreamItems in ticket order; *first_ticket gets the first popped
+  // item's ticket. Returns the number popped (0 when empty).
+  size_t PopEpoch(Stream* epoch, uint64_t* first_ticket);
+  // Called by the pump after the epoch it popped was applied; wakes
+  // blocked producers and Drain waiters.
+  void MarkApplied(size_t n);
+  // True when the pump should close an epoch now: a watermark is hit, a
+  // drain is pending, or producers are blocked at the high-water mark.
+  bool ReadyToService(Clock::time_point now) const;
+  // Deadline at which the age watermark will make the queue ready
+  // (Clock::time_point::max() when nothing is pending).
+  Clock::time_point NextDeadline() const;
+
+  void BindPump(IngestPump* pump) { pump_ = pump; }
+  IngestPump* pump() const { return pump_; }
+
+  size_t depth() const { return pending_.load(std::memory_order_acquire); }
+  size_t capacity() const { return ring_.capacity(); }
+  IngestStats stats() const;
+
+  const std::function<void(uint64_t, const Status&)>& on_complete() const {
+    return options_.on_complete;
+  }
+
+ private:
+  struct Slot {
+    Timestamp ts = 0.0;
+    SparseVector vec;
+    size_t bytes = 0;
+    Clock::time_point stamp{};
+  };
+
+  bool AtHighWater() const {
+    return pending_.load(std::memory_order_acquire) >= high_water_;
+  }
+
+  IngestOptions options_;
+  size_t high_water_ = 0;
+  MpscRing<Slot> ring_;
+  IngestPump* pump_ = nullptr;
+
+  std::atomic<size_t> pending_{0};
+  std::atomic<size_t> pending_bytes_{0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> blocked_{0};
+  std::atomic<uint64_t> epochs_closed_{0};
+  std::atomic<uint64_t> max_depth_{0};
+  std::atomic<bool> drain_pending_{false};
+
+  // Guards the producer/drain waits; MarkApplied signals it.
+  mutable std::mutex wait_mu_;
+  std::condition_variable space_cv_;  // blocked producers
+  std::condition_variable applied_cv_;  // Drain waiters
+};
+
+// The background drainer. Owns one thread servicing every registered
+// queue: whenever a queue reports a closeable epoch, the pump pops it and
+// hands it — still in ticket order — to the apply callback supplied at
+// registration (the engine's sequential push path, wrapped in the
+// session lock by JoinService).
+class IngestPump {
+ public:
+  // apply(epoch, first_ticket): process the epoch's items in order;
+  // item i carries ticket first_ticket + i. Runs on the pump thread.
+  using ApplyFn = std::function<void(Stream&& epoch, uint64_t first_ticket)>;
+
+  IngestPump();
+  ~IngestPump();  // stops and joins the pump thread
+
+  IngestPump(const IngestPump&) = delete;
+  IngestPump& operator=(const IngestPump&) = delete;
+
+  // Registers a queue. The pump calls `apply` for its epochs until
+  // Unregister. Binds itself to the queue (queue->BindPump).
+  uint64_t Register(IngestQueue* queue, ApplyFn apply);
+  // Removes the registration and blocks until any in-flight apply for it
+  // has finished; afterwards the pump never touches the queue again.
+  void Unregister(uint64_t id);
+
+  // Wakes the pump (queues call this when a watermark is crossed).
+  void Notify();
+
+  size_t num_queues() const;
+
+ private:
+  struct Entry {
+    IngestQueue* queue = nullptr;
+    ApplyFn apply;
+    std::atomic<bool> dead{false};
+    std::mutex busy_mu;
+    std::condition_variable busy_cv;
+    bool busy = false;  // guarded by busy_mu
+  };
+
+  void Loop();
+  // Drains one queue's backlog in epoch-sized chunks; returns true if any
+  // work was done.
+  bool ServiceEntry(Entry& entry);
+
+  mutable std::mutex reg_mu_;  // guards entries_ and next_id_
+  std::map<uint64_t, std::shared_ptr<Entry>> entries_;
+  uint64_t next_id_ = 1;
+
+  std::mutex signal_mu_;
+  std::condition_variable signal_cv_;
+  bool signaled_ = false;  // guarded by signal_mu_
+  bool stop_ = false;      // guarded by signal_mu_
+
+  std::thread thread_;
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_CORE_INGEST_PUMP_H_

@@ -28,6 +28,10 @@ StatusOr<JoinService::SessionHandle> JoinService::CreateSession(
   if (pool_ != nullptr && config.num_threads > 1) {
     config.pool = pool_;
   }
+  // Async sessions share the service's single pump thread instead of each
+  // spawning their own.
+  const bool async = config.ingest.mode == IngestMode::kAsync;
+  if (async) config.ingest.external_pump = true;
   ResultSink* sink =
       options.sink != nullptr ? options.sink : options.owned_sink.get();
   StatusOr<std::unique_ptr<SssjEngine>> engine = SssjEngine::Make(config, sink);
@@ -38,8 +42,38 @@ StatusOr<JoinService::SessionHandle> JoinService::CreateSession(
   session->engine = *std::move(engine);
   session->owned_sink = std::move(options.owned_sink);
 
+  if (async) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (by_name_.count(options.name) != 0) {
+        return Status::AlreadyExists("a session named '" + options.name +
+                                     "' already exists");
+      }
+      if (ingest_pump_ == nullptr) {
+        ingest_pump_ = std::make_unique<IngestPump>();
+      }
+    }
+    // Register before the session enters the registry, so every session a
+    // racing CloseSession can find already carries its registration. The
+    // apply callback runs on the pump thread under the session lock — the
+    // same serialization every other per-session call uses — so an epoch
+    // application and, say, a Flush can never interleave. The captured
+    // shared_ptr keeps the session alive even mid-close.
+    session->pump_registration = ingest_pump_->Register(
+        session->engine->ingest_queue(),
+        [session](Stream&& epoch, uint64_t first_ticket) {
+          std::lock_guard<std::mutex> lock(session->mu);
+          session->engine->ApplyEpoch(std::move(epoch), first_ticket);
+        });
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   if (by_name_.count(options.name) != 0) {
+    // Lost a naming race between the pre-check and here; undo the pump
+    // registration (the pump holds the session alive otherwise).
+    if (session->pump_registration != 0) {
+      ingest_pump_->Unregister(session->pump_registration);
+    }
     return Status::AlreadyExists("a session named '" + options.name +
                                  "' already exists");
   }
@@ -79,9 +113,18 @@ Status JoinService::CloseSession(SessionHandle handle) {
   }
   // The registry no longer hands the session out, but a racing call that
   // looked it up before the erase may still hold it; `closed` makes that
-  // race a clean kNotFound instead of a push into a flushed engine.
+  // race a clean kNotFound instead of a push into a flushed engine. Set it
+  // before draining so late AsyncPush racers are refused, not stranded.
+  session->closed.store(true, std::memory_order_release);
+  if (session->pump_registration != 0) {
+    // Apply everything already submitted (no locks held here — the pump
+    // needs the session lock to apply), then detach from the pump so it
+    // never touches this session again.
+    session->engine->Drain();
+    ingest_pump_->Unregister(session->pump_registration);
+    session->pump_registration = 0;
+  }
   std::lock_guard<std::mutex> lock(session->mu);
-  session->closed = true;
   session->engine->Flush();
   return Status::Ok();
 }
@@ -92,6 +135,31 @@ Status JoinService::Push(SessionHandle handle, Timestamp ts, SparseVector vec) {
   std::lock_guard<std::mutex> lock(session->mu);
   if (session->closed) return UnknownSession();
   return session->engine->Push(ts, std::move(vec));
+}
+
+Status JoinService::AsyncPush(SessionHandle handle, Timestamp ts,
+                              SparseVector vec, uint64_t* ticket) {
+  std::shared_ptr<Session> session = Lookup(handle);
+  if (session == nullptr) return UnknownSession();
+  // No session lock: the submit path only touches the session's lock-free
+  // ring (and `closed` is atomic). Taking the lock here would serialize
+  // producers behind the pump's epoch applications — the exact stall
+  // async mode exists to remove.
+  if (session->closed.load(std::memory_order_acquire)) {
+    return UnknownSession();
+  }
+  return session->engine->AsyncPush(ts, std::move(vec), ticket);
+}
+
+Status JoinService::Drain(SessionHandle handle) {
+  std::shared_ptr<Session> session = Lookup(handle);
+  if (session == nullptr) return UnknownSession();
+  if (session->closed.load(std::memory_order_acquire)) {
+    return UnknownSession();
+  }
+  // Also lock-free: the pump needs the session lock to apply epochs, so
+  // holding it here would deadlock the very work Drain waits for.
+  return session->engine->Drain();
 }
 
 StatusOr<BatchPushResult> JoinService::PushBatch(SessionHandle handle,
@@ -138,6 +206,17 @@ StatusOr<RunStats> JoinService::SessionStats(SessionHandle handle) const {
   return session->engine->stats();
 }
 
+StatusOr<IngestStats> JoinService::SessionIngestStats(
+    SessionHandle handle) const {
+  std::shared_ptr<Session> session = Lookup(handle);
+  if (session == nullptr) return UnknownSession();
+  if (session->closed.load(std::memory_order_acquire)) {
+    return UnknownSession();
+  }
+  // Counter snapshot over atomics; no session lock needed.
+  return session->engine->ingest_stats();
+}
+
 StatusOr<size_t> JoinService::SessionMemoryBytes(SessionHandle handle) const {
   std::shared_ptr<Session> session = Lookup(handle);
   if (session == nullptr) return UnknownSession();
@@ -169,9 +248,13 @@ ServiceStats JoinService::Stats() const {
     entry.vectors_processed = session->engine->stats().vectors_processed;
     entry.pairs_emitted = session->engine->stats().pairs_emitted;
     entry.memory_bytes = session->engine->MemoryBytes();
+    entry.ingest = session->engine->ingest_stats();
     stats.vectors_processed += entry.vectors_processed;
     stats.pairs_emitted += entry.pairs_emitted;
     stats.memory_bytes += entry.memory_bytes;
+    stats.queue_depth += entry.ingest.queue_depth;
+    stats.epochs_closed += entry.ingest.epochs_closed;
+    stats.backpressure_rejections += entry.ingest.rejected_backpressure;
     stats.sessions.push_back(std::move(entry));
   }
   stats.num_sessions = stats.sessions.size();

@@ -33,6 +33,8 @@
 #ifndef SSSJ_CORE_JOIN_SERVICE_H_
 #define SSSJ_CORE_JOIN_SERVICE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,6 +43,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/ingest_pump.h"
 #include "core/status.h"
 #include "util/thread_pool.h"
 
@@ -61,12 +64,17 @@ struct ServiceStats {
   uint64_t vectors_processed = 0;  // sum over live sessions
   uint64_t pairs_emitted = 0;      // sum over live sessions
   size_t memory_bytes = 0;         // sum of engine MemoryBytes()
+  // Ingress aggregates (zero when every session ingests inline).
+  uint64_t queue_depth = 0;        // items submitted but not yet applied
+  uint64_t epochs_closed = 0;      // epochs the pump drained
+  uint64_t backpressure_rejections = 0;  // kResourceExhausted submits
 
   struct SessionEntry {
     std::string name;
     uint64_t vectors_processed = 0;
     uint64_t pairs_emitted = 0;
     size_t memory_bytes = 0;
+    IngestStats ingest;  // zero-valued for inline sessions
   };
   std::vector<SessionEntry> sessions;  // sorted by session name
 };
@@ -132,10 +140,22 @@ class JoinService {
   Status Push(SessionHandle handle, Timestamp ts, SparseVector vec);
   StatusOr<BatchPushResult> PushBatch(SessionHandle handle,
                                       const Stream& batch);
+  // Async ingestion for sessions created with ingest.mode == kAsync: the
+  // service forces ingest.external_pump and registers every async
+  // session's queue with one shared pump thread. AsyncPush never takes
+  // the session lock — producers only touch the session's lock-free ring
+  // — so submits on one session proceed while the pump is mid-epoch on
+  // another. Submits racing a concurrent CloseSession may be dropped
+  // (their on_complete never fires); quiesce producers before closing.
+  Status AsyncPush(SessionHandle handle, Timestamp ts, SparseVector vec,
+                   uint64_t* ticket = nullptr);
+  // Blocks until everything submitted so far on the session is applied.
+  Status Drain(SessionHandle handle);
   Status Flush(SessionHandle handle);
   Status SaveCheckpoint(SessionHandle handle, const std::string& path) const;
   Status LoadCheckpoint(SessionHandle handle, const std::string& path);
   StatusOr<RunStats> SessionStats(SessionHandle handle) const;
+  StatusOr<IngestStats> SessionIngestStats(SessionHandle handle) const;
   StatusOr<size_t> SessionMemoryBytes(SessionHandle handle) const;
 
   size_t num_sessions() const;
@@ -152,7 +172,11 @@ class JoinService {
     // destroy in reverse order; the engine's bound sink points here).
     std::unique_ptr<ResultSink> owned_sink;
     std::unique_ptr<SssjEngine> engine;  // guarded by mu
-    bool closed = false;                 // guarded by mu
+    // Atomic (not mu-guarded) so AsyncPush can gate on it without taking
+    // the session lock — the lock may be held by the pump for a whole
+    // epoch, and a blocked submit must not serialize behind it.
+    std::atomic<bool> closed{false};
+    uint64_t pump_registration = 0;  // 0 = not an async session
   };
 
   // Registry lookup; returns null after CloseSession erased the id.
@@ -166,6 +190,12 @@ class JoinService {
   uint64_t next_id_ = 1;
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;
   std::unordered_map<std::string, uint64_t> by_name_;
+
+  // One pump thread services every async session's queue. Created lazily
+  // (under mu_) by the first async CreateSession; declared last so its
+  // destructor joins the thread before the sessions it applies into are
+  // torn down.
+  std::unique_ptr<IngestPump> ingest_pump_;
 };
 
 }  // namespace sssj

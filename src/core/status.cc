@@ -18,6 +18,8 @@ const char* ToString(StatusCode code) {
       return "OUT_OF_RANGE";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
     case StatusCode::kIoError:

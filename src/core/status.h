@@ -17,6 +17,9 @@
 //                        (theta outside (0, 1], negative lambda)
 //   kUnimplemented       the combination is deliberately unsupported
 //                        (STR-AP, checkpointing a sharded engine)
+//   kResourceExhausted   a bounded resource is at capacity right now
+//                        (async ingest queue at its high-water mark);
+//                        retrying after a drain can succeed
 //   kDataLoss            a file exists but is corrupt or truncated
 //   kIoError             the OS failed us mid-read/write
 //   kInternal            a bug in this library
@@ -41,6 +44,7 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kUnimplemented,
+  kResourceExhausted,
   kDataLoss,
   kIoError,
   kInternal,
@@ -75,6 +79,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));

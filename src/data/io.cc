@@ -172,31 +172,4 @@ Status ReadBinaryStream(const std::string& path, Stream* out,
   return Status::Ok();
 }
 
-namespace {
-bool AdaptStatus(const Status& status, std::string* error) {
-  if (!status.ok() && error != nullptr) *error = status.message();
-  return status.ok();
-}
-}  // namespace
-
-bool WriteTextStream(const Stream& stream, const std::string& path,
-                     std::string* error) {
-  return AdaptStatus(WriteTextStream(stream, path), error);
-}
-
-bool ReadTextStream(const std::string& path, Stream* out,
-                    const ReadOptions& opts, std::string* error) {
-  return AdaptStatus(ReadTextStream(path, out, opts), error);
-}
-
-bool WriteBinaryStream(const Stream& stream, const std::string& path,
-                       std::string* error) {
-  return AdaptStatus(WriteBinaryStream(stream, path), error);
-}
-
-bool ReadBinaryStream(const std::string& path, Stream* out,
-                      const ReadOptions& opts, std::string* error) {
-  return AdaptStatus(ReadBinaryStream(path, out, opts), error);
-}
-
 }  // namespace sssj

@@ -40,20 +40,6 @@ Status WriteBinaryStream(const Stream& stream, const std::string& path);
 Status ReadBinaryStream(const std::string& path, Stream* out,
                         const ReadOptions& opts = {});
 
-// Deprecated v1 forms (note: no defaulted trailing parameters — new code
-// calling without the out-param gets the Status overloads above); gone
-// next release.
-[[deprecated("use the Status overload")]] bool WriteTextStream(
-    const Stream& stream, const std::string& path, std::string* error);
-[[deprecated("use the Status overload")]] bool ReadTextStream(
-    const std::string& path, Stream* out, const ReadOptions& opts,
-    std::string* error);
-[[deprecated("use the Status overload")]] bool WriteBinaryStream(
-    const Stream& stream, const std::string& path, std::string* error);
-[[deprecated("use the Status overload")]] bool ReadBinaryStream(
-    const std::string& path, Stream* out, const ReadOptions& opts,
-    std::string* error);
-
 }  // namespace sssj
 
 #endif  // SSSJ_DATA_IO_H_

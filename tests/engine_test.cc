@@ -61,17 +61,6 @@ TEST(EngineTest, MakeRejectsStreamingApWithPaperRationale) {
             std::string::npos);
 }
 
-TEST(EngineTest, DeprecatedCreateStillMapsFailureToNull) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EngineConfig cfg;
-  cfg.theta = 0.0;
-  EXPECT_EQ(SssjEngine::Create(cfg), nullptr);
-  cfg.theta = 0.7;
-  EXPECT_NE(SssjEngine::Create(cfg), nullptr);
-#pragma GCC diagnostic pop
-}
-
 TEST(EngineTest, MakeAcceptsMiniBatchAp) {
   EngineConfig cfg;
   cfg.framework = Framework::kMiniBatch;

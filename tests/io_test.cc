@@ -216,17 +216,5 @@ TEST_F(IoTest, EmptyStreamRoundTrips) {
   std::remove(path.c_str());
 }
 
-// The deprecated bool-with-out-param forms must keep working (and keep
-// reporting the Status message) until they are removed next release.
-TEST_F(IoTest, DeprecatedBoolWrappersStillReport) {
-  Stream s;
-  std::string err;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_FALSE(ReadTextStream("/nonexistent/sssj.txt", &s, {}, &err));
-#pragma GCC diagnostic pop
-  EXPECT_NE(err.find("cannot open"), std::string::npos);
-}
-
 }  // namespace
 }  // namespace sssj

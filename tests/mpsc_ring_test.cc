@@ -1,0 +1,178 @@
+// MpscRing: capacity semantics (rounding, the capacity-1 degenerate
+// case), FIFO/ticket invariants checked against a deque model, and a
+// multi-producer stress that TSan watches for publication races.
+#include "util/mpsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sssj {
+namespace {
+
+TEST(MpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscRing<int>(0).capacity(), 1u);
+  EXPECT_EQ(MpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(MpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpscRing<int>(1024).capacity(), 1024u);
+  EXPECT_EQ(MpscRing<int>(1025).capacity(), 2048u);
+}
+
+// The sequence scheme cannot distinguish "just pushed" from "free" with a
+// single cell, so capacity 1 is the regression magnet: a second push must
+// report full instead of overwriting the unpopped item.
+TEST(MpscRingTest, CapacityOneIsARendezvousSlot) {
+  MpscRing<int> ring(1);
+  uint64_t ticket = 99;
+  ASSERT_TRUE(ring.TryPush(7, &ticket));
+  EXPECT_EQ(ticket, 0u);
+  int blocked = 123;
+  EXPECT_FALSE(ring.TryPush(std::move(blocked), &ticket));
+  EXPECT_EQ(ticket, 0u);  // a failed push consumes no ticket
+
+  int out = 0;
+  ASSERT_TRUE(ring.TryPop(&out, &ticket));
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(ticket, 0u);
+  EXPECT_FALSE(ring.TryPop(&out));
+
+  // The slot is reusable for arbitrarily many laps.
+  for (int lap = 0; lap < 100; ++lap) {
+    ASSERT_TRUE(ring.TryPush(lap + 1000, &ticket));
+    EXPECT_EQ(ticket, static_cast<uint64_t>(lap) + 1);
+    EXPECT_FALSE(ring.TryPush(0));
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, lap + 1000);
+  }
+}
+
+TEST(MpscRingTest, PeekSeesTheNextPopWithoutConsuming) {
+  MpscRing<int> ring(4);
+  EXPECT_EQ(ring.Peek(), nullptr);
+  ASSERT_TRUE(ring.TryPush(11));
+  ASSERT_TRUE(ring.TryPush(22));
+  ASSERT_NE(ring.Peek(), nullptr);
+  EXPECT_EQ(*ring.Peek(), 11);
+  EXPECT_EQ(*ring.Peek(), 11);  // peek does not consume
+  int out = 0;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 11);
+  EXPECT_EQ(*ring.Peek(), 22);
+}
+
+// Property test against a deque model: a random single-threaded sequence
+// of pushes and pops must agree with std::deque on every observable —
+// full/empty outcomes, popped values, and dense ticket numbering —
+// including across many wraparounds of the cell array.
+TEST(MpscRingTest, RandomOpsMatchDequeModelAcrossWraparound) {
+  for (size_t cap : {1u, 2u, 3u, 8u}) {
+    MpscRing<uint64_t> ring(cap);
+    std::deque<uint64_t> model;
+    Rng rng(0xC0FFEE + cap);
+    uint64_t next_value = 0;
+    uint64_t expected_push_ticket = 0;
+    uint64_t expected_pop_ticket = 0;
+    for (int step = 0; step < 20000; ++step) {
+      if (rng.NextBelow(2) == 0) {
+        uint64_t ticket = ~0ull;
+        const bool pushed = ring.TryPush(next_value + 0, &ticket);
+        EXPECT_EQ(pushed, model.size() < ring.capacity())
+            << "cap=" << cap << " step=" << step;
+        if (pushed) {
+          EXPECT_EQ(ticket, expected_push_ticket++);
+          model.push_back(next_value);
+          ++next_value;
+        }
+      } else {
+        uint64_t got = 0, ticket = ~0ull;
+        const bool popped = ring.TryPop(&got, &ticket);
+        EXPECT_EQ(popped, !model.empty()) << "cap=" << cap << " step=" << step;
+        if (popped) {
+          EXPECT_EQ(got, model.front());
+          EXPECT_EQ(ticket, expected_pop_ticket++);
+          model.pop_front();
+        }
+      }
+      EXPECT_EQ(ring.size_approx(), model.size());
+    }
+  }
+}
+
+// Multi-producer stress (the MPSC contract proper): N producers race
+// TryPush while one consumer drains. Checks that every pushed value
+// arrives exactly once, tickets are dense and unique, pops come out in
+// ticket order, and each producer's own values keep their relative order
+// (FIFO per producer). Run under TSan in CI.
+TEST(MpscRingTest, ConcurrentProducersKeepTicketAndFifoInvariants) {
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 5000;
+  MpscRing<uint64_t> ring(64);
+
+  std::vector<std::thread> producers;
+  // Each value encodes (producer, sequence) so the consumer can check
+  // per-producer FIFO without any cross-thread bookkeeping.
+  std::vector<std::vector<uint64_t>> tickets_by_producer(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      auto& tickets = tickets_by_producer[p];
+      tickets.reserve(kPerProducer);
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        const uint64_t value = (static_cast<uint64_t>(p) << 32) | i;
+        uint64_t ticket = 0;
+        while (!ring.TryPush(value + 0, &ticket)) {
+          std::this_thread::yield();
+        }
+        tickets.push_back(ticket);
+      }
+    });
+  }
+
+  std::vector<uint64_t> popped;
+  popped.reserve(kProducers * kPerProducer);
+  uint64_t expected_ticket = 0;
+  while (popped.size() < kProducers * kPerProducer) {
+    uint64_t value = 0, ticket = 0;
+    if (ring.TryPop(&value, &ticket)) {
+      EXPECT_EQ(ticket, expected_ticket++);  // pops in dense ticket order
+      popped.push_back(value);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_FALSE(ring.TryPop(&popped.emplace_back()));
+  popped.pop_back();
+  EXPECT_EQ(ring.next_ticket(), kProducers * kPerProducer);
+
+  // Every (producer, sequence) value exactly once, FIFO per producer.
+  std::vector<uint64_t> next_seq(kProducers, 0);
+  for (const uint64_t value : popped) {
+    const int p = static_cast<int>(value >> 32);
+    const uint64_t seq = value & 0xFFFFFFFFull;
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(seq, next_seq[p]) << "producer " << p << " out of order";
+    ++next_seq[p];
+  }
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
+
+  // The ticket a producer saw for its i-th push must match where that
+  // value landed in the global pop order.
+  for (int p = 0; p < kProducers; ++p) {
+    for (uint64_t i = 0; i < kPerProducer; ++i) {
+      const uint64_t ticket = tickets_by_producer[p][i];
+      ASSERT_LT(ticket, popped.size());
+      EXPECT_EQ(popped[ticket], (static_cast<uint64_t>(p) << 32) | i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sssj
