@@ -2,11 +2,18 @@
 // operations whose costs drive the macro results — posting-list
 // maintenance, candidate-map accumulation, sparse dot products, decayed
 // max-vector updates, Zipf sampling, and end-to-end per-arrival cost of
-// each streaming index.
+// each streaming index. Besides the console table, every run is captured
+// as machine-readable JSON to --json-out (default BENCH_micro.json;
+// empty string disables) for the CI bench-smoke key diff.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
 #include <vector>
+
+#include "bench_common/bench_json.h"
 
 #include "data/generator.h"
 #include "index/candidate_map.h"
@@ -428,7 +435,70 @@ BENCHMARK_TEMPLATE(BM_StreamArrival, StreamInvIndex);
 BENCHMARK_TEMPLATE(BM_StreamArrival, StreamL2Index);
 BENCHMARK_TEMPLATE(BM_StreamArrival, StreamL2apIndex);
 
+// Console output plus a JsonValue row per completed run — name, timing,
+// and every user counter (items_per_second, bytes/entry, ...), so the
+// committed BENCH_micro.json baseline pins the full key set.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      JsonValue row = JsonValue::Object();
+      row.Set("name", run.benchmark_name())
+          .Set("iterations", static_cast<uint64_t>(run.iterations))
+          .Set("real_time", run.GetAdjustedRealTime())
+          .Set("cpu_time", run.GetAdjustedCPUTime())
+          .Set("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+      if (!run.report_label.empty()) row.Set("label", run.report_label);
+      for (const auto& [key, counter] : run.counters) {
+        row.Set(key, static_cast<double>(counter));
+      }
+      rows_.Push(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  JsonValue TakeRows() { return std::move(rows_); }
+
+ private:
+  JsonValue rows_ = JsonValue::Array();
+};
+
+int Main(int argc, char** argv) {
+  // Peel off --json-out before google-benchmark sees (and rejects) it.
+  std::string json_out = "BENCH_micro.json";
+  std::vector<char*> passthrough;
+  std::string json_flag_storage;
+  for (int i = 0; i < argc; ++i) {
+    const char* kFlag = "--json-out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      json_out = argv[i] + std::strlen(kFlag);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_out.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("bench", "micro_components").Set("runs", reporter.TakeRows());
+    const Status status = WriteJsonFile(doc, json_out);
+    if (!status.ok()) {
+      std::cerr << "warning: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace sssj
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return sssj::Main(argc, argv); }

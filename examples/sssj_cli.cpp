@@ -53,17 +53,39 @@
 //                        what AsyncPush does at the high-water mark
 //                        (default block; try surfaces
 //                        RESOURCE_EXHAUSTED rejects on stderr)
+//   --tiered             enable tiered posting storage: cold posting
+//                        prefixes freeze into immutable blocks
+//                        (compressed for rarely scanned lists, raw
+//                        zero-copy for hot ones) so the live footprint
+//                        drops; exact-tier output is bit-identical to
+//                        the untiered run
+//   --value-tier=exact|bf16|f16
+//                        precision of the frozen value/prefix_norm
+//                        columns (implies --tiered). exact reproduces
+//                        the mutable columns bit for bit; bf16/f16
+//                        halve the frozen value bytes at quantized
+//                        score precision (see ARCHITECTURE.md)
+//   --memory-budget=<bytes>
+//                        run the join as a JoinService session with a
+//                        service-wide memory cap: pushes that would run
+//                        while the footprint is over budget are refused
+//                        with RESOURCE_EXHAUSTED (reported on stderr)
+//                        instead of growing without bound; pair output
+//                        for accepted items is identical to the
+//                        unbudgeted run. Incompatible with --async.
 //
 // Unknown flags are an error (exit 2): a typo like --thta=0.9 must not
 // silently run with the default.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/join_service.h"
 #include "core/sinks.h"
 #include "data/io.h"
 #include "util/flags.h"
@@ -74,7 +96,8 @@ int main(int argc, char** argv) {
   flags.RejectUnknown(
       {"input", "format", "framework", "index", "theta", "lambda", "kernel",
        "threads", "output", "quiet", "min-dot", "top-k", "memory", "async",
-       "queue-capacity", "epoch-items", "submit"});
+       "queue-capacity", "epoch-items", "submit", "tiered", "value-tier",
+       "memory-budget"});
   const std::string input = flags.GetString("input", "");
   if (input.empty()) {
     std::fprintf(stderr, "--input is required (see header of this file)\n");
@@ -134,6 +157,35 @@ int main(int argc, char** argv) {
                    kernel_str.c_str());
       return 2;
     }
+  }
+  config.tiered.enabled = flags.GetBool("tiered", false);
+  if (flags.Has("value-tier")) {
+    // Same silent-fallback guard as --kernel: a bare `--value-tier` must
+    // error out, not quietly run at the exact default.
+    const std::string tier_str = flags.GetString("value-tier", "");
+    const auto tier = sssj::ParseValueTier(tier_str);
+    if (!tier.ok()) {
+      std::fprintf(stderr,
+                   "invalid value for --value-tier: '%s' (expected exact, "
+                   "bf16, or f16)\n",
+                   tier_str.c_str());
+      return 2;
+    }
+    config.tiered.value_tier = *tier;
+    config.tiered.enabled = true;  // a tier choice implies tiering
+  }
+  const int64_t budget_raw = flags.GetInt("memory-budget", 0);
+  if (budget_raw < 0) {
+    std::fprintf(stderr,
+                 "invalid value for --memory-budget: %lld (expected bytes "
+                 ">= 0; 0 = unlimited)\n",
+                 static_cast<long long>(budget_raw));
+    return 2;
+  }
+  const size_t memory_budget = static_cast<size_t>(budget_raw);
+  if (memory_budget > 0 && async) {
+    std::fprintf(stderr, "--memory-budget is incompatible with --async\n");
+    return 2;
   }
 
   std::string format = flags.GetString("format", "");
@@ -213,16 +265,35 @@ int main(int argc, char** argv) {
     };
   }
 
-  auto engine_or = sssj::SssjEngine::Make(config, sink);
-  if (!engine_or.ok()) {
-    std::fprintf(stderr, "invalid configuration: %s\n",
-                 engine_or.status().ToString().c_str());
-    return 1;
+  // Budgeted runs go through a single-session JoinService so the
+  // service-wide budget gate applies; unbudgeted runs keep the direct
+  // engine (identical push path, no session lock).
+  sssj::JoinServiceOptions service_opts;
+  service_opts.memory_budget_bytes = memory_budget;
+  sssj::JoinService service(service_opts);
+  sssj::JoinService::SessionHandle session;
+  std::unique_ptr<sssj::SssjEngine> engine;
+  if (memory_budget > 0) {
+    auto session_or = service.CreateSession({"cli", config, sink});
+    if (!session_or.ok()) {
+      std::fprintf(stderr, "invalid configuration: %s\n",
+                   session_or.status().ToString().c_str());
+      return 1;
+    }
+    session = *session_or;
+  } else {
+    auto engine_or = sssj::SssjEngine::Make(config, sink);
+    if (!engine_or.ok()) {
+      std::fprintf(stderr, "invalid configuration: %s\n",
+                   engine_or.status().ToString().c_str());
+      return 1;
+    }
+    engine = *std::move(engine_or);
   }
-  auto engine = *std::move(engine_or);
 
   sssj::Timer timer;
   size_t accepted = 0;
+  uint64_t budget_refused = 0;
   if (async) {
     for (const sssj::StreamItem& item : stream) {
       const sssj::Status status = engine->AsyncPush(item.ts, item.vec);
@@ -241,6 +312,23 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(ticket),
                    status.ToString().c_str());
     }
+  } else if (memory_budget > 0) {
+    // Per-item pushes so each refusal is attributable: a budget refusal
+    // (RESOURCE_EXHAUSTED) is backpressure, not a bad item.
+    size_t index = 0;
+    for (const sssj::StreamItem& item : stream) {
+      const sssj::Status status = service.Push(session, item.ts, item.vec);
+      if (status.ok()) {
+        ++accepted;
+      } else if (status.code() == sssj::StatusCode::kResourceExhausted) {
+        ++budget_refused;
+      } else {
+        std::fprintf(stderr, "item %zu rejected: %s\n", index,
+                     status.ToString().c_str());
+      }
+      ++index;
+    }
+    service.Flush(session);
   } else {
     const sssj::BatchPushResult pushed = engine->PushBatch(stream);
     engine->Flush();
@@ -252,12 +340,23 @@ int main(int argc, char** argv) {
   }
   const double secs = timer.ElapsedSeconds();
 
-  const sssj::RunStats& s = engine->stats();
+  sssj::RunStats s;
+  double tau = 0.0;
+  if (memory_budget > 0) {
+    const auto stats_or = service.SessionStats(session);
+    if (stats_or.ok()) s = *stats_or;
+    sssj::DecayParams params;
+    sssj::DecayParams::Make(config.theta, config.lambda, &params);
+    tau = params.tau;
+  } else {
+    s = engine->stats();
+    tau = engine->params().tau;
+  }
   std::fprintf(stderr,
                "%s-%s theta=%.3f lambda=%.4g tau=%.4g kernel=%s: "
                "%zu vectors (%zu accepted), %llu pairs, %.3fs (%.0f vec/s)\n",
                sssj::ToString(config.framework), sssj::ToString(config.index),
-               config.theta, config.lambda, engine->params().tau,
+               config.theta, config.lambda, tau,
                sssj::ToString(config.kernel), stream.size(), accepted,
                static_cast<unsigned long long>(pairs), secs,
                stream.size() / std::max(secs, 1e-9));
@@ -280,8 +379,21 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(p.b), p.sim, p.dot);
     }
   }
+  if (memory_budget > 0) {
+    std::fprintf(stderr,
+                 "budget: %zu byte cap, %llu pushes refused "
+                 "(RESOURCE_EXHAUSTED)\n",
+                 memory_budget,
+                 static_cast<unsigned long long>(budget_refused));
+  }
   if (flags.GetBool("memory", false)) {
-    const size_t bytes = engine->MemoryBytes();
+    size_t bytes = 0;
+    if (memory_budget > 0) {
+      const auto bytes_or = service.SessionMemoryBytes(session);
+      if (bytes_or.ok()) bytes = *bytes_or;
+    } else {
+      bytes = engine->MemoryBytes();
+    }
     std::fprintf(stderr, "memory: %zu bytes (%.2f MB) across %llu live entries\n",
                  bytes, bytes / (1024.0 * 1024.0),
                  static_cast<unsigned long long>(

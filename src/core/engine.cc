@@ -91,6 +91,15 @@ StatusOr<IndexScheme> ParseIndexScheme(const std::string& s) {
                                  "' (expected INV, AP, L2AP, or L2)");
 }
 
+StatusOr<ValueTier> ParseValueTier(const std::string& s) {
+  const std::string l = AsciiLower(s);
+  if (l == "exact" || l == "f64" || l == "fp64") return ValueTier::kExact;
+  if (l == "bf16") return ValueTier::kBf16;
+  if (l == "f16" || l == "fp16" || l == "half") return ValueTier::kF16;
+  return Status::InvalidArgument("unknown value tier '" + s +
+                                 "' (expected exact, bf16, or f16)");
+}
+
 SssjEngine::SssjEngine(const EngineConfig& config, const DecayParams& params,
                        ResultSink* sink)
     : config_(config), params_(params), sink_(sink) {}
@@ -139,6 +148,18 @@ StatusOr<std::unique_ptr<SssjEngine>> SssjEngine::Make(
           FormatValue(ing.submit_timeout_ms));
     }
   }
+  if (config.tiered.enabled) {
+    const TieredStorageOptions& t = config.tiered;
+    if (t.block_entries < 1) {
+      return Status::OutOfRange("tiered.block_entries must be >= 1; got 0");
+    }
+    if (t.hot_tail_entries < t.dormant_tail_entries) {
+      return Status::OutOfRange(
+          "tiered.hot_tail_entries (" + std::to_string(t.hot_tail_entries) +
+          ") must be >= tiered.dormant_tail_entries (" +
+          std::to_string(t.dormant_tail_entries) + ")");
+    }
+  }
   if (config.framework == Framework::kStreaming &&
       config.index == IndexScheme::kAp) {
     return Status::Unimplemented(
@@ -173,21 +194,23 @@ StatusOr<std::unique_ptr<SssjEngine>> SssjEngine::Make(
     std::unique_ptr<StreamIndex> index;
     switch (config.index) {
       case IndexScheme::kInv:
-        index = std::make_unique<StreamInvIndex>(params, use_simd);
+        index = std::make_unique<StreamInvIndex>(params, use_simd,
+                                                 config.tiered);
         break;
       case IndexScheme::kL2ap:
         index = std::make_unique<StreamL2apIndex>(params,
                                                   /*ic_theta_slack=*/0.0,
                                                   /*use_l2_bounds=*/true,
-                                                  use_simd);
+                                                  use_simd, config.tiered);
         break;
       case IndexScheme::kL2:
         if (num_threads > 1) {
           index = std::make_unique<ShardedStreamIndex>(
-              params, num_threads, config.pool, L2IndexOptions{}, use_simd);
+              params, num_threads, config.pool, L2IndexOptions{}, use_simd,
+              config.tiered);
         } else {
           index = std::make_unique<StreamL2Index>(params, L2IndexOptions{},
-                                                  use_simd);
+                                                  use_simd, config.tiered);
         }
         break;
       case IndexScheme::kAp:
@@ -399,7 +422,7 @@ Status SssjEngine::LoadCheckpoint(const std::string& path) {
   // index, id counter, and clock — exactly as it was. The scratch carries
   // the engine's kernel selection so a restore doesn't silently drop it.
   StreamL2Index scratch(params_, L2IndexOptions{},
-                        KernelModeUsesSimd(config_.kernel));
+                        KernelModeUsesSimd(config_.kernel), config_.tiered);
   std::string index_error;
   if (!f.good() || !scratch.Deserialize(f, &index_error)) {
     return Status::DataLoss(

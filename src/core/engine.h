@@ -55,6 +55,7 @@
 #include "core/stats.h"
 #include "core/status.h"
 #include "core/stream_item.h"
+#include "util/frozen_block.h"
 #include "util/simd.h"
 #include "util/thread_pool.h"
 
@@ -70,6 +71,9 @@ const char* ToString(IndexScheme s);
 // input.
 StatusOr<Framework> ParseFramework(const std::string& s);
 StatusOr<IndexScheme> ParseIndexScheme(const std::string& s);
+// Case-insensitive parse for the tiered-storage value tier ("exact"/"f64",
+// "bf16", "f16"/"fp16"/"half"). Unknown names yield kInvalidArgument.
+StatusOr<ValueTier> ParseValueTier(const std::string& s);
 
 struct EngineConfig {
   Framework framework = Framework::kStreaming;
@@ -105,6 +109,18 @@ struct EngineConfig {
   // itself is deterministic for a fixed ISA level and for any thread
   // count). kAuto resolves to kSimd when the CPU has a vector ISA.
   KernelMode kernel = KernelMode::kScalar;
+  // Tiered posting storage (util/frozen_block.h). Off by default. When
+  // enabled, cold prefixes of long posting lists are compacted into
+  // immutable frozen blocks with delta+varint compressed id/ts columns;
+  // scans decompress one block at a time into per-caller scratch. With the
+  // default value_tier == ValueTier::kExact the value/prefix_norm columns
+  // stay raw fp64 and the emitted pair sequence and scores are
+  // bit-identical to the untiered engine for every STR scheme (sequential
+  // and sharded, any thread count). kBf16/kF16 additionally quantize the
+  // value columns (prefix_norm rounds *up*, keeping the l2bound a valid
+  // upper bound) — the output then approximates the exact engine. Applies
+  // to the STR schemes; MB windows are short-lived and ignore it.
+  TieredStorageOptions tiered;
   // Ingestion mode and queue/epoch/backpressure tuning (core/ingest_pump.h).
   // The default (IngestMode::kInline) keeps Push synchronous and makes
   // AsyncPush a kFailedPrecondition. With IngestMode::kAsync the engine

@@ -1,7 +1,9 @@
 #include "core/join_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
+#include <vector>
 
 namespace sssj {
 
@@ -15,6 +17,111 @@ JoinService::~JoinService() = default;
 
 Status JoinService::UnknownSession() {
   return Status::NotFound("unknown or closed session handle");
+}
+
+bool JoinService::Evictable(const Session& session) {
+  return session.pump_registration == 0 &&
+         session.config.framework == Framework::kStreaming &&
+         session.config.index == IndexScheme::kL2 &&
+         session.config.num_threads <= 1;
+}
+
+void JoinService::NoteActivity(Session* session) const {
+  session->mem_bytes.store(session->engine->MemoryBytes(),
+                           std::memory_order_relaxed);
+  session->last_active.store(
+      activity_clock_.fetch_add(1, std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+Status JoinService::EnsureResident(Session* session) const {
+  if (!session->evicted) return Status::Ok();
+  Status status = session->engine->LoadCheckpoint(session->spill_path);
+  if (!status.ok()) return status;
+  std::remove(session->spill_path.c_str());
+  session->evicted = false;
+  session->spill_path.clear();
+  session->mem_bytes.store(session->engine->MemoryBytes(),
+                           std::memory_order_relaxed);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status JoinService::EvictLocked(Session* victim) {
+  const std::string path = options_.spill_dir + "/sssj-evict-" +
+                           std::to_string(victim->id) + ".ckpt";
+  Status status = victim->engine->SaveCheckpoint(path);
+  if (!status.ok()) return status;
+  // Swap in a fresh empty engine of the same config; LoadCheckpoint on
+  // reload restores the id counter and stream clock along with the index.
+  StatusOr<std::unique_ptr<SssjEngine>> fresh =
+      SssjEngine::Make(victim->config, victim->bound_sink);
+  if (!fresh.ok()) {
+    std::remove(path.c_str());
+    return fresh.status();
+  }
+  victim->engine = *std::move(fresh);
+  victim->evicted = true;
+  victim->spill_path = path;
+  victim->mem_bytes.store(victim->engine->MemoryBytes(),
+                          std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status JoinService::EnforceBudget(Session* current) {
+  if (options_.memory_budget_bytes == 0) return Status::Ok();
+  auto total_now = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const auto& [id, session] : sessions_) {
+      total += session->mem_bytes.load(std::memory_order_relaxed);
+    }
+    return total;
+  };
+  size_t total = total_now();
+  if (total <= options_.memory_budget_bytes) return Status::Ok();
+
+  if (!options_.spill_dir.empty()) {
+    std::vector<std::shared_ptr<Session>> victims;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      victims.reserve(sessions_.size());
+      for (const auto& [id, session] : sessions_) {
+        if (session.get() != current) victims.push_back(session);
+      }
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const std::shared_ptr<Session>& a,
+                 const std::shared_ptr<Session>& b) {
+                return a->last_active.load(std::memory_order_relaxed) <
+                       b->last_active.load(std::memory_order_relaxed);
+              });
+    for (const auto& victim : victims) {
+      if (total <= options_.memory_budget_bytes) break;
+      // try_lock, never a blocking lock: the caller already holds
+      // current->mu, and a session whose lock is contended is mid-push —
+      // i.e. not dormant — so skipping it is also the right policy call.
+      std::unique_lock<std::mutex> vl(victim->mu, std::try_to_lock);
+      if (!vl.owns_lock()) continue;
+      if (victim->closed.load(std::memory_order_acquire) ||
+          victim->evicted || !Evictable(*victim)) {
+        continue;
+      }
+      if (EvictLocked(victim.get()).ok()) total = total_now();
+    }
+  }
+  if (total > options_.memory_budget_bytes) {
+    budget_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "service memory budget exceeded: " + std::to_string(total) +
+        " resident bytes against a budget of " +
+        std::to_string(options_.memory_budget_bytes) +
+        (options_.spill_dir.empty()
+             ? " (eviction disabled: no spill_dir configured)"
+             : " (no evictable dormant session left)"));
+  }
+  return Status::Ok();
 }
 
 StatusOr<JoinService::SessionHandle> JoinService::CreateSession(
@@ -41,6 +148,13 @@ StatusOr<JoinService::SessionHandle> JoinService::CreateSession(
   session->name = options.name;
   session->engine = *std::move(engine);
   session->owned_sink = std::move(options.owned_sink);
+  session->config = config;  // resolved (pool/external_pump applied)
+  session->bound_sink = sink;
+  session->mem_bytes.store(session->engine->MemoryBytes(),
+                           std::memory_order_relaxed);
+  session->last_active.store(
+      activity_clock_.fetch_add(1, std::memory_order_relaxed),
+      std::memory_order_relaxed);
 
   if (async) {
     {
@@ -78,6 +192,7 @@ StatusOr<JoinService::SessionHandle> JoinService::CreateSession(
                                  "' already exists");
   }
   const uint64_t id = next_id_++;
+  session->id = id;
   sessions_.emplace(id, std::move(session));
   by_name_.emplace(options.name, id);
   return SessionHandle(id);
@@ -125,6 +240,13 @@ Status JoinService::CloseSession(SessionHandle handle) {
     session->pump_registration = 0;
   }
   std::lock_guard<std::mutex> lock(session->mu);
+  if (session->evicted) {
+    // Only STR-L2 sessions are evictable and STR flushes are no-ops, so
+    // the spilled state has nothing buffered; drop the file.
+    std::remove(session->spill_path.c_str());
+    session->evicted = false;
+    session->spill_path.clear();
+  }
   session->engine->Flush();
   return Status::Ok();
 }
@@ -134,17 +256,31 @@ Status JoinService::Push(SessionHandle handle, Timestamp ts, SparseVector vec) {
   if (session == nullptr) return UnknownSession();
   std::lock_guard<std::mutex> lock(session->mu);
   if (session->closed) return UnknownSession();
-  return session->engine->Push(ts, std::move(vec));
+  Status budget = EnforceBudget(session.get());
+  if (!budget.ok()) return budget;
+  Status resident = EnsureResident(session.get());
+  if (!resident.ok()) return resident;
+  Status result = session->engine->Push(ts, std::move(vec));
+  NoteActivity(session.get());
+  return result;
 }
 
 Status JoinService::AsyncPush(SessionHandle handle, Timestamp ts,
                               SparseVector vec, uint64_t* ticket) {
   std::shared_ptr<Session> session = Lookup(handle);
   if (session == nullptr) return UnknownSession();
-  // No session lock: the submit path only touches the session's lock-free
-  // ring (and `closed` is atomic). Taking the lock here would serialize
+  // Inline sessions take the lock (their `engine` pointer can be swapped
+  // by eviction; an inline AsyncPush is a kFailedPrecondition anyway).
+  // Async sessions are never evicted, so their engine pointer is stable
+  // and the submit path stays lock-free: it only touches the session's
+  // ring (and `closed` is atomic). Taking the lock there would serialize
   // producers behind the pump's epoch applications — the exact stall
   // async mode exists to remove.
+  if (session->pump_registration == 0) {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->closed) return UnknownSession();
+    return session->engine->AsyncPush(ts, std::move(vec), ticket);
+  }
   if (session->closed.load(std::memory_order_acquire)) {
     return UnknownSession();
   }
@@ -154,11 +290,18 @@ Status JoinService::AsyncPush(SessionHandle handle, Timestamp ts,
 Status JoinService::Drain(SessionHandle handle) {
   std::shared_ptr<Session> session = Lookup(handle);
   if (session == nullptr) return UnknownSession();
+  // Inline sessions: locked (evictable engine pointer), and Drain is an
+  // immediate no-op for them. Async sessions stay lock-free — the pump
+  // needs the session lock to apply epochs, so holding it here would
+  // deadlock the very work Drain waits for.
+  if (session->pump_registration == 0) {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->closed) return UnknownSession();
+    return session->engine->Drain();
+  }
   if (session->closed.load(std::memory_order_acquire)) {
     return UnknownSession();
   }
-  // Also lock-free: the pump needs the session lock to apply epochs, so
-  // holding it here would deadlock the very work Drain waits for.
   return session->engine->Drain();
 }
 
@@ -168,7 +311,13 @@ StatusOr<BatchPushResult> JoinService::PushBatch(SessionHandle handle,
   if (session == nullptr) return UnknownSession();
   std::lock_guard<std::mutex> lock(session->mu);
   if (session->closed) return UnknownSession();
-  return session->engine->PushBatch(batch);
+  Status budget = EnforceBudget(session.get());
+  if (!budget.ok()) return budget;
+  Status resident = EnsureResident(session.get());
+  if (!resident.ok()) return resident;
+  BatchPushResult result = session->engine->PushBatch(batch);
+  NoteActivity(session.get());
+  return result;
 }
 
 Status JoinService::Flush(SessionHandle handle) {
@@ -186,6 +335,10 @@ Status JoinService::SaveCheckpoint(SessionHandle handle,
   if (session == nullptr) return UnknownSession();
   std::lock_guard<std::mutex> lock(session->mu);
   if (session->closed) return UnknownSession();
+  // An evicted session must reload first, or we would checkpoint the
+  // fresh empty stand-in engine.
+  Status resident = EnsureResident(session.get());
+  if (!resident.ok()) return resident;
   return session->engine->SaveCheckpoint(path);
 }
 
@@ -195,7 +348,16 @@ Status JoinService::LoadCheckpoint(SessionHandle handle,
   if (session == nullptr) return UnknownSession();
   std::lock_guard<std::mutex> lock(session->mu);
   if (session->closed) return UnknownSession();
-  return session->engine->LoadCheckpoint(path);
+  if (session->evicted) {
+    // The caller is replacing the session's state wholesale; the spilled
+    // copy is dead either way.
+    std::remove(session->spill_path.c_str());
+    session->evicted = false;
+    session->spill_path.clear();
+  }
+  Status status = session->engine->LoadCheckpoint(path);
+  if (status.ok()) NoteActivity(session.get());
+  return status;
 }
 
 StatusOr<RunStats> JoinService::SessionStats(SessionHandle handle) const {
@@ -210,10 +372,17 @@ StatusOr<IngestStats> JoinService::SessionIngestStats(
     SessionHandle handle) const {
   std::shared_ptr<Session> session = Lookup(handle);
   if (session == nullptr) return UnknownSession();
+  // Inline sessions: locked, because eviction can swap the engine
+  // pointer. Async sessions (never evicted): counter snapshot over
+  // atomics, no session lock needed.
+  if (session->pump_registration == 0) {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->closed) return UnknownSession();
+    return session->engine->ingest_stats();
+  }
   if (session->closed.load(std::memory_order_acquire)) {
     return UnknownSession();
   }
-  // Counter snapshot over atomics; no session lock needed.
   return session->engine->ingest_stats();
 }
 
@@ -240,6 +409,9 @@ ServiceStats JoinService::Stats() const {
     for (const auto& [id, session] : sessions_) snapshot.push_back(session);
   }
   ServiceStats stats;
+  stats.sessions_evicted = evictions_.load(std::memory_order_relaxed);
+  stats.session_reloads = reloads_.load(std::memory_order_relaxed);
+  stats.budget_rejections = budget_rejections_.load(std::memory_order_relaxed);
   for (const auto& session : snapshot) {
     std::lock_guard<std::mutex> lock(session->mu);
     if (session->closed) continue;
@@ -248,6 +420,7 @@ ServiceStats JoinService::Stats() const {
     entry.vectors_processed = session->engine->stats().vectors_processed;
     entry.pairs_emitted = session->engine->stats().pairs_emitted;
     entry.memory_bytes = session->engine->MemoryBytes();
+    entry.evicted = session->evicted;
     entry.ingest = session->engine->ingest_stats();
     stats.vectors_processed += entry.vectors_processed;
     stats.pairs_emitted += entry.pairs_emitted;

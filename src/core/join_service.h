@@ -56,6 +56,21 @@ struct JoinServiceOptions {
   // STR-L2, MB window close). 1 disables the shared pool: sessions with
   // num_threads > 1 then get private pools, as standalone engines do.
   size_t num_threads = 1;
+  // Service-wide cap on the sum of every live session's MemoryBytes().
+  // 0 (default) = unlimited. When a Push/PushBatch would run while the
+  // total is over budget, the service first evicts dormant sessions
+  // (least-recently-active first) to checkpoint files under `spill_dir`;
+  // an evicted session reloads transparently on its next push. If no
+  // evictable session remains and the total is still over budget, the
+  // push is refused with kResourceExhausted — deterministic backpressure
+  // instead of an OOM kill. Only inline (non-async) single-threaded
+  // STR-L2 sessions are evictable (the checkpointable configuration);
+  // other sessions count toward the total but are never evicted.
+  size_t memory_budget_bytes = 0;
+  // Directory for eviction checkpoints. Empty (default) disables
+  // eviction: budget enforcement then has only the kResourceExhausted
+  // lever. The directory must exist and be writable.
+  std::string spill_dir;
 };
 
 // Aggregate capacity view across live sessions, for monitoring.
@@ -68,12 +83,17 @@ struct ServiceStats {
   uint64_t queue_depth = 0;        // items submitted but not yet applied
   uint64_t epochs_closed = 0;      // epochs the pump drained
   uint64_t backpressure_rejections = 0;  // kResourceExhausted submits
+  // Budget enforcement counters (all zero when memory_budget_bytes == 0).
+  uint64_t sessions_evicted = 0;   // evict-to-checkpoint events, lifetime
+  uint64_t session_reloads = 0;    // transparent reloads, lifetime
+  uint64_t budget_rejections = 0;  // pushes refused with kResourceExhausted
 
   struct SessionEntry {
     std::string name;
     uint64_t vectors_processed = 0;
     uint64_t pairs_emitted = 0;
     size_t memory_bytes = 0;
+    bool evicted = false;  // currently spilled to its checkpoint file
     IngestStats ingest;  // zero-valued for inline sessions
   };
   std::vector<SessionEntry> sessions;  // sorted by session name
@@ -177,11 +197,40 @@ class JoinService {
     // epoch, and a blocked submit must not serialize behind it.
     std::atomic<bool> closed{false};
     uint64_t pump_registration = 0;  // 0 = not an async session
+    // ---- budget/eviction state ----
+    uint64_t id = 0;  // registry id; immutable once inserted
+    EngineConfig config;             // resolved config, for engine rebuild
+    ResultSink* bound_sink = nullptr;  // sink the engine was built with
+    // Cached accounting, atomic so EnforceBudget can total the service
+    // without taking every session's lock: refreshed after each locked
+    // operation from engine->MemoryBytes().
+    std::atomic<size_t> mem_bytes{0};
+    std::atomic<uint64_t> last_active{0};  // service activity clock tick
+    bool evicted = false;    // guarded by mu
+    std::string spill_path;  // guarded by mu; set iff evicted
   };
 
   // Registry lookup; returns null after CloseSession erased the id.
   std::shared_ptr<Session> Lookup(SessionHandle handle) const;
   static Status UnknownSession();
+
+  // True for the checkpointable configuration eviction supports: inline
+  // (non-async) single-threaded STR-L2.
+  static bool Evictable(const Session& session);
+  // Refreshes the session's cached accounting + LRU clock. Caller holds
+  // session->mu.
+  void NoteActivity(Session* session) const;
+  // Brings an evicted session back (LoadCheckpoint from its spill file,
+  // which is then deleted). Caller holds session->mu.
+  Status EnsureResident(Session* session) const;
+  // Spills the session to a checkpoint file and swaps in a fresh empty
+  // engine. Caller holds session->mu.
+  Status EvictLocked(Session* victim);
+  // Called before a push while holding current->mu: if the service total
+  // is over budget, evicts dormant sessions (LRU first, try_lock only —
+  // never waits on a busy session's lock, so no deadlock is possible);
+  // returns kResourceExhausted if the total still exceeds the budget.
+  Status EnforceBudget(Session* current);
 
   Options options_;
   std::shared_ptr<ThreadPool> pool_;  // null when options_.num_threads <= 1
@@ -190,6 +239,14 @@ class JoinService {
   uint64_t next_id_ = 1;
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;
   std::unordered_map<std::string, uint64_t> by_name_;
+
+  // Budget bookkeeping. The clock orders sessions for LRU eviction; the
+  // counters feed ServiceStats. All atomic (and mutable where const
+  // methods touch them) — no lock protects them.
+  mutable std::atomic<uint64_t> activity_clock_{1};
+  std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> budget_rejections_{0};
 
   // One pump thread services every async session's queue. Created lazily
   // (under mu_) by the first async CreateSession; declared last so its

@@ -41,9 +41,10 @@ void GeneralDecayInvIndex::ProcessArrival(const StreamItem& x,
     auto it = lists_.find(c.dim);
     if (it == lists_.end()) continue;
     PostingList& list = it->second;
+    list.NoteScanned(stats_.vectors_processed);
     NotePruned(list.TruncateFront(list.LowerBoundTs(cutoff)));
-    list.ForEachNewestFirst(0, list.size(), [&](const PostingSpan& sp,
-                                                size_t k) {
+    list.ForEachNewestFirst(0, list.size(), &posting_,
+                            [&](const PostingSpan& sp, size_t k) {
       ++stats_.entries_traversed;
       CandidateMap::Slot* slot = cands_.FindOrCreate(sp.id[k]);
       if (slot->score == 0.0) {
@@ -71,7 +72,9 @@ void GeneralDecayInvIndex::ProcessArrival(const StreamItem& x,
     }
   });
   for (const Coord& c : x.vec) {
-    lists_[c.dim].Append(x.id, c.value, 0.0, x.ts);
+    PostingList& list = lists_[c.dim];
+    list.Append(x.id, c.value, 0.0, x.ts);
+    list.MaybeFreeze(tiered_, stats_.vectors_processed);
   }
   NoteIndexed(x.vec.nnz());
 }
@@ -107,9 +110,10 @@ void GeneralDecayL2Index::ProcessArrival(const StreamItem& x,
     auto it = lists_.find(c.dim);
     if (it != lists_.end()) {
       PostingList& list = it->second;
+      list.NoteScanned(stats_.vectors_processed);
       NotePruned(list.TruncateFront(list.LowerBoundTs(cutoff)));
-      list.ForEachNewestFirst(0, list.size(), [&](const PostingSpan& sp,
-                                                  size_t k) {
+      list.ForEachNewestFirst(0, list.size(), &posting_,
+                              [&](const PostingSpan& sp, size_t k) {
         ++stats_.entries_traversed;
         const double f = decay_.Eval(x.ts - sp.ts[k]);
         CandidateMap::Slot* slot = cands_.FindOrCreate(sp.id[k]);
@@ -174,7 +178,9 @@ void GeneralDecayL2Index::ProcessArrival(const StreamItem& x,
         residuals_.Insert(x.id, std::move(rec));
         first_indexed = false;
       }
-      lists_[c.dim].Append(x.id, c.value, prefix_norms_[i], x.ts);
+      PostingList& list = lists_[c.dim];
+      list.Append(x.id, c.value, prefix_norms_[i], x.ts);
+      list.MaybeFreeze(tiered_, stats_.vectors_processed);
       ++appended;
     }
   }

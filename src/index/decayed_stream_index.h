@@ -35,19 +35,19 @@ void BruteForceDecayJoin(const Stream& stream, double theta,
 
 class GeneralDecayInvIndex : public StreamIndex {
  public:
-  GeneralDecayInvIndex(double theta, const DecayFunction& decay)
-      : theta_(theta), decay_(decay), tau_(decay.Horizon(theta)) {}
+  GeneralDecayInvIndex(double theta, const DecayFunction& decay,
+                       const TieredStorageOptions& tiered = {})
+      : theta_(theta),
+        decay_(decay),
+        tau_(decay.Horizon(theta)),
+        tiered_(tiered) {}
 
   void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
   void Clear() override;
   const char* name() const override { return "INV(gen)"; }
   size_t live_posting_entries() const override { return live_entries_; }
   size_t MemoryBytes() const override {
-    size_t bytes = 0;
-    for (const auto& [dim, list] : lists_) {
-      bytes += sizeof(DimId) + list.capacity_bytes();
-    }
-    return bytes;
+    return PostingMapMemoryBytes(lists_);
   }
   double horizon() const { return tau_; }
 
@@ -55,25 +55,27 @@ class GeneralDecayInvIndex : public StreamIndex {
   double theta_;
   DecayFunction decay_;
   double tau_;
+  TieredStorageOptions tiered_;
   std::unordered_map<DimId, PostingList> lists_;
   CandidateMap cands_;
+  FrozenColumns posting_;  // frozen-block decode scratch
 };
 
 class GeneralDecayL2Index : public StreamIndex {
  public:
-  GeneralDecayL2Index(double theta, const DecayFunction& decay)
-      : theta_(theta), decay_(decay), tau_(decay.Horizon(theta)) {}
+  GeneralDecayL2Index(double theta, const DecayFunction& decay,
+                      const TieredStorageOptions& tiered = {})
+      : theta_(theta),
+        decay_(decay),
+        tau_(decay.Horizon(theta)),
+        tiered_(tiered) {}
 
   void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
   void Clear() override;
   const char* name() const override { return "L2(gen)"; }
   size_t live_posting_entries() const override { return live_entries_; }
   size_t MemoryBytes() const override {
-    size_t bytes = residuals_.ApproxBytes();
-    for (const auto& [dim, list] : lists_) {
-      bytes += sizeof(DimId) + list.capacity_bytes();
-    }
-    return bytes;
+    return residuals_.ApproxBytes() + PostingMapMemoryBytes(lists_);
   }
   double horizon() const { return tau_; }
 
@@ -81,10 +83,12 @@ class GeneralDecayL2Index : public StreamIndex {
   double theta_;
   DecayFunction decay_;
   double tau_;
+  TieredStorageOptions tiered_;
   std::unordered_map<DimId, PostingList> lists_;
   ResidualStore residuals_;
   CandidateMap cands_;
   std::vector<double> prefix_norms_;
+  FrozenColumns posting_;  // frozen-block decode scratch
 };
 
 }  // namespace sssj

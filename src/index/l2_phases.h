@@ -69,6 +69,11 @@ struct L2KernelState {
   // so the choice never shows in the output.
   size_t owner_share = 1;
   std::vector<double> decay;  // span-sized scratch, grown on demand
+  // Frozen-block decompression scratch for the tiered posting lists:
+  // the generate scan thaws one cold block at a time into this buffer.
+  // Per caller (sequential index / shard worker), so concurrent workers
+  // never share decode state even when reading the same frozen block.
+  FrozenColumns posting;
 
   // Column pays off while the per-worker share of entries is dense
   // enough that len · (vectorized exp) < (len/S) · (one-lane exp);
@@ -158,6 +163,12 @@ void L2GenerateCandidates(const StreamItem& x, const DecayParams& params,
   const SparseVector& v = x.vec;
   const size_t n = v.nnz();
   double rst = v.norm() * v.norm();
+  // Frozen-block decode scratch: the kernel state's buffer when the
+  // caller has one, else a function-local fallback (which allocates only
+  // if a scan actually reaches a frozen block).
+  FrozenColumns local_scratch;
+  FrozenColumns* posting_scratch =
+      kernel != nullptr ? &kernel->posting : &local_scratch;
   for (size_t i = n; i-- > 0;) {  // reverse coordinate order
     const Coord& c = v.coord(i);
     const double rs2 = std::sqrt(std::max(rst, 0.0));
@@ -169,13 +180,15 @@ void L2GenerateCandidates(const StreamItem& x, const DecayParams& params,
       // A truncating on_expired leaves the live run at [0, live); a
       // deferring one leaves it at [expired, size). Either way it is the
       // last `live` entries, and the walk starts only now because
-      // truncation may rebuild the storage.
-      PostingSpan spans[2];
-      const size_t nspans =
-          list->Spans(list->size() - live, list->size(), spans);
+      // truncation may rebuild the storage. The block-cursor walk hands
+      // out the hot tail's raw segments first, then decompresses cold
+      // frozen blocks one at a time into the caller's scratch — the
+      // entry visit order (and so per-candidate FP accumulation) is
+      // identical to the untiered two-segment scan.
       const bool kernel_exp = kernel != nullptr && kernel->use_simd;
-      for (size_t si = nspans; si-- > 0;) {  // newest span first
-        const PostingSpan& sp = spans[si];
+      list->ForSpansNewestFirst(
+          list->size() - live, list->size(), posting_scratch,
+          [&](const PostingSpan& sp) {
         // SIMD path with dense ownership: one vectorized exp pass over
         // the span's ts column. SIMD path with sparse ownership (high
         // shard counts): per owned entry via DecayOne — bit-identical
@@ -216,7 +229,7 @@ void L2GenerateCandidates(const StreamItem& x, const DecayParams& params,
             }
           }
         }
-      }
+      });
     }
     rst -= c.value * c.value;
   }

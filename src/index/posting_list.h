@@ -13,14 +13,32 @@
 // The L2AP scheme loses the sorted property (re-indexing appends old
 // items) and must scan forward, compacting expired entries in place
 // (CompactExpired works column-wise and never assumes time order).
+//
+// Tiered storage (ROADMAP item 2): when enabled via TieredStorageOptions
+// a list is two tiers — a cold prefix of immutable FrozenBlocks
+// (util/frozen_block.h) followed by the hot mutable circular tail.
+// Logical indices still run 0 (oldest, possibly frozen) to size();
+// MaybeFreeze migrates the oldest tail entries into blocks using the
+// hot/cold classifier (dormancy by appends-since-last-scan, scan rate
+// by an EWMA of arrivals between scans): scan-cold lists freeze
+// compressed, scan-hot lists freeze raw zero-copy blocks whose columns
+// the ForSpans* walks serve directly — only compressed blocks are
+// decompressed, one at a time, into caller-owned FrozenColumns scratch.
+// Expiry drops whole frozen blocks by their max-ts header; only the
+// boundary block's ts stream is ever decoded. Raw blocks and the exact
+// value tier read back bit-identical doubles, so freezing never changes
+// engine output.
 #ifndef SSSJ_INDEX_POSTING_LIST_H_
 #define SSSJ_INDEX_POSTING_LIST_H_
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/types.h"
 #include "util/columnar_buffer.h"
+#include "util/frozen_block.h"
 
 namespace sssj {
 
@@ -38,7 +56,9 @@ struct PostingEntry {
 // A physically contiguous run of postings: one raw pointer per column,
 // all indexed by the same [0, len) offset. `begin` is the logical index
 // (from the oldest entry) of the run's first posting. Pointers are
-// invalidated by any mutation of the list.
+// invalidated by any mutation of the list; pointers into frozen-block
+// scratch are additionally invalidated by the next block's decompression
+// (consume each span before the walk moves on).
 struct PostingSpan {
   const VectorId* id = nullptr;
   const double* value = nullptr;
@@ -50,55 +70,319 @@ struct PostingSpan {
 
 class PostingList {
  public:
-  size_t size() const { return store_.size(); }
-  bool empty() const { return store_.empty(); }
+  size_t size() const { return frozen_live_ + store_.size(); }
+  bool empty() const { return frozen_live_ == 0 && store_.empty(); }
 
   // Per-column element access, logical index from the front (oldest).
-  VectorId id(size_t i) const { return store_.Get<0>(i); }
-  double value(size_t i) const { return store_.Get<1>(i); }
-  double prefix_norm(size_t i) const { return store_.Get<2>(i); }
-  Timestamp ts(size_t i) const { return store_.Get<3>(i); }
+  // Indices inside the frozen range decompress the containing block per
+  // call — test/serialization convenience, not a hot path.
+  VectorId id(size_t i) const {
+    return i < frozen_live_ ? FrozenGet(i).id
+                            : store_.Get<0>(i - frozen_live_);
+  }
+  double value(size_t i) const {
+    return i < frozen_live_ ? FrozenGet(i).value
+                            : store_.Get<1>(i - frozen_live_);
+  }
+  double prefix_norm(size_t i) const {
+    return i < frozen_live_ ? FrozenGet(i).prefix_norm
+                            : store_.Get<2>(i - frozen_live_);
+  }
+  Timestamp ts(size_t i) const {
+    return i < frozen_live_ ? FrozenGet(i).ts
+                            : store_.Get<3>(i - frozen_live_);
+  }
 
   // Materializes one posting as a row (tests / serialization convenience;
-  // hot loops should use Spans instead).
+  // hot loops should use the span walks instead).
   PostingEntry Get(size_t i) const {
-    return PostingEntry{id(i), value(i), prefix_norm(i), ts(i)};
+    if (i < frozen_live_) return FrozenGet(i);
+    const size_t t = i - frozen_live_;
+    return PostingEntry{store_.Get<0>(t), store_.Get<1>(t), store_.Get<2>(t),
+                        store_.Get<3>(t)};
   }
 
   void Append(VectorId id, double value, double prefix_norm, Timestamp ts) {
     store_.PushBack(id, value, prefix_norm, ts);
+    ++appends_since_scan_;
   }
   void Append(const PostingEntry& e) {
     Append(e.id, e.value, e.prefix_norm, e.ts);
+  }
+
+  // ---- hot/cold classifier + freezing ----
+
+  // Marks the list as scan-active (resets the dormancy counter) and,
+  // when the index passes its arrival counter as `tick`, feeds the
+  // scan-rate classifier: an EWMA of arrivals elapsed between
+  // consecutive scans of this list. Indexes call this from
+  // mutation-safe contexts only — the sharded engine from its
+  // owner-writes phase, never from the read-only generate phase.
+  void NoteScanned(uint64_t tick = 0) {
+    appends_since_scan_ = 0;
+    if (tick != 0) {
+      if (last_scan_tick_ != 0 && tick > last_scan_tick_) {
+        const uint64_t gap = tick - last_scan_tick_;
+        const uint64_t ew = (3ull * scan_gap_ewma_ + gap) / 4;
+        scan_gap_ewma_ = ew > UINT32_MAX ? UINT32_MAX
+                                         : static_cast<uint32_t>(ew);
+      }
+      last_scan_tick_ = tick;
+    }
+  }
+
+  // Arrivals between consecutive scans of this list (EWMA); 0 until two
+  // ticked scans have been observed.
+  uint32_t scan_gap() const { return scan_gap_ewma_; }
+
+  // Migrates cold tail entries into frozen blocks when the mutable tail
+  // outgrew the classifier's target. Two regimes, decided per call:
+  //
+  //   scan-cold — the list is dormant (many appends, no scans) or its
+  //   scan rate is low enough that decompressing it on the rare scan is
+  //   cheap (size <= scan_gap * cold_scan_budget; needs the index's
+  //   arrival `tick`, see TieredStorageOptions). Keeps only a small
+  //   mutable tail and freezes compressed blocks.
+  //
+  //   scan-hot — everything else. Keeps the large hot tail and freezes
+  //   overflow into raw zero-copy blocks: scans read them directly (no
+  //   thaw), so the only effect is squeezing out the circular buffer's
+  //   capacity slack.
+  //
+  // No-op unless opts.enabled. Raw blocks are always exact; with the
+  // exact value tier freeze timing is unobservable in engine output.
+  void MaybeFreeze(const TieredStorageOptions& opts, uint64_t tick = 0) {
+    if (!opts.enabled || opts.block_entries == 0) return;
+    const bool scan_cold =
+        appends_since_scan_ >= opts.dormant_after_appends ||
+        (tick != 0 && scan_gap_ewma_ != 0 &&
+         size() <= static_cast<uint64_t>(scan_gap_ewma_) *
+                       opts.cold_scan_budget);
+    if (tick != 0 || scan_cold) {
+      // Scan-rate-tracked lists (and legacy dormant ones) all keep the
+      // small tail and freeze in quanta, amending the newest block until
+      // it fills: raw blocks scan zero-copy, so even a scan-hot list
+      // loses nothing by freezing early — it just sheds the circular
+      // buffer's power-of-two slack. The classifier only picks the
+      // block form: compressed when scans are rare enough to amortize
+      // the decode, raw otherwise.
+      const bool compress = tick == 0 || scan_cold;
+      size_t quantum = opts.cold_freeze_quantum != 0
+                           ? opts.cold_freeze_quantum
+                           : opts.block_entries;
+      // Each amend rewrites the whole newest block, so a small quantum
+      // on a frequently appended list is churn. For raw blocks — the
+      // scan-hot head lists, which also absorb most appends — batch at
+      // least a quarter block per amend: the extra mutable-tail slack
+      // lives on only those few lists, while the memcpy traffic drops
+      // by block/(4*quantum).
+      if (!compress && quantum < opts.block_entries / 4) {
+        quantum = opts.block_entries / 4;
+      }
+      const size_t keep = opts.dormant_tail_entries;
+      if (store_.size() >= keep + quantum) {
+        FreezeQuantum(store_.size() - keep, opts.block_entries,
+                      opts.value_tier, compress);
+      }
+      return;
+    }
+    // Untracked non-dormant lists: legacy behavior — large hot tail,
+    // compressed whole blocks.
+    while (store_.size() >= opts.hot_tail_entries + opts.block_entries) {
+      FreezeFront(opts.block_entries, opts.value_tier, /*compress=*/true);
+    }
+  }
+
+  size_t frozen_blocks() const { return frozen_.size(); }
+  size_t frozen_live_entries() const { return frozen_live_; }
+
+  // ---- iteration ----
+
+  // Block-cursor walks over the logical range [begin, end): fn(span) is
+  // invoked once per physically contiguous run — newest-to-oldest or
+  // oldest-to-newest — covering the hot tail's (≤2) segments directly
+  // and each intersecting frozen block decompressed into `scratch`.
+  // Entries inside every span always appear oldest→newest; the *order of
+  // spans* carries the direction, exactly like the two-segment walks the
+  // untiered list produced — so per-candidate FP accumulation order, and
+  // with it the determinism contract, is unchanged. Span pointers into
+  // `scratch` die when the next block is thawed: consume each span
+  // before returning from fn. Do not mutate the list from the callback.
+  template <typename Fn>
+  void ForSpansNewestFirst(size_t begin, size_t end, FrozenColumns* scratch,
+                           Fn&& fn) const {
+    const size_t fl = frozen_live_;
+    if (end > fl) {  // hot tail first (newest)
+      PostingSpan spans[2];
+      const size_t n =
+          TailSpans(begin > fl ? begin - fl : 0, end - fl, spans);
+      for (size_t s = n; s-- > 0;) fn(spans[s]);
+    }
+    if (begin < fl) {
+      const size_t fend = end < fl ? end : fl;
+      size_t block_end = fl;
+      for (size_t b = frozen_.size(); b-- > 0 && block_end > begin;) {
+        const size_t skip = b == 0 ? first_skip_ : 0;
+        const size_t live = frozen_[b].count() - skip;
+        const size_t block_start = block_end - live;
+        if (block_start < fend) {
+          EmitFrozenSpan(b, skip, block_start,
+                         begin > block_start ? begin - block_start : 0,
+                         fend < block_end ? fend - block_start : live,
+                         scratch, fn);
+        }
+        block_end = block_start;
+      }
+    }
+  }
+
+  template <typename Fn>
+  void ForSpansOldestFirst(size_t begin, size_t end, FrozenColumns* scratch,
+                           Fn&& fn) const {
+    const size_t fl = frozen_live_;
+    if (begin < fl) {
+      const size_t fend = end < fl ? end : fl;
+      size_t block_start = 0;
+      size_t skip = first_skip_;
+      for (size_t b = 0; b < frozen_.size() && block_start < fend; ++b) {
+        const size_t live = frozen_[b].count() - skip;
+        const size_t block_end = block_start + live;
+        if (block_end > begin) {
+          EmitFrozenSpan(b, skip, block_start,
+                         begin > block_start ? begin - block_start : 0,
+                         fend < block_end ? fend - block_start : live,
+                         scratch, fn);
+        }
+        block_start = block_end;
+        skip = 0;
+      }
+    }
+    if (end > fl) {
+      PostingSpan spans[2];
+      const size_t n =
+          TailSpans(begin > fl ? begin - fl : 0, end - fl, spans);
+      for (size_t s = 0; s < n; ++s) fn(spans[s]);
+    }
   }
 
   // Applies fn(span, k) to every posting of the logical range [begin,
   // end), walking newest → oldest (the scan order of the time-sorted
   // schemes) or oldest → newest (L2AP's forward scan). The callback
   // indexes the span's columns itself, so it reads only the columns it
-  // needs. Do not mutate the list from the callback.
+  // needs. Do not mutate the list from the callback. The scratch-less
+  // overloads thaw into a local buffer (fine for untiered lists; pass a
+  // reused scratch on hot paths).
+  template <typename Fn>
+  void ForEachNewestFirst(size_t begin, size_t end, FrozenColumns* scratch,
+                          Fn&& fn) const {
+    ForSpansNewestFirst(begin, end, scratch, [&fn](const PostingSpan& sp) {
+      for (size_t k = sp.len; k-- > 0;) fn(sp, k);
+    });
+  }
   template <typename Fn>
   void ForEachNewestFirst(size_t begin, size_t end, Fn&& fn) const {
-    PostingSpan spans[2];
-    const size_t n = Spans(begin, end, spans);
-    for (size_t s = n; s-- > 0;) {
-      const PostingSpan& sp = spans[s];
-      for (size_t k = sp.len; k-- > 0;) fn(sp, k);
-    }
+    FrozenColumns local;
+    ForEachNewestFirst(begin, end, &local, fn);
+  }
+  template <typename Fn>
+  void ForEachOldestFirst(size_t begin, size_t end, FrozenColumns* scratch,
+                          Fn&& fn) const {
+    ForSpansOldestFirst(begin, end, scratch, [&fn](const PostingSpan& sp) {
+      for (size_t k = 0; k < sp.len; ++k) fn(sp, k);
+    });
   }
   template <typename Fn>
   void ForEachOldestFirst(size_t begin, size_t end, Fn&& fn) const {
-    PostingSpan spans[2];
-    const size_t n = Spans(begin, end, spans);
-    for (size_t s = 0; s < n; ++s) {
-      const PostingSpan& sp = spans[s];
-      for (size_t k = 0; k < sp.len; ++k) fn(sp, k);
-    }
+    FrozenColumns local;
+    ForEachOldestFirst(begin, end, &local, fn);
   }
 
-  // Maps the logical range [begin, end) onto at most two contiguous
-  // per-column pointer runs. Returns the number of spans written.
+  // Maps the logical range [begin, end) — which must lie entirely in the
+  // hot tail (begin >= frozen_live_entries(); trivially true for
+  // untiered lists) — onto at most two contiguous per-column pointer
+  // runs. Returns the number of spans written. Ranges that may reach the
+  // frozen tier must use the ForSpans* walks instead.
   size_t Spans(size_t begin, size_t end, PostingSpan out[2]) const {
+    assert(begin >= frozen_live_);
+    return TailSpans(begin - frozen_live_, end - frozen_live_, out);
+  }
+
+  // ---- expiry ----
+
+  // First logical index with ts >= cutoff — the number of expired entries
+  // — found by binary search. Valid ONLY while the list is time-sorted
+  // (INV/L2; never re-indexed), where ts is non-decreasing front to back.
+  // The oldest entry is probed first so the common no-expiry case costs a
+  // single predictable branch instead of a full search. Frozen blocks are
+  // skipped whole by their max-ts header; only the boundary block's ts
+  // stream is decoded.
+  size_t LowerBoundTs(Timestamp cutoff) const {
+    if (frozen_live_ == 0) {
+      if (store_.empty() || store_.Get<3>(0) >= cutoff) return 0;
+      return LowerBoundTsSlow(cutoff);
+    }
+    return LowerBoundTsTiered(cutoff);
+  }
+
+  // Drops the `n` oldest entries (expiry truncation, time-sorted lists
+  // only). Returns n for convenience. Wholly expired frozen blocks are
+  // dropped without touching their bytes; a partially expired boundary
+  // block just advances the list's skip offset.
+  size_t TruncateFront(size_t n);
+
+  // Removes every entry with ts < cutoff, preserving order (forward
+  // compaction, used by L2AP whose lists are not time-sorted). Returns
+  // the number of removed entries. Frozen blocks whose max_ts is older
+  // than the cutoff are dropped whole; straddling blocks are thawed
+  // (into `scratch` when given), filtered, and re-frozen at their own
+  // tier.
+  size_t CompactExpired(Timestamp cutoff, FrozenColumns* scratch = nullptr);
+
+  void Clear() {
+    store_.Clear();
+    frozen_.clear();
+    first_skip_ = 0;
+    frozen_live_ = 0;
+    appends_since_scan_ = 0;
+    scan_gap_ewma_ = 0;
+    last_scan_tick_ = 0;
+  }
+
+  // True per-column footprint of the mutable tail's backing store, in
+  // bytes (the pre-tiering meaning, kept for the buffer-level tests).
+  size_t capacity_bytes() const { return store_.capacity_bytes(); }
+
+  // Full allocated footprint: the list object itself (classifier state,
+  // buffer headers), mutable-tail capacity, compressed frozen blocks, and
+  // per-block bookkeeping. What the index-level MemoryBytes() accounting
+  // sums — strictly larger than capacity_bytes(), never payload-only.
+  size_t memory_bytes() const {
+    size_t bytes = sizeof(PostingList) + store_.capacity_bytes() +
+                   frozen_.capacity() * sizeof(FrozenBlock);
+    for (const FrozenBlock& blk : frozen_) {
+      bytes += blk.memory_bytes() - sizeof(FrozenBlock);  // payload only
+    }
+    return bytes;
+  }
+
+ private:
+  using ColumnStore = ColumnarBuffer<VectorId, double, double, Timestamp>;
+
+  size_t LowerBoundTsSlow(Timestamp cutoff) const;  // tail-relative
+  size_t LowerBoundTsTiered(Timestamp cutoff) const;
+  PostingEntry FrozenGet(size_t i) const;
+  void FreezeFront(size_t n, ValueTier tier, bool compress);
+  // Rewrites the front block without its consumed (first_skip_) prefix,
+  // reclaiming the dead bytes. Requires a non-empty frozen_ and
+  // first_skip_ > 0.
+  void CompactFrontBlock();
+  void FreezeQuantum(size_t n, size_t block_entries, ValueTier tier,
+                     bool compress);
+  size_t CompactExpiredTail(Timestamp cutoff);
+
+  // Tail-relative span mapping; out[s].begin is reported in full logical
+  // coordinates (offset by the frozen live count).
+  size_t TailSpans(size_t begin, size_t end, PostingSpan out[2]) const {
     ColumnStore::Segment segs[2];
     const size_t n = store_.Segments(begin, end, segs);
     for (size_t s = 0; s < n; ++s) {
@@ -106,44 +390,70 @@ class PostingList {
       out[s].value = store_.ColumnData<1>() + segs[s].phys;
       out[s].prefix_norm = store_.ColumnData<2>() + segs[s].phys;
       out[s].ts = store_.ColumnData<3>() + segs[s].phys;
-      out[s].begin = segs[s].begin;
+      out[s].begin = segs[s].begin + frozen_live_;
       out[s].len = segs[s].len;
     }
     return n;
   }
 
-  // First logical index with ts >= cutoff — the number of expired entries
-  // — found by binary search. Valid ONLY while the list is time-sorted
-  // (INV/L2; never re-indexed), where ts is non-decreasing front to back.
-  // The oldest entry is probed first so the common no-expiry case costs a
-  // single predictable branch instead of a full search.
-  size_t LowerBoundTs(Timestamp cutoff) const {
-    if (store_.empty() || store_.Get<3>(0) >= cutoff) return 0;
-    return LowerBoundTsSlow(cutoff);
+  // Emits block b's [lo, hi) live sub-range (block-local, after `skip`)
+  // as one span at logical `block_start`. Raw blocks are served
+  // zero-copy straight from their columns; compressed blocks thaw into
+  // scratch first.
+  template <typename Fn>
+  void EmitFrozenSpan(size_t b, size_t skip, size_t block_start, size_t lo,
+                      size_t hi, FrozenColumns* scratch, Fn&& fn) const {
+    if (hi <= lo) return;
+    const FrozenBlock& blk = frozen_[b];
+    PostingSpan sp;
+    if (!blk.compressed()) {
+      sp.id = blk.raw_id() + skip + lo;
+      sp.value = blk.raw_value() + skip + lo;
+      sp.ts = blk.raw_ts() + skip + lo;
+      const double* pn = blk.raw_prefix_norm();
+      if (pn == nullptr) {
+        // Elided all-zero column: the span contract promises readable
+        // pointers, so serve the scratch's always-zero buffer (grow-only
+        // — no per-scan memset).
+        if (scratch->zeros.size() < hi - lo) {
+          scratch->zeros.resize(hi - lo, 0.0);
+        }
+        sp.prefix_norm = scratch->zeros.data();
+      } else {
+        sp.prefix_norm = pn + skip + lo;
+      }
+    } else {
+      // Exact-tier blocks whose value column fell back to raw fp64 serve
+      // it straight from the compressed buffer; only id/ts need decode.
+      const double* inline_vals = blk.inline_exact_values();
+      blk.Thaw(scratch, /*fill_elided_prefix_norm=*/false,
+               /*skip_value=*/inline_vals != nullptr);
+      sp.id = scratch->id.data() + skip + lo;
+      sp.value = (inline_vals != nullptr ? inline_vals
+                                         : scratch->value.data()) +
+                 skip + lo;
+      sp.ts = scratch->ts.data() + skip + lo;
+      if (blk.has_prefix_norm()) {
+        sp.prefix_norm = scratch->prefix_norm.data() + skip + lo;
+      } else {
+        if (scratch->zeros.size() < hi - lo) {
+          scratch->zeros.resize(hi - lo, 0.0);
+        }
+        sp.prefix_norm = scratch->zeros.data();
+      }
+    }
+    sp.begin = block_start + lo;
+    sp.len = hi - lo;
+    fn(sp);
   }
 
-  // Drops the `n` oldest entries (expiry truncation, time-sorted lists
-  // only). Returns n for convenience.
-  size_t TruncateFront(size_t n) {
-    store_.TruncateFront(n);
-    return n;
-  }
-
-  // Removes every entry with ts < cutoff, preserving order (forward
-  // compaction, used by L2AP whose lists are not time-sorted).
-  // Returns the number of removed entries.
-  size_t CompactExpired(Timestamp cutoff);
-
-  void Clear() { store_.Clear(); }
-
-  // True per-column footprint of the backing store, in bytes.
-  size_t capacity_bytes() const { return store_.capacity_bytes(); }
-
- private:
-  size_t LowerBoundTsSlow(Timestamp cutoff) const;
-
-  using ColumnStore = ColumnarBuffer<VectorId, double, double, Timestamp>;
-  ColumnStore store_;
+  ColumnStore store_;               // hot mutable tail
+  std::vector<FrozenBlock> frozen_; // cold tier, oldest block first
+  size_t first_skip_ = 0;           // expired entries at frozen_[0]'s front
+  size_t frozen_live_ = 0;          // live entries across all frozen blocks
+  uint32_t appends_since_scan_ = 0; // dormancy classifier state
+  uint32_t scan_gap_ewma_ = 0;      // EWMA arrivals between scans (ticked)
+  uint64_t last_scan_tick_ = 0;     // arrival counter at the last scan
 };
 
 // Append-only SoA posting storage for the batch (MB) indexes: the same
@@ -190,6 +500,27 @@ class BatchPostingList {
   std::vector<double> prefix_norm_;
   std::vector<Timestamp> ts_;
 };
+
+// Allocated footprint of an unordered_map<DimId, PostingList> posting
+// container, including what the per-payload `capacity_bytes` view used
+// to miss: the PostingList object headers inside the map nodes, the
+// node-overhead of the chaining hash map (hash link + bucket chain
+// pointer per node, approximated at two pointers), and the bucket
+// array. Shared by every stream index's MemoryBytes() so the mem(MB)
+// bench column — the signal the tiering budget acts on — reports
+// capacity, not payload.
+template <typename Map>
+size_t PostingMapMemoryBytes(const Map& lists) {
+  size_t bytes = lists.bucket_count() * sizeof(void*);
+  for (const auto& [dim, list] : lists) {
+    // memory_bytes() already covers the PostingList object itself; add
+    // only the key (with pair padding) and the node-link overhead here.
+    bytes += sizeof(typename Map::value_type) - sizeof(PostingList) +
+             2 * sizeof(void*);
+    bytes += list.memory_bytes();
+  }
+  return bytes;
+}
 
 }  // namespace sssj
 

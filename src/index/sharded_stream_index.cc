@@ -5,16 +5,20 @@ namespace sssj {
 ShardedStreamIndex::ShardedStreamIndex(const DecayParams& params,
                                        size_t num_threads,
                                        const L2IndexOptions& options,
-                                       bool use_simd)
-    : ShardedStreamIndex(params, num_threads, nullptr, options, use_simd) {}
+                                       bool use_simd,
+                                       const TieredStorageOptions& tiered)
+    : ShardedStreamIndex(params, num_threads, nullptr, options, use_simd,
+                         tiered) {}
 
 ShardedStreamIndex::ShardedStreamIndex(const DecayParams& params,
                                        size_t num_threads,
                                        std::shared_ptr<ThreadPool> pool,
                                        const L2IndexOptions& options,
-                                       bool use_simd)
+                                       bool use_simd,
+                                       const TieredStorageOptions& tiered)
     : params_(params),
       options_(options),
+      tiered_(tiered),
       shards_(num_threads < 1 ? 1 : num_threads),
       pool_(std::move(pool)) {
   if (pool_ == nullptr) {
@@ -83,12 +87,17 @@ void ShardedStreamIndex::ProcessArrival(const StreamItem& x,
       if (it != shard.lists.end()) {
         // Same truncation the sequential backward scan performs: drop the
         // time-sorted expired run at the front of every touched list,
-        // located by binary search on the ts column.
+        // located by binary search on the ts column. NoteScanned here —
+        // not in the phase-1 lookup — because phase 1 reads lists across
+        // shards and the classifier counter is not synchronized.
         PostingList& list = it->second;
+        list.NoteScanned(stats_.vectors_processed);
         shard.pruned += list.TruncateFront(list.LowerBoundTs(cutoff));
       }
       if (i >= split.first_indexed) {
-        shard.lists[c.dim].Append(x.id, c.value, prefix_norms_[i], x.ts);
+        PostingList& list = shard.lists[c.dim];
+        list.Append(x.id, c.value, prefix_norms_[i], x.ts);
+        list.MaybeFreeze(tiered_, stats_.vectors_processed);
         ++shard.appended;
       }
     }
@@ -126,9 +135,7 @@ void ShardedStreamIndex::Clear() {
 size_t ShardedStreamIndex::MemoryBytes() const {
   size_t bytes = residuals_.ApproxBytes();
   for (const Shard& shard : shards_) {
-    for (const auto& [dim, list] : shard.lists) {
-      bytes += sizeof(DimId) + list.capacity_bytes();
-    }
+    bytes += PostingMapMemoryBytes(shard.lists);
   }
   return bytes;
 }

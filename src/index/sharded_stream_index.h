@@ -49,9 +49,15 @@ class ShardedStreamIndex : public StreamIndex {
   // shard owns its own kernel scratch, and the kernels are element-wise,
   // so the SIMD output is identical for every shard count (same
   // per-candidate accumulation argument as the scalar path).
+  // `tiered` enables the frozen-block cold tier. Freezing (and every other
+  // list mutation) happens only in phase 2 by the shard that owns the
+  // list's dim; phase-1 cross-shard scans see either the pre-freeze or the
+  // post-freeze state of a barrier-separated arrival, never a block under
+  // construction, so the sharing stays TSan-clean.
   explicit ShardedStreamIndex(const DecayParams& params, size_t num_threads,
                               const L2IndexOptions& options = {},
-                              bool use_simd = false);
+                              bool use_simd = false,
+                              const TieredStorageOptions& tiered = {});
 
   // Same, but runs the two per-arrival barriers on an injected pool shared
   // with other indexes (JoinService: one pool per service, not one per
@@ -63,7 +69,8 @@ class ShardedStreamIndex : public StreamIndex {
   ShardedStreamIndex(const DecayParams& params, size_t num_threads,
                      std::shared_ptr<ThreadPool> pool,
                      const L2IndexOptions& options = {},
-                     bool use_simd = false);
+                     bool use_simd = false,
+                     const TieredStorageOptions& tiered = {});
 
   void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
   void Clear() override;
@@ -88,6 +95,7 @@ class ShardedStreamIndex : public StreamIndex {
 
   DecayParams params_;
   L2IndexOptions options_;
+  TieredStorageOptions tiered_;
   std::vector<Shard> shards_;
   ResidualStore residuals_;  // shared; written only by the coordinator
   std::vector<double> prefix_norms_;  // scratch; read-only during phases

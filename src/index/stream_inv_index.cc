@@ -19,11 +19,10 @@ void StreamInvIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
     auto it = lists_.find(c.dim);
     if (it == lists_.end()) continue;
     PostingList& list = it->second;
+    list.NoteScanned(stats_.vectors_processed);  // scan-rate classifier
     NotePruned(list.TruncateFront(list.LowerBoundTs(cutoff)));
-    PostingSpan spans[2];
-    const size_t nspans = list.Spans(0, list.size(), spans);
-    for (size_t si = nspans; si-- > 0;) {  // newest span first
-      const PostingSpan& sp = spans[si];
+    list.ForSpansNewestFirst(0, list.size(), &posting_,
+                             [&](const PostingSpan& sp) {
       // INV accumulates every entry, so the value column is dense either
       // way; the SIMD path batches the products (bit-identical to the
       // per-entry multiply) and the per-entry loop keeps only the map.
@@ -43,7 +42,7 @@ void StreamInvIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
         }
         slot->score += contrib != nullptr ? contrib[k] : c.value * sp.value[k];
       }
-    }
+    });
   }
 
   // Verification: the accumulated score is the exact dot product.
@@ -66,7 +65,9 @@ void StreamInvIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
 
   // Index construction: append everything (no prefix filtering).
   for (const Coord& c : x.vec) {
-    lists_[c.dim].Append(x.id, c.value, 0.0, x.ts);
+    PostingList& list = lists_[c.dim];
+    list.Append(x.id, c.value, 0.0, x.ts);
+    list.MaybeFreeze(tiered_, stats_.vectors_processed);
   }
   NoteIndexed(x.vec.nnz());
 }

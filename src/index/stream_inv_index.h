@@ -20,28 +20,29 @@ class StreamInvIndex : public StreamIndex {
  public:
   // `use_simd` batches the per-entry contribution products through
   // kernels::ProductColumn — bit-identical output (lane-wise IEEE
-  // multiply), so INV behaves the same on both kernel paths.
-  explicit StreamInvIndex(const DecayParams& params, bool use_simd = false)
-      : params_(params), use_simd_(use_simd) {}
+  // multiply), so INV behaves the same on both kernel paths. `tiered`
+  // enables the frozen-block cold tier (INV lists freeze especially
+  // small: the all-zero prefix_norm column is elided per block).
+  explicit StreamInvIndex(const DecayParams& params, bool use_simd = false,
+                          const TieredStorageOptions& tiered = {})
+      : params_(params), use_simd_(use_simd), tiered_(tiered) {}
 
   void ProcessArrival(const StreamItem& x, ResultSink* sink) override;
   void Clear() override;
   const char* name() const override { return "INV"; }
   size_t live_posting_entries() const override { return live_entries_; }
   size_t MemoryBytes() const override {
-    size_t bytes = 0;
-    for (const auto& [dim, list] : lists_) {
-      bytes += sizeof(DimId) + list.capacity_bytes();
-    }
-    return bytes;
+    return PostingMapMemoryBytes(lists_);
   }
 
  private:
   DecayParams params_;
   bool use_simd_;
+  TieredStorageOptions tiered_;
   std::unordered_map<DimId, PostingList> lists_;
   CandidateMap cands_;
   std::vector<double> contrib_;  // kernel scratch (SIMD path only)
+  FrozenColumns posting_;        // frozen-block decode scratch
 };
 
 }  // namespace sssj

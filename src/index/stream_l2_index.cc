@@ -72,7 +72,9 @@ void StreamL2Index::ProcessArrival(const StreamItem& x, ResultSink* sink) {
       x, params_, options_, prefix_norms_, cutoff,
       [this](DimId dim) -> PostingList* {
         auto it = lists_.find(dim);
-        return it == lists_.end() ? nullptr : &it->second;
+        if (it == lists_.end()) return nullptr;
+        it->second.NoteScanned(stats_.vectors_processed);  // scan-rate classifier
+        return &it->second;
       },
       [](VectorId) { return true; },
       [this](PostingList& list, size_t n) {
@@ -92,7 +94,9 @@ void StreamL2Index::ProcessArrival(const StreamItem& x, ResultSink* sink) {
     residuals_.Insert(x.id, L2MakeResidualRecord(x, split));
     for (size_t i = split.first_indexed; i < n; ++i) {
       const Coord& c = v.coord(i);
-      lists_[c.dim].Append(x.id, c.value, prefix_norms_[i], x.ts);
+      PostingList& list = lists_[c.dim];
+      list.Append(x.id, c.value, prefix_norms_[i], x.ts);
+      list.MaybeFreeze(tiered_, stats_.vectors_processed);
     }
     NoteIndexed(n - split.first_indexed);
   }
@@ -114,30 +118,39 @@ bool StreamL2Index::Serialize(std::ostream& os) const {
   PutRaw(os, static_cast<uint64_t>(live_entries_));
 
   PutRaw(os, static_cast<uint64_t>(lists_.size()));
+  // Column staging: frozen blocks must be decompressed before writing, so
+  // the columns are materialized per list and written whole. The on-disk
+  // record stays exact fp64 regardless of the in-memory value tier (a
+  // quantized list serializes its already-quantized values), keeping the
+  // SSSJCKP2 format unchanged.
+  FrozenColumns scratch;
+  std::vector<VectorId> ids;
+  std::vector<double> values;
+  std::vector<double> prefix_norms;
+  std::vector<Timestamp> tss;
   for (const auto& [dim, list] : lists_) {
     PutRaw(os, dim);
     const size_t len = list.size();
     PutRaw(os, static_cast<uint64_t>(len));
-    // Column-major record: whole columns written as ≤2 contiguous runs
-    // each, straight from the circular storage.
-    PostingSpan spans[2];
-    const size_t n = list.Spans(0, len, spans);
-    for (size_t s = 0; s < n; ++s) {
-      os.write(reinterpret_cast<const char*>(spans[s].id),
-               static_cast<std::streamsize>(spans[s].len * sizeof(VectorId)));
-    }
-    for (size_t s = 0; s < n; ++s) {
-      os.write(reinterpret_cast<const char*>(spans[s].value),
-               static_cast<std::streamsize>(spans[s].len * sizeof(double)));
-    }
-    for (size_t s = 0; s < n; ++s) {
-      os.write(reinterpret_cast<const char*>(spans[s].prefix_norm),
-               static_cast<std::streamsize>(spans[s].len * sizeof(double)));
-    }
-    for (size_t s = 0; s < n; ++s) {
-      os.write(reinterpret_cast<const char*>(spans[s].ts),
-               static_cast<std::streamsize>(spans[s].len * sizeof(Timestamp)));
-    }
+    ids.clear();
+    values.clear();
+    prefix_norms.clear();
+    tss.clear();
+    list.ForSpansOldestFirst(0, len, &scratch, [&](const PostingSpan& sp) {
+      ids.insert(ids.end(), sp.id, sp.id + sp.len);
+      values.insert(values.end(), sp.value, sp.value + sp.len);
+      prefix_norms.insert(prefix_norms.end(), sp.prefix_norm,
+                          sp.prefix_norm + sp.len);
+      tss.insert(tss.end(), sp.ts, sp.ts + sp.len);
+    });
+    os.write(reinterpret_cast<const char*>(ids.data()),
+             static_cast<std::streamsize>(len * sizeof(VectorId)));
+    os.write(reinterpret_cast<const char*>(values.data()),
+             static_cast<std::streamsize>(len * sizeof(double)));
+    os.write(reinterpret_cast<const char*>(prefix_norms.data()),
+             static_cast<std::streamsize>(len * sizeof(double)));
+    os.write(reinterpret_cast<const char*>(tss.data()),
+             static_cast<std::streamsize>(len * sizeof(Timestamp)));
   }
 
   PutRaw(os, static_cast<uint64_t>(residuals_.size()));
@@ -236,6 +249,7 @@ bool StreamL2Index::Deserialize(std::istream& is, std::string* error) {
     PostingList& list = lists_[dim];
     for (size_t i = 0; i < n; ++i) {
       list.Append(ids[i], values[i], prefix_norms[i], tss[i]);
+      list.MaybeFreeze(tiered_);
     }
   }
 

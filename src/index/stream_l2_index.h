@@ -32,11 +32,14 @@ class StreamL2Index : public StreamIndex {
  public:
   // `use_simd` selects the vectorized scoring kernels (index/kernels.h)
   // for the generate-phase decay column and the verification dots; false
-  // (default) keeps the bit-exact scalar reference path.
+  // (default) keeps the bit-exact scalar reference path. `tiered`
+  // enables the frozen-block cold tier under every posting list; with
+  // the exact value tier (default) it never changes output.
   explicit StreamL2Index(const DecayParams& params,
                          const L2IndexOptions& options = {},
-                         bool use_simd = false)
-      : params_(params), options_(options) {
+                         bool use_simd = false,
+                         const TieredStorageOptions& tiered = {})
+      : params_(params), options_(options), tiered_(tiered) {
     kernel_.use_simd = use_simd;
   }
 
@@ -52,11 +55,7 @@ class StreamL2Index : public StreamIndex {
   const char* name() const override { return "L2"; }
   size_t live_posting_entries() const override { return live_entries_; }
   size_t MemoryBytes() const override {
-    size_t bytes = residuals_.ApproxBytes();
-    for (const auto& [dim, list] : lists_) {
-      bytes += sizeof(DimId) + list.capacity_bytes();
-    }
-    return bytes;
+    return residuals_.ApproxBytes() + PostingMapMemoryBytes(lists_);
   }
 
   size_t residual_count() const { return residuals_.size(); }
@@ -80,7 +79,8 @@ class StreamL2Index : public StreamIndex {
  private:
   DecayParams params_;
   L2IndexOptions options_;
-  L2KernelState kernel_;  // kernel selection + decay scratch
+  TieredStorageOptions tiered_;
+  L2KernelState kernel_;  // kernel selection + decay + thaw scratch
   std::unordered_map<DimId, PostingList> lists_;
   ResidualStore residuals_;
   CandidateMap cands_;

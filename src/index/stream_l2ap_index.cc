@@ -39,13 +39,14 @@ void StreamL2apIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
     auto it = lists_.find(c.dim);
     if (it != lists_.end()) {
       PostingList& list = it->second;
+      list.NoteScanned(stats_.vectors_processed);  // scan-rate classifier
       // Lists are not time-sorted (re-indexing): compact expired entries
-      // column-wise, then scan forward over raw column pointers (§6.2).
-      NotePruned(list.CompactExpired(cutoff));
-      PostingSpan spans[2];
-      const size_t nspans = list.Spans(0, list.size(), spans);
-      for (size_t si = 0; si < nspans; ++si) {  // oldest span first
-        const PostingSpan& sp = spans[si];
+      // column-wise, then scan forward — hot-tail segments directly,
+      // frozen blocks thawed one at a time into the kernel scratch
+      // (§6.2).
+      NotePruned(list.CompactExpired(cutoff, &kernel_.posting));
+      list.ForSpansOldestFirst(0, list.size(), &kernel_.posting,
+                               [&](const PostingSpan& sp) {
         // SIMD path: one vectorized exp pass over the span's ts column;
         // scalar path keeps the per-entry std::exp.
         const double* decay_col =
@@ -83,7 +84,7 @@ void StreamL2apIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
             }
           }
         }
-      }
+      });
     }
     rs1 -= c.value * mhat_.Get(c.dim, x.ts);
     rst -= c.value * c.value;
@@ -157,7 +158,9 @@ void StreamL2apIndex::ProcessArrival(const StreamItem& x, ResultSink* sink) {
         residuals_.Insert(x.id, std::move(rec));
         first_indexed = false;
       }
-      lists_[c.dim].Append(x.id, c.value, prefix_norms_[i], x.ts);
+      PostingList& list = lists_[c.dim];
+      list.Append(x.id, c.value, prefix_norms_[i], x.ts);
+      list.MaybeFreeze(tiered_, stats_.vectors_processed);
       ++appended;
     }
   }
@@ -228,7 +231,9 @@ bool StreamL2apIndex::ReindexOne(VectorId id, ResidualRecord* rec) {
     const Coord& c = prefix.coord(i);
     // No m̂λ update needed: all of this vector's coordinates were folded
     // into m̂λ when it first arrived.
-    lists_[c.dim].Append(id, c.value, std::sqrt(sq), rec->ts);
+    PostingList& list = lists_[c.dim];
+    list.Append(id, c.value, std::sqrt(sq), rec->ts);
+    list.MaybeFreeze(tiered_, stats_.vectors_processed);
     sq += c.value * c.value;
     ++appended;
     ++stats_.reindexed_coords;

@@ -56,12 +56,17 @@ class StreamL2apIndex : public StreamIndex {
   // preliminary finding.
   // `use_simd` selects the vectorized scoring kernels for the forward
   // scan's decay column and the verification dots (index/kernels.h).
+  // `tiered` enables the frozen-block cold tier; L2AP's forward
+  // compaction re-freezes straddling blocks instead of assuming time
+  // order.
   explicit StreamL2apIndex(const DecayParams& params,
                            double ic_theta_slack = 0.0,
-                           bool use_l2_bounds = true, bool use_simd = false)
+                           bool use_l2_bounds = true, bool use_simd = false,
+                           const TieredStorageOptions& tiered = {})
       : params_(params),
         ic_theta_(params.theta * (1.0 - ic_theta_slack)),
         use_l2_bounds_(use_l2_bounds),
+        tiered_(tiered),
         residuals_(/*track_prefix_dims=*/true),
         mhat_(params.lambda) {
     kernel_.use_simd = use_simd;
@@ -72,11 +77,7 @@ class StreamL2apIndex : public StreamIndex {
   const char* name() const override { return use_l2_bounds_ ? "L2AP" : "AP"; }
   size_t live_posting_entries() const override { return live_entries_; }
   size_t MemoryBytes() const override {
-    size_t bytes = residuals_.ApproxBytes();
-    for (const auto& [dim, list] : lists_) {
-      bytes += sizeof(DimId) + list.capacity_bytes();
-    }
-    return bytes;
+    return residuals_.ApproxBytes() + PostingMapMemoryBytes(lists_);
   }
 
   size_t residual_count() const { return residuals_.size(); }
@@ -91,7 +92,8 @@ class StreamL2apIndex : public StreamIndex {
   DecayParams params_;
   double ic_theta_;  // index-construction threshold (≤ params_.theta)
   bool use_l2_bounds_;
-  L2KernelState kernel_;  // kernel selection + decay scratch
+  TieredStorageOptions tiered_;
+  L2KernelState kernel_;  // kernel selection + decay + thaw scratch
   std::unordered_map<DimId, PostingList> lists_;
   ResidualStore residuals_;
   MaxVector m_;

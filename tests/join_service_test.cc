@@ -82,7 +82,9 @@ TEST(JoinServiceTest, ConcurrentSessionsMatchStandaloneEnginesBitwise) {
   }
 
   // Service run: one shared pool, one thread per session.
-  JoinService service({/*num_threads=*/4});
+  JoinServiceOptions service_options;
+  service_options.num_threads = 4;
+  JoinService service(service_options);
   std::vector<CollectorSink> sinks(kSessions);
   std::vector<JoinService::SessionHandle> handles(kSessions);
   for (size_t i = 0; i < kSessions; ++i) {
@@ -324,7 +326,9 @@ TEST(JoinServiceTest, StatsAggregateAndSortByName) {
 // Churn under concurrency: sessions created, pushed, and closed from many
 // threads at once must neither crash nor corrupt the registry (TSan).
 TEST(JoinServiceTest, ConcurrentCreatePushCloseChurn) {
-  JoinService service({/*num_threads=*/2});
+  JoinServiceOptions service_options;
+  service_options.num_threads = 2;
+  JoinService service(service_options);
   constexpr int kThreads = 6;
   constexpr int kRounds = 12;
   std::vector<std::thread> threads;

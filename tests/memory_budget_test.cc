@@ -1,0 +1,221 @@
+// JoinService-wide memory budget: freeze + evict-to-checkpoint keeps N
+// sessions running under a cap, per-session output stays identical to an
+// unbudgeted run, and an unmeetable budget degrades to kResourceExhausted
+// instead of unbounded growth.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/join_service.h"
+#include "tests/test_util.h"
+
+namespace sssj {
+namespace {
+
+using ::sssj::testing::RandomStream;
+using ::sssj::testing::RandomStreamSpec;
+
+EngineConfig BudgetedEngineConfig() {
+  EngineConfig cfg;
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kL2;
+  cfg.theta = 0.6;
+  cfg.lambda = 0.001;  // long horizon → the index actually grows
+  cfg.tiered.enabled = true;
+  cfg.tiered.block_entries = 16;
+  cfg.tiered.hot_tail_entries = 32;
+  cfg.tiered.dormant_tail_entries = 8;
+  cfg.tiered.dormant_after_appends = 4;
+  return cfg;
+}
+
+Stream SessionStream(uint64_t seed) {
+  RandomStreamSpec spec;
+  spec.n = 250;
+  spec.dims = 25;
+  spec.min_nnz = 2;
+  spec.max_nnz = 6;
+  spec.max_gap = 0.4;
+  spec.seed = seed;
+  return RandomStream(spec);
+}
+
+TEST(MemoryBudgetTest, SessionsKeepRunningUnderTightBudgetViaEviction) {
+  constexpr int kSessions = 4;
+  std::vector<Stream> streams;
+  for (int s = 0; s < kSessions; ++s) {
+    streams.push_back(SessionStream(1000 + s));
+  }
+
+  // Reference: unbudgeted standalone runs.
+  std::vector<std::vector<ResultPair>> expected;
+  size_t max_engine_bytes = 0;
+  for (int s = 0; s < kSessions; ++s) {
+    CollectorSink sink;
+    auto engine = SssjEngine::Make(BudgetedEngineConfig(), &sink);
+    ASSERT_TRUE(engine.ok());
+    for (const StreamItem& item : streams[s]) {
+      ASSERT_TRUE((*engine)->Push(item.ts, item.vec).ok());
+    }
+    max_engine_bytes = std::max(max_engine_bytes, (*engine)->MemoryBytes());
+    expected.push_back(sink.pairs());
+  }
+
+  // Budget fits roughly two full sessions — far less than all four — so
+  // the service must evict dormant sessions to checkpoint files to stay
+  // under it. Pushing in long per-session runs makes the other sessions
+  // dormant (no recent activity) and therefore evictable.
+  JoinServiceOptions options;
+  options.memory_budget_bytes = 2 * max_engine_bytes + (64u << 10);
+  options.spill_dir = ::testing::TempDir();
+  JoinService service(options);
+
+  std::vector<CollectorSink> sinks(kSessions);
+  std::vector<JoinService::SessionHandle> handles(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    auto handle = service.CreateSession(
+        {"tenant-" + std::to_string(s), BudgetedEngineConfig(), &sinks[s]});
+    ASSERT_TRUE(handle.ok()) << handle.status().message();
+    handles[s] = *handle;
+  }
+  // Interleave in chunks: every session repeatedly goes dormant while the
+  // others push, then is reloaded transparently by its next chunk.
+  constexpr size_t kChunk = 50;
+  for (size_t base = 0; base < streams[0].size(); base += kChunk) {
+    for (int s = 0; s < kSessions; ++s) {
+      const size_t end = std::min(base + kChunk, streams[s].size());
+      for (size_t i = base; i < end; ++i) {
+        const Status status =
+            service.Push(handles[s], streams[s][i].ts, streams[s][i].vec);
+        ASSERT_TRUE(status.ok())
+            << "session " << s << " item " << i << ": " << status.message();
+      }
+    }
+  }
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_GT(stats.sessions_evicted, 0u);  // the budget actually bit
+  EXPECT_GT(stats.session_reloads, 0u);   // and sessions came back
+  EXPECT_EQ(stats.budget_rejections, 0u);
+
+  // Eviction/reload must be invisible in the output.
+  for (int s = 0; s < kSessions; ++s) {
+    const std::vector<ResultPair>& got = sinks[s].pairs();
+    ASSERT_EQ(got.size(), expected[s].size()) << "session " << s;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].a, expected[s][i].a);
+      EXPECT_EQ(got[i].b, expected[s][i].b);
+      EXPECT_EQ(got[i].dot, expected[s][i].dot);
+      EXPECT_EQ(got[i].sim, expected[s][i].sim);
+    }
+    EXPECT_TRUE(service.CloseSession(handles[s]).ok());
+  }
+}
+
+TEST(MemoryBudgetTest, UnmeetableBudgetReturnsResourceExhausted) {
+  // One session, no spill dir: nothing is evictable, so once the engine
+  // outgrows the (tiny) budget every further push must be refused with
+  // kResourceExhausted — deterministic backpressure, not an OOM.
+  JoinServiceOptions options;
+  options.memory_budget_bytes = 20u << 10;  // 20 KiB: a few dozen postings
+  JoinService service(options);
+  CollectorSink sink;
+  auto handle =
+      service.CreateSession({"crowded", BudgetedEngineConfig(), &sink});
+  ASSERT_TRUE(handle.ok());
+
+  const Stream stream = SessionStream(42);
+  bool exhausted = false;
+  for (const StreamItem& item : stream) {
+    const Status status = service.Push(*handle, item.ts, item.vec);
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+          << status.message();
+      exhausted = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(exhausted);
+  EXPECT_GT(service.Stats().budget_rejections, 0u);
+  // The session is still alive and closable — refusal is not corruption.
+  EXPECT_TRUE(service.CloseSession(*handle).ok());
+}
+
+TEST(MemoryBudgetTest, NonEvictableSessionsCountButSurvive) {
+  // An MB session can never be evicted (no checkpoint support); with a
+  // budget it still runs until the cap is hit, and an evictable STR-L2
+  // session beside it is the one that gets spilled.
+  JoinServiceOptions options;
+  options.memory_budget_bytes = 4u << 20;  // roomy: nothing should trip
+  options.spill_dir = ::testing::TempDir();
+  JoinService service(options);
+
+  EngineConfig mb = BudgetedEngineConfig();
+  mb.framework = Framework::kMiniBatch;
+  CollectorSink mb_sink, str_sink;
+  auto mbh = service.CreateSession({"mb", mb, &mb_sink});
+  auto strh =
+      service.CreateSession({"str", BudgetedEngineConfig(), &str_sink});
+  ASSERT_TRUE(mbh.ok());
+  ASSERT_TRUE(strh.ok());
+  const Stream stream = SessionStream(7);
+  for (const StreamItem& item : stream) {
+    ASSERT_TRUE(service.Push(*mbh, item.ts, item.vec).ok());
+    ASSERT_TRUE(service.Push(*strh, item.ts, item.vec).ok());
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.budget_rejections, 0u);
+  EXPECT_EQ(stats.num_sessions, 2u);
+  EXPECT_TRUE(service.CloseSession(*mbh).ok());
+  EXPECT_TRUE(service.CloseSession(*strh).ok());
+}
+
+TEST(MemoryBudgetTest, SaveCheckpointOnEvictedSessionReloadsFirst) {
+  // Force an eviction, then SaveCheckpoint the evicted session: the file
+  // must contain the real state, not the empty stand-in engine.
+  const Stream stream = SessionStream(11);
+
+  // Size the budget so one fully grown session fits but two do not.
+  size_t one_session_bytes = 0;
+  {
+    CollectorSink probe_sink;
+    auto probe = SssjEngine::Make(BudgetedEngineConfig(), &probe_sink);
+    ASSERT_TRUE(probe.ok());
+    for (const StreamItem& item : stream) {
+      ASSERT_TRUE((*probe)->Push(item.ts, item.vec).ok());
+    }
+    one_session_bytes = (*probe)->MemoryBytes();
+  }
+
+  JoinServiceOptions options;
+  options.memory_budget_bytes = one_session_bytes + (one_session_bytes / 2);
+  options.spill_dir = ::testing::TempDir();
+  JoinService service(options);
+  CollectorSink sink_a, sink_b;
+  auto a = service.CreateSession({"a", BudgetedEngineConfig(), &sink_a});
+  auto b = service.CreateSession({"b", BudgetedEngineConfig(), &sink_b});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const StreamItem& item : stream) {
+    ASSERT_TRUE(service.Push(*a, item.ts, item.vec).ok());
+  }
+  // Growing session b forces dormant session a out.
+  for (const StreamItem& item : stream) {
+    ASSERT_TRUE(service.Push(*b, item.ts, item.vec).ok());
+  }
+  ASSERT_GT(service.Stats().sessions_evicted, 0u);
+
+  const std::string path = ::testing::TempDir() + "evicted_save.ckpt";
+  ASSERT_TRUE(service.SaveCheckpoint(*a, path).ok());
+  // Restoring that checkpoint standalone yields session a's full state.
+  CollectorSink probe_sink;
+  auto probe = SssjEngine::Make(BudgetedEngineConfig(), &probe_sink);
+  ASSERT_TRUE(probe.ok());
+  ASSERT_TRUE((*probe)->LoadCheckpoint(path).ok());
+  EXPECT_EQ((*probe)->next_id(), stream.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sssj

@@ -2,6 +2,9 @@
 // that STR fails by memory while MB fails by time (§7).
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
+#include "index/posting_list.h"
 #include "index/stream_inv_index.h"
 #include "index/stream_l2_index.h"
 #include "index/stream_l2ap_index.h"
@@ -87,6 +90,88 @@ TEST(MemoryTest, PeakEntriesTrackedAcrossPruning) {
   }
   EXPECT_LT(index.live_posting_entries(), 10u);
   EXPECT_EQ(index.stats().peak_index_entries, peak);  // peak is sticky
+}
+
+// ---- accounting pins: MemoryBytes must not undercount ----
+
+TEST(MemoryTest, PostingListCountsAllocatedCapacityNotJustSize) {
+  // The circular buffer grows by doubling, so after one append the
+  // allocation is far larger than the payload. Reporting payload only
+  // (the old bug) hides most of the resident footprint.
+  PostingList list;
+  list.Append(1, 0.5, 1.0, 0.0);
+  const size_t one_entry_payload =
+      sizeof(VectorId) + 2 * sizeof(double) + sizeof(Timestamp);
+  EXPECT_GE(list.capacity_bytes(), one_entry_payload);
+  // memory_bytes = allocated columns + per-list bookkeeping, so it must
+  // strictly exceed the raw allocation.
+  EXPECT_GT(list.memory_bytes(), list.capacity_bytes());
+  EXPECT_GE(list.memory_bytes(), sizeof(PostingList));
+}
+
+TEST(MemoryTest, PostingMapCountsNodeAndBucketOverhead) {
+  // An unordered_map of 200 near-empty lists costs far more than the sum
+  // of the lists alone: each node carries the key, hash link, and heap
+  // header, and the bucket array is resident too.
+  std::unordered_map<DimId, PostingList> map;
+  size_t lists_only = 0;
+  for (DimId d = 0; d < 200; ++d) {
+    map[d].Append(d, 1.0, 1.0, 0.0);
+  }
+  for (const auto& [dim, list] : map) lists_only += list.memory_bytes();
+  const size_t total = PostingMapMemoryBytes(map);
+  EXPECT_GT(total, lists_only);
+  // At minimum: one pointer per bucket plus a node header per entry.
+  EXPECT_GE(total - lists_only,
+            map.bucket_count() * sizeof(void*) + map.size() * 2 * sizeof(void*));
+}
+
+TEST(MemoryTest, FrozenColdListUsesFarLessMemoryThanFlat) {
+  // A long dormant list (appends, never scanned) should compress its cold
+  // prefix: delta+varint ids/ts shrink regular streams by well over 2x
+  // versus the flat SoA columns.
+  TieredStorageOptions tiered;
+  tiered.enabled = true;
+  tiered.block_entries = 128;
+  tiered.hot_tail_entries = 256;
+  tiered.dormant_tail_entries = 32;
+  tiered.dormant_after_appends = 8;
+
+  PostingList flat;
+  PostingList cold;
+  for (uint64_t i = 0; i < 8192; ++i) {
+    const double ts = static_cast<double>(i) * 0.25;
+    flat.Append(i, 0.5, 1.0, ts);
+    cold.Append(i, 0.5, 1.0, ts);
+    cold.MaybeFreeze(tiered);
+  }
+  ASSERT_GT(cold.frozen_blocks(), 0u);
+  EXPECT_EQ(cold.size(), flat.size());
+  EXPECT_GE(flat.memory_bytes(), 2 * cold.memory_bytes())
+      << "flat=" << flat.memory_bytes() << " cold=" << cold.memory_bytes();
+}
+
+TEST(MemoryTest, TieredEngineIndexReportsSmallerFootprintOnColdStream) {
+  // End-to-end version of the pin above: same stream, same scheme, long
+  // horizon — the tiered index must report materially fewer bytes.
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.0001, &params));
+  TieredStorageOptions tiered;
+  tiered.enabled = true;
+  tiered.block_entries = 64;
+  tiered.hot_tail_entries = 128;
+  tiered.dormant_tail_entries = 16;
+  tiered.dormant_after_appends = 4;
+  StreamInvIndex flat(params);
+  StreamInvIndex cold(params, /*use_simd=*/false, tiered);
+  CollectorSink sink;
+  for (int i = 0; i < 4000; ++i) {
+    SparseVector v = UnitVec({{static_cast<DimId>(i % 5), 1.0},
+                              {static_cast<DimId>(5 + i % 3), 1.0}});
+    flat.ProcessArrival(Item(i, i * 0.1, v), &sink);
+    cold.ProcessArrival(Item(i, i * 0.1, v), &sink);
+  }
+  EXPECT_LT(cold.MemoryBytes(), flat.MemoryBytes());
 }
 
 }  // namespace

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare the key schema of a freshly emitted bench JSON against its
+committed baseline.
+
+CI's bench-smoke leg re-runs each --json-out bench at a small scale and
+pipes both files through this script. Values are expected to differ
+(different scale, different machine); what must NOT drift silently is
+the *shape* — a renamed or dropped key breaks every dashboard and
+regression script consuming the baselines. Exit 0 when the key sets
+match, 1 with a listing of missing/extra key paths otherwise.
+
+Key paths are collected recursively: dict values descend by key, list
+elements are unioned under a `[]` segment (rows of one table may
+legitimately carry different optional keys — e.g. only tiered rows have
+bytes_reduction_vs_flat — so the union over rows is compared, and a key
+present in any baseline row must appear in some emitted row).
+
+Usage: diff_bench_keys.py <baseline.json> <emitted.json>
+"""
+import json
+import sys
+
+
+def key_paths(node, prefix=""):
+    paths = set()
+    if isinstance(node, dict):
+        for k, v in node.items():
+            p = f"{prefix}.{k}" if prefix else k
+            paths.add(p)
+            paths |= key_paths(v, p)
+    elif isinstance(node, list):
+        p = f"{prefix}[]"
+        for elt in node:
+            paths |= key_paths(elt, p)
+    return paths
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    with open(argv[2]) as f:
+        emitted = json.load(f)
+    base_keys = key_paths(baseline)
+    new_keys = key_paths(emitted)
+    missing = sorted(base_keys - new_keys)
+    extra = sorted(new_keys - base_keys)
+    if missing:
+        print(f"{argv[2]}: missing keys vs {argv[1]}:")
+        for p in missing:
+            print(f"  - {p}")
+    if extra:
+        print(f"{argv[2]}: keys absent from baseline {argv[1]}:")
+        for p in extra:
+            print(f"  + {p}")
+    if missing or extra:
+        print("bench JSON schema drifted: update the committed baseline "
+              "in the same change that renames/adds keys.")
+        return 1
+    print(f"{argv[2]}: schema matches {argv[1]} ({len(base_keys)} key paths)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
