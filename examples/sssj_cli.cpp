@@ -65,6 +65,15 @@
 //                        the mutable columns bit for bit; bf16/f16
 //                        halve the frozen value bytes at quantized
 //                        score precision (see ARCHITECTURE.md)
+//   --checkpoint-in=<path>
+//                        restore engine state from a checkpoint before
+//                        pushing the stream (STR-L2, single-threaded).
+//                        A corrupt, truncated, or mismatched file exits
+//                        with status 2 and a message naming what was
+//                        wrong — it never runs the join on partial state
+//   --checkpoint-out=<path>
+//                        save a checkpoint of the final engine state
+//                        after the run (same restrictions)
 //   --memory-budget=<bytes>
 //                        run the join as a JoinService session with a
 //                        service-wide memory cap: pushes that would run
@@ -97,7 +106,7 @@ int main(int argc, char** argv) {
       {"input", "format", "framework", "index", "theta", "lambda", "kernel",
        "threads", "output", "quiet", "min-dot", "top-k", "memory", "async",
        "queue-capacity", "epoch-items", "submit", "tiered", "value-tier",
-       "memory-budget"});
+       "memory-budget", "checkpoint-in", "checkpoint-out"});
   const std::string input = flags.GetString("input", "");
   if (input.empty()) {
     std::fprintf(stderr, "--input is required (see header of this file)\n");
@@ -185,6 +194,22 @@ int main(int argc, char** argv) {
   const size_t memory_budget = static_cast<size_t>(budget_raw);
   if (memory_budget > 0 && async) {
     std::fprintf(stderr, "--memory-budget is incompatible with --async\n");
+    return 2;
+  }
+  // Same silent-fallback guard as --kernel: a bare `--checkpoint-in` must
+  // not quietly run without restoring anything.
+  const std::string checkpoint_in = flags.GetString("checkpoint-in", "");
+  const std::string checkpoint_out = flags.GetString("checkpoint-out", "");
+  if ((flags.Has("checkpoint-in") && checkpoint_in.empty()) ||
+      (flags.Has("checkpoint-out") && checkpoint_out.empty())) {
+    std::fprintf(stderr, "--checkpoint-in/--checkpoint-out need a path\n");
+    return 2;
+  }
+  if ((!checkpoint_in.empty() || !checkpoint_out.empty()) &&
+      memory_budget > 0) {
+    std::fprintf(stderr,
+                 "--checkpoint-in/--checkpoint-out are incompatible with "
+                 "--memory-budget (checkpoints address the engine directly)\n");
     return 2;
   }
 
@@ -291,6 +316,20 @@ int main(int argc, char** argv) {
     engine = *std::move(engine_or);
   }
 
+  if (!checkpoint_in.empty()) {
+    // A bad checkpoint must stop the run outright: LoadCheckpoint swaps
+    // state in only on success, so there is no partial restore to limp
+    // along on — but pushing the stream into a fresh engine while the
+    // user believes state was restored would silently produce the wrong
+    // join. Status already names the file, offset, and defect.
+    const sssj::Status st = engine->LoadCheckpoint(checkpoint_in);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot restore --checkpoint-in: %s\n",
+                   st.ToString().c_str());
+      return 2;
+    }
+  }
+
   sssj::Timer timer;
   size_t accepted = 0;
   uint64_t budget_refused = 0;
@@ -339,6 +378,15 @@ int main(int argc, char** argv) {
     }
   }
   const double secs = timer.ElapsedSeconds();
+
+  if (!checkpoint_out.empty()) {
+    const sssj::Status st = engine->SaveCheckpoint(checkpoint_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot write --checkpoint-out: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
 
   sssj::RunStats s;
   double tau = 0.0;

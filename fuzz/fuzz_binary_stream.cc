@@ -1,0 +1,40 @@
+// Fuzz target for the binary stream reader (data/io.h): the SSSJBIN1
+// format with its attacker-controlled declared counts (u64 item count,
+// u32 per-item nnz). Invariants: arbitrary bytes never crash, over-read
+// (ASan), or balloon memory off a hostile declared count (reservations
+// are capped; allocation is driven by bytes actually present); a kOk
+// result implies the same postconditions the text reader guarantees.
+#undef NDEBUG
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "data/io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  for (const bool ordered : {true, false}) {
+    std::istringstream is(bytes);
+    sssj::Stream stream;
+    sssj::ReadOptions opts;
+    opts.require_ordered = ordered;
+    const sssj::Status st = sssj::ReadBinaryStream(is, &stream, opts);
+    if (!st.ok()) {
+      assert(!st.message().empty());
+      continue;
+    }
+    double prev_ts = -std::numeric_limits<double>::infinity();
+    for (const sssj::StreamItem& item : stream) {
+      assert(!item.vec.empty());
+      if (ordered) {
+        assert(item.ts >= prev_ts);
+        prev_ts = item.ts;
+      }
+    }
+  }
+  return 0;
+}

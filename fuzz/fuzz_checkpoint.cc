@@ -1,0 +1,61 @@
+// Fuzz target for the two checkpoint loaders — the most complex
+// untrusted-byte parsers in the codebase:
+//
+//   * StreamL2Index::Deserialize (SSSJCKP2 container: posting columns,
+//     residual store, per-list headers with declared lengths);
+//   * SssjEngine::LoadCheckpoint (SSSJENG2 envelope wrapping the above).
+//
+// Invariants: arbitrary bytes never crash, hang, or over-read (ASan);
+// a failed load reports an error and leaves the live engine fully
+// usable (swap-on-success — state must not be half-replaced).
+#undef NDEBUG
+#include <cassert>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "core/similarity.h"
+#include "index/stream_l2_index.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  // Bare index container.
+  {
+    sssj::DecayParams params;
+    const bool ok = sssj::DecayParams::Make(0.7, 0.01, &params);
+    assert(ok);
+    sssj::StreamL2Index index(params);
+    std::istringstream is(bytes);
+    std::string error;
+    if (!index.Deserialize(is, &error)) {
+      assert(!error.empty());  // every rejection names its reason
+    }
+  }
+
+  // Full engine envelope, then prove the engine survived a bad load.
+  {
+    sssj::EngineConfig cfg;
+    cfg.framework = sssj::Framework::kStreaming;
+    cfg.index = sssj::IndexScheme::kL2;
+    cfg.theta = 0.7;
+    cfg.lambda = 0.01;
+    auto engine = sssj::SssjEngine::Make(cfg);
+    assert(engine.ok());
+    std::istringstream is(bytes);
+    const sssj::Status st = (*engine)->LoadCheckpoint(is);
+    if (!st.ok()) {
+      assert(!st.message().empty());
+    }
+    // Loaded or rejected, the engine must still accept pushes: a failed
+    // load that corrupted live state would surface here (or under ASan).
+    const sssj::Status push = (*engine)->Push(
+        1e9, sssj::SparseVector::UnitFromCoords({{0, 0.6}, {1, 0.8}}));
+    // After a successful load the restored clock may legitimately sit
+    // past 1e9 (timestamp-regression reject); after a failed one the
+    // engine is untouched and the push must land.
+    if (!st.ok()) assert(push.ok());
+  }
+  return 0;
+}

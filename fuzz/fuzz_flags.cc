@@ -1,0 +1,63 @@
+// Fuzz target for util/flags.h: the strict numeric parse cores and the
+// command-line tokenizer. Only the non-exiting surface is driven — the
+// Get* convenience wrappers call exit(2) on malformed values by design,
+// which a fuzz target must not do. Invariants: no crashes on arbitrary
+// argv contents; a successful ParseFlagInt round-trips through
+// formatting; a successful ParseFlagDoubleList yields exactly
+// commas + 1 elements (nothing silently skipped).
+#undef NDEBUG
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+
+  // Parse cores on the raw input.
+  {
+    int64_t v = 0;
+    if (sssj::ParseFlagInt(input, &v)) {
+      int64_t again = 0;
+      const bool ok = sssj::ParseFlagInt(std::to_string(v), &again);
+      assert(ok && again == v);
+    }
+    double d = 0.0;
+    (void)sssj::ParseFlagDouble(input, &d);
+    std::vector<double> list;
+    if (sssj::ParseFlagDoubleList(input, &list)) {
+      size_t commas = 0;
+      for (const char c : input) commas += (c == ',');
+      assert(list.size() == commas + 1);
+    }
+  }
+
+  // Tokenize into an argv (newline-separated, embedded NULs and all) and
+  // run the command-line parser plus its non-exiting accessors.
+  std::vector<std::string> tokens{"fuzz_flags"};
+  std::string current;
+  for (const char c : input) {
+    if (c == '\n') {
+      tokens.push_back(current);
+      current.clear();
+      if (tokens.size() >= 64) break;
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty() && tokens.size() < 64) tokens.push_back(current);
+
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (std::string& t : tokens) argv.push_back(t.data());
+
+  const sssj::Flags flags(static_cast<int>(argv.size()), argv.data());
+  (void)flags.Has("theta");
+  (void)flags.GetString("input", "");
+  (void)flags.GetBool("tsv", false);
+  (void)flags.positional();
+  assert(flags.program() == "fuzz_flags");
+  return 0;
+}

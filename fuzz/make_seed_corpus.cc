@@ -1,0 +1,126 @@
+// Regenerates the format-valid seed inputs under fuzz/corpus/ — the
+// ones that must be produced by the real writers (binary streams,
+// engine/index checkpoints) so the fuzzers start from deep inside the
+// parsers instead of spending their budget rediscovering magic numbers.
+// Purely byte-level seeds (truncations, corrupt text) are committed
+// directly; this tool also emits truncated/corrupted variants of the
+// valid files so the replay suite exercises the rejection paths even
+// where no fuzzing engine runs.
+//
+//   make_seed_corpus <repo>/fuzz/corpus
+//
+// Idempotent: output depends only on the library, so re-running after a
+// format change refreshes the corpus in place (commit the diff).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "data/io.h"
+
+namespace {
+
+bool WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+sssj::Stream SampleStream() {
+  sssj::Stream s;
+  for (int i = 0; i < 8; ++i) {
+    sssj::StreamItem item;
+    item.id = static_cast<sssj::VectorId>(i);
+    item.ts = 10.0 * i;
+    item.vec = sssj::SparseVector::UnitFromCoords(
+        {{static_cast<sssj::DimId>(i % 3), 0.6},
+         {static_cast<sssj::DimId>(i % 3 + 1), 0.8}});
+    s.push_back(std::move(item));
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 64;
+  }
+  const std::string root = argv[1];
+
+  // Binary stream: a valid file, a truncated one (mid-record), and one
+  // whose declared item count far exceeds the bytes present.
+  {
+    const std::string path = root + "/fuzz_binary_stream/valid.bin";
+    const sssj::Status st = sssj::WriteBinaryStream(SampleStream(), path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "WriteBinaryStream: %s\n", st.message().c_str());
+      return 1;
+    }
+    std::ifstream f(path, std::ios::binary);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    const std::string bytes = buf.str();
+    if (!WriteBytes(root + "/fuzz_binary_stream/truncated.bin",
+                    bytes.substr(0, bytes.size() - 7)))
+      return 1;
+    std::string hostile = bytes;
+    hostile[8] = '\xff';  // item count low byte: declare ~2^64 items
+    hostile[15] = '\x7f';
+    if (!WriteBytes(root + "/fuzz_binary_stream/hostile_count.bin", hostile))
+      return 1;
+  }
+
+  // Engine checkpoint (SSSJENG2 wrapping SSSJCKP2): valid, truncated at
+  // an interior boundary, and magic-corrupted.
+  {
+    sssj::EngineConfig cfg;
+    cfg.framework = sssj::Framework::kStreaming;
+    cfg.index = sssj::IndexScheme::kL2;
+    cfg.theta = 0.7;
+    cfg.lambda = 0.01;
+    auto engine = sssj::SssjEngine::Make(cfg);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "Make: %s\n", engine.status().message().c_str());
+      return 1;
+    }
+    for (const sssj::StreamItem& item : SampleStream()) {
+      const sssj::Status st = (*engine)->Push(item.ts, item.vec);
+      if (!st.ok()) {
+        std::fprintf(stderr, "Push: %s\n", st.message().c_str());
+        return 1;
+      }
+    }
+    std::ostringstream os;
+    const sssj::Status st = (*engine)->SaveCheckpoint(os);
+    if (!st.ok()) {
+      std::fprintf(stderr, "SaveCheckpoint: %s\n", st.message().c_str());
+      return 1;
+    }
+    const std::string bytes = os.str();
+    if (!WriteBytes(root + "/fuzz_checkpoint/engine_valid.bin", bytes))
+      return 1;
+    if (!WriteBytes(root + "/fuzz_checkpoint/engine_truncated.bin",
+                    bytes.substr(0, bytes.size() / 2)))
+      return 1;
+    std::string corrupt = bytes;
+    corrupt[0] ^= 0x20;
+    if (!WriteBytes(root + "/fuzz_checkpoint/engine_badmagic.bin", corrupt))
+      return 1;
+    // The embedded index container starts right after the engine header;
+    // the envelope bytes also serve the bare Deserialize loader, and a
+    // deep-truncated tail lands inside the posting columns.
+    if (!WriteBytes(root + "/fuzz_checkpoint/engine_tail_cut.bin",
+                    bytes.substr(0, bytes.size() - 5)))
+      return 1;
+  }
+
+  std::printf("seed corpus refreshed under %s\n", root.c_str());
+  return 0;
+}

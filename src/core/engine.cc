@@ -362,7 +362,7 @@ constexpr char kEngineCheckpointMagic[8] = {'S', 'S', 'S', 'J',
 
 }  // namespace
 
-Status SssjEngine::SaveCheckpoint(const std::string& path) const {
+Status SssjEngine::SaveCheckpoint(std::ostream& os) const {
   if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
       config_.num_threads > 1) {
     return Status::Unimplemented(
@@ -372,24 +372,37 @@ Status SssjEngine::SaveCheckpoint(const std::string& path) const {
   if (index == nullptr) {
     return Status::Internal("unexpected index type");
   }
-  std::ofstream f(path, std::ios::binary);
-  if (!f) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
   const uint64_t next_id = next_id_;
   const Timestamp last_ts = str_->last_ts();
   const uint8_t started = str_->started() ? 1 : 0;
-  f.write(kEngineCheckpointMagic, sizeof(kEngineCheckpointMagic));
-  f.write(reinterpret_cast<const char*>(&next_id), sizeof(next_id));
-  f.write(reinterpret_cast<const char*>(&last_ts), sizeof(last_ts));
-  f.write(reinterpret_cast<const char*>(&started), sizeof(started));
-  if (!index->Serialize(f) || !f.good()) {
-    return Status::IoError("write failure on " + path);
+  os.write(kEngineCheckpointMagic, sizeof(kEngineCheckpointMagic));
+  os.write(reinterpret_cast<const char*>(&next_id), sizeof(next_id));
+  os.write(reinterpret_cast<const char*>(&last_ts), sizeof(last_ts));
+  os.write(reinterpret_cast<const char*>(&started), sizeof(started));
+  if (!index->Serialize(os) || !os.good()) {
+    return Status::IoError("checkpoint write failure");
   }
   return Status::Ok();
 }
 
-Status SssjEngine::LoadCheckpoint(const std::string& path) {
+Status SssjEngine::SaveCheckpoint(const std::string& path) const {
+  if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
+      config_.num_threads > 1) {
+    return Status::Unimplemented(
+        "checkpointing is supported for single-threaded STR-L2 only");
+  }
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  Status status = SaveCheckpoint(f);
+  if (status.code() == StatusCode::kIoError) {
+    return Status::IoError("write failure on " + path);
+  }
+  return status;
+}
+
+Status SssjEngine::LoadCheckpoint(std::istream& is) {
   if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
       config_.num_threads > 1) {
     return Status::Unimplemented(
@@ -399,24 +412,20 @@ Status SssjEngine::LoadCheckpoint(const std::string& path) {
   if (index == nullptr) {
     return Status::Internal("unexpected index type");
   }
-  std::ifstream f(path, std::ios::binary);
-  if (!f) {
-    return Status::NotFound("cannot open " + path);
-  }
   char magic[8];
-  f.read(magic, sizeof(magic));
-  if (!f.good() ||
+  is.read(magic, sizeof(magic));
+  if (!is.good() ||
       std::memcmp(magic, kEngineCheckpointMagic, sizeof(magic)) != 0) {
     return Status::DataLoss(
-        path + ": not a sssj engine checkpoint (bad or stale header; files "
-               "from older builds are not readable)");
+        "not a sssj engine checkpoint (bad or stale header; files "
+        "from older builds are not readable)");
   }
   uint64_t next_id;
   Timestamp last_ts;
   uint8_t started;
-  f.read(reinterpret_cast<char*>(&next_id), sizeof(next_id));
-  f.read(reinterpret_cast<char*>(&last_ts), sizeof(last_ts));
-  f.read(reinterpret_cast<char*>(&started), sizeof(started));
+  is.read(reinterpret_cast<char*>(&next_id), sizeof(next_id));
+  is.read(reinterpret_cast<char*>(&last_ts), sizeof(last_ts));
+  is.read(reinterpret_cast<char*>(&started), sizeof(started));
   // Deserialize into a scratch index and swap only on success: a file that
   // turns out to be truncated mid-record must leave the live engine — its
   // index, id counter, and clock — exactly as it was. The scratch carries
@@ -424,10 +433,9 @@ Status SssjEngine::LoadCheckpoint(const std::string& path) {
   StreamL2Index scratch(params_, L2IndexOptions{},
                         KernelModeUsesSimd(config_.kernel), config_.tiered);
   std::string index_error;
-  if (!f.good() || !scratch.Deserialize(f, &index_error)) {
-    return Status::DataLoss(
-        path + ": " +
-        (index_error.empty() ? "truncated checkpoint" : index_error));
+  if (!is.good() || !scratch.Deserialize(is, &index_error)) {
+    return Status::DataLoss(index_error.empty() ? "truncated checkpoint"
+                                                : index_error);
   }
   const RunStats saved_stats = index->stats();  // counters are per-process
   *index = std::move(scratch);
@@ -435,6 +443,24 @@ Status SssjEngine::LoadCheckpoint(const std::string& path) {
   next_id_ = next_id;
   str_->RestoreClock(last_ts, started != 0);
   return Status::Ok();
+}
+
+Status SssjEngine::LoadCheckpoint(const std::string& path) {
+  if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
+      config_.num_threads > 1) {
+    return Status::Unimplemented(
+        "checkpointing is supported for single-threaded STR-L2 only");
+  }
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    return Status::NotFound("cannot open " + path);
+  }
+  Status status = LoadCheckpoint(f);
+  if (!status.ok() && status.code() != StatusCode::kUnimplemented &&
+      status.code() != StatusCode::kInternal) {
+    return Status(status.code(), path + ": " + std::string(status.message()));
+  }
+  return status;
 }
 
 }  // namespace sssj

@@ -45,6 +45,7 @@
 #define SSSJ_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -241,6 +242,13 @@ class SssjEngine {
   // live engine state.
   Status SaveCheckpoint(const std::string& path) const;
   Status LoadCheckpoint(const std::string& path);
+  // Stream-based cores of the two above (the path overloads wrap these).
+  // Useful for embedding checkpoints in a larger container — and they are
+  // what the checkpoint fuzz harness drives, byte-corrupted inputs and
+  // all, so every rejection path here is exercised against adversarial
+  // data rather than just well-formed files.
+  Status SaveCheckpoint(std::ostream& os) const;
+  Status LoadCheckpoint(std::istream& is);
 
   // Approximate resident bytes of the live state. STR: the online index
   // (posting-list columns + residual store). MB: the buffered windows plus

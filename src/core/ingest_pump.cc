@@ -95,15 +95,15 @@ Status IngestQueue::Submit(Timestamp ts, SparseVector vec, uint64_t* ticket) {
       blocked_.fetch_add(1, std::memory_order_relaxed);
       counted_block = true;
     }
-    std::unique_lock<std::mutex> lk(wait_mu_);
+    MutexLock lk(wait_mu_);
     if (options_.submit == SubmitPolicy::kBlock) {
-      space_cv_.wait(lk, [this] { return !AtHighWater(); });
+      space_cv_.wait(lk.native(), [this] { return !AtHighWater(); });
     } else {
       if (!have_deadline) {
         deadline = Clock::now() + MillisToDuration(options_.submit_timeout_ms);
         have_deadline = true;
       }
-      if (!space_cv_.wait_until(lk, deadline,
+      if (!space_cv_.wait_until(lk.native(), deadline,
                                 [this] { return !AtHighWater(); })) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         return Status::ResourceExhausted(
@@ -157,8 +157,8 @@ Status IngestQueue::Drain() {
   drain_pending_.store(true, std::memory_order_release);
   pump_->Notify();
   {
-    std::unique_lock<std::mutex> lk(wait_mu_);
-    applied_cv_.wait(lk, [this, target] {
+    MutexLock lk(wait_mu_);
+    applied_cv_.wait(lk.native(), [this, target] {
       return completed_.load(std::memory_order_acquire) >= target;
     });
   }
@@ -196,7 +196,7 @@ size_t IngestQueue::PopEpoch(Stream* epoch, uint64_t* first_ticket) {
     // Space opened: hand blocked producers the baton. The empty critical
     // section pairs with the predicate check under wait_mu_ so the wakeup
     // cannot be lost between check and wait.
-    { std::lock_guard<std::mutex> lk(wait_mu_); }
+    { MutexLock lk(wait_mu_); }
     space_cv_.notify_all();
   }
   return n;
@@ -204,7 +204,7 @@ size_t IngestQueue::PopEpoch(Stream* epoch, uint64_t* first_ticket) {
 
 void IngestQueue::MarkApplied(size_t n) {
   {
-    std::lock_guard<std::mutex> lk(wait_mu_);
+    MutexLock lk(wait_mu_);
     completed_.fetch_add(n, std::memory_order_acq_rel);
   }
   applied_cv_.notify_all();
@@ -256,7 +256,7 @@ IngestPump::IngestPump() : thread_([this] { Loop(); }) {}
 
 IngestPump::~IngestPump() {
   {
-    std::lock_guard<std::mutex> lk(signal_mu_);
+    MutexLock lk(signal_mu_);
     stop_ = true;
   }
   signal_cv_.notify_all();
@@ -269,7 +269,7 @@ uint64_t IngestPump::Register(IngestQueue* queue, ApplyFn apply) {
   entry->apply = std::move(apply);
   uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> lk(reg_mu_);
+    MutexLock lk(reg_mu_);
     id = next_id_++;
     entries_.emplace(id, std::move(entry));
   }
@@ -281,35 +281,39 @@ uint64_t IngestPump::Register(IngestQueue* queue, ApplyFn apply) {
 void IngestPump::Unregister(uint64_t id) {
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lk(reg_mu_);
+    MutexLock lk(reg_mu_);
     auto it = entries_.find(id);
     if (it == entries_.end()) return;
     entry = it->second;
     entries_.erase(it);
   }
-  std::unique_lock<std::mutex> lk(entry->busy_mu);
+  MutexLock lk(entry->busy_mu);
   entry->dead.store(true, std::memory_order_release);
-  entry->busy_cv.wait(lk, [&entry] { return !entry->busy; });
+  while (entry->busy) entry->busy_cv.wait(lk.native());
 }
 
 void IngestPump::Notify() {
   {
-    std::lock_guard<std::mutex> lk(signal_mu_);
+    MutexLock lk(signal_mu_);
     signaled_ = true;
   }
   signal_cv_.notify_one();
 }
 
 size_t IngestPump::num_queues() const {
-  std::lock_guard<std::mutex> lk(reg_mu_);
+  MutexLock lk(reg_mu_);
   return entries_.size();
 }
 
 bool IngestPump::ServiceEntry(Entry& entry) {
   IngestQueue* queue = entry.queue;
+  // The pump thread is the queue's single consumer for the duration of
+  // this call; the RoleLock is what lets the annotated consumer-side
+  // calls below (ReadyToService / PopEpoch) compile.
+  RoleLock consumer(queue->consumer_role());
   if (!queue->ReadyToService(IngestQueue::Clock::now())) return false;
   {
-    std::lock_guard<std::mutex> lk(entry.busy_mu);
+    MutexLock lk(entry.busy_mu);
     if (entry.dead.load(std::memory_order_acquire)) return false;
     entry.busy = true;
   }
@@ -327,7 +331,7 @@ bool IngestPump::ServiceEntry(Entry& entry) {
     did_work = true;
   }
   {
-    std::lock_guard<std::mutex> lk(entry.busy_mu);
+    MutexLock lk(entry.busy_mu);
     entry.busy = false;
   }
   entry.busy_cv.notify_all();
@@ -341,7 +345,7 @@ void IngestPump::Loop() {
       any = false;
       std::vector<std::shared_ptr<Entry>> snapshot;
       {
-        std::lock_guard<std::mutex> lk(reg_mu_);
+        MutexLock lk(reg_mu_);
         snapshot.reserve(entries_.size());
         for (const auto& [id, entry] : entries_) snapshot.push_back(entry);
       }
@@ -356,19 +360,26 @@ void IngestPump::Loop() {
     // counted in a queue's pending depth, which armed a deadline above.
     auto deadline = IngestQueue::Clock::time_point::max();
     {
-      std::lock_guard<std::mutex> lk(reg_mu_);
+      MutexLock lk(reg_mu_);
       for (const auto& [id, entry] : entries_) {
+        // NextDeadline peeks the ring's front slot, a consumer-side read;
+        // only the pump thread (us) ever takes this role.
+        RoleLock consumer(entry->queue->consumer_role());
         deadline = std::min(deadline, entry->queue->NextDeadline());
       }
     }
-    std::unique_lock<std::mutex> lk(signal_mu_);
+    MutexLock lk(signal_mu_);
     if (stop_) return;
     if (!signaled_) {
       if (deadline == IngestQueue::Clock::time_point::max()) {
-        signal_cv_.wait(lk, [this] { return signaled_ || stop_; });
+        while (!signaled_ && !stop_) signal_cv_.wait(lk.native());
       } else {
-        signal_cv_.wait_until(lk, deadline,
-                              [this] { return signaled_ || stop_; });
+        while (!signaled_ && !stop_) {
+          if (signal_cv_.wait_until(lk.native(), deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
       }
     }
     signaled_ = false;

@@ -37,7 +37,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +46,7 @@
 #include "core/stream_item.h"
 #include "core/types.h"
 #include "util/mpsc_ring.h"
+#include "util/thread_annotations.h"
 
 namespace sssj {
 
@@ -141,20 +141,33 @@ class IngestQueue {
   Status Drain();
 
   // ---- pump side ----
+  // Every call below reads the ring's consumer cursor and therefore
+  // requires the ring's single-consumer role (the pump holds it via
+  // RoleLock while servicing this queue) — the compile-checked form of
+  // "the consumer side belongs to the single pump thread".
 
   // Pops up to one epoch (item/byte watermarks) into *epoch, appending
   // StreamItems in ticket order; *first_ticket gets the first popped
   // item's ticket. Returns the number popped (0 when empty).
-  size_t PopEpoch(Stream* epoch, uint64_t* first_ticket);
+  size_t PopEpoch(Stream* epoch, uint64_t* first_ticket)
+      SSSJ_REQUIRES(consumer_role());
   // Called by the pump after the epoch it popped was applied; wakes
   // blocked producers and Drain waiters.
   void MarkApplied(size_t n);
   // True when the pump should close an epoch now: a watermark is hit, a
   // drain is pending, or producers are blocked at the high-water mark.
-  bool ReadyToService(Clock::time_point now) const;
+  bool ReadyToService(Clock::time_point now) const
+      SSSJ_REQUIRES(consumer_role());
   // Deadline at which the age watermark will make the queue ready
   // (Clock::time_point::max() when nothing is pending).
-  Clock::time_point NextDeadline() const;
+  Clock::time_point NextDeadline() const SSSJ_REQUIRES(consumer_role());
+
+  // The queue's consumer capability is its ring's: one role covers the
+  // pop cursor and the epoch bookkeeping derived from it.
+  const Role& consumer_role() const
+      SSSJ_RETURN_CAPABILITY(ring_.consumer_role()) {
+    return ring_.consumer_role();
+  }
 
   void BindPump(IngestPump* pump) { pump_ = pump; }
   IngestPump* pump() const { return pump_; }
@@ -182,6 +195,8 @@ class IngestQueue {
   IngestOptions options_;
   size_t high_water_ = 0;
   MpscRing<Slot> ring_;
+  // Immutable after BindPump (which Register calls before any concurrent
+  // use of the queue); read lock-free on every submit.
   IngestPump* pump_ = nullptr;
 
   std::atomic<size_t> pending_{0};
@@ -194,8 +209,10 @@ class IngestQueue {
   std::atomic<uint64_t> max_depth_{0};
   std::atomic<bool> drain_pending_{false};
 
-  // Guards the producer/drain waits; MarkApplied signals it.
-  mutable std::mutex wait_mu_;
+  // Guards the producer/drain waits; MarkApplied signals it. No fields
+  // live under it — the wait predicates read the atomics above; the lock
+  // only pairs waiters with wakers so no notification can be lost.
+  mutable Mutex wait_mu_;
   std::condition_variable space_cv_;  // blocked producers
   std::condition_variable applied_cv_;  // Drain waiters
 };
@@ -219,39 +236,41 @@ class IngestPump {
 
   // Registers a queue. The pump calls `apply` for its epochs until
   // Unregister. Binds itself to the queue (queue->BindPump).
-  uint64_t Register(IngestQueue* queue, ApplyFn apply);
+  uint64_t Register(IngestQueue* queue, ApplyFn apply)
+      SSSJ_EXCLUDES(reg_mu_);
   // Removes the registration and blocks until any in-flight apply for it
   // has finished; afterwards the pump never touches the queue again.
-  void Unregister(uint64_t id);
+  void Unregister(uint64_t id) SSSJ_EXCLUDES(reg_mu_);
 
   // Wakes the pump (queues call this when a watermark is crossed).
-  void Notify();
+  void Notify() SSSJ_EXCLUDES(signal_mu_);
 
-  size_t num_queues() const;
+  size_t num_queues() const SSSJ_EXCLUDES(reg_mu_);
 
  private:
   struct Entry {
     IngestQueue* queue = nullptr;
     ApplyFn apply;
     std::atomic<bool> dead{false};
-    std::mutex busy_mu;
+    Mutex busy_mu;
     std::condition_variable busy_cv;
-    bool busy = false;  // guarded by busy_mu
+    bool busy SSSJ_GUARDED_BY(busy_mu) = false;
   };
 
-  void Loop();
+  void Loop() SSSJ_EXCLUDES(reg_mu_, signal_mu_);
   // Drains one queue's backlog in epoch-sized chunks; returns true if any
-  // work was done.
+  // work was done. Runs on the pump thread, which holds the queue's
+  // single-consumer role for the duration (RoleLock inside).
   bool ServiceEntry(Entry& entry);
 
-  mutable std::mutex reg_mu_;  // guards entries_ and next_id_
-  std::map<uint64_t, std::shared_ptr<Entry>> entries_;
-  uint64_t next_id_ = 1;
+  mutable Mutex reg_mu_;
+  std::map<uint64_t, std::shared_ptr<Entry>> entries_ SSSJ_GUARDED_BY(reg_mu_);
+  uint64_t next_id_ SSSJ_GUARDED_BY(reg_mu_) = 1;
 
-  std::mutex signal_mu_;
+  Mutex signal_mu_;
   std::condition_variable signal_cv_;
-  bool signaled_ = false;  // guarded by signal_mu_
-  bool stop_ = false;      // guarded by signal_mu_
+  bool signaled_ SSSJ_GUARDED_BY(signal_mu_) = false;
+  bool stop_ SSSJ_GUARDED_BY(signal_mu_) = false;
 
   std::thread thread_;
 };

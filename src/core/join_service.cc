@@ -20,7 +20,7 @@ Status JoinService::UnknownSession() {
 }
 
 bool JoinService::Evictable(const Session& session) {
-  return session.pump_registration == 0 &&
+  return session.async_engine == nullptr &&
          session.config.framework == Framework::kStreaming &&
          session.config.index == IndexScheme::kL2 &&
          session.config.num_threads <= 1;
@@ -71,8 +71,8 @@ Status JoinService::EvictLocked(Session* victim) {
 
 Status JoinService::EnforceBudget(Session* current) {
   if (options_.memory_budget_bytes == 0) return Status::Ok();
-  auto total_now = [this] {
-    std::lock_guard<std::mutex> lock(mu_);
+  auto total_now = [this]() SSSJ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     size_t total = 0;
     for (const auto& [id, session] : sessions_) {
       total += session->mem_bytes.load(std::memory_order_relaxed);
@@ -85,7 +85,7 @@ Status JoinService::EnforceBudget(Session* current) {
   if (!options_.spill_dir.empty()) {
     std::vector<std::shared_ptr<Session>> victims;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       victims.reserve(sessions_.size());
       for (const auto& [id, session] : sessions_) {
         if (session.get() != current) victims.push_back(session);
@@ -99,11 +99,11 @@ Status JoinService::EnforceBudget(Session* current) {
               });
     for (const auto& victim : victims) {
       if (total <= options_.memory_budget_bytes) break;
-      // try_lock, never a blocking lock: the caller already holds
+      // TryLock, never a blocking lock: the caller already holds
       // current->mu, and a session whose lock is contended is mid-push —
       // i.e. not dormant — so skipping it is also the right policy call.
-      std::unique_lock<std::mutex> vl(victim->mu, std::try_to_lock);
-      if (!vl.owns_lock()) continue;
+      if (!victim->mu.TryLock()) continue;
+      MutexLock vl(victim->mu, std::adopt_lock);
       if (victim->closed.load(std::memory_order_acquire) ||
           victim->evicted || !Evictable(*victim)) {
         continue;
@@ -146,19 +146,28 @@ StatusOr<JoinService::SessionHandle> JoinService::CreateSession(
 
   auto session = std::make_shared<Session>();
   session->name = options.name;
-  session->engine = *std::move(engine);
+  {
+    // No other thread can see the session until the registry insert below,
+    // so initializing its mu-guarded fields without the lock would be
+    // benign — but the uncontended lock costs nothing and keeps the
+    // annotations assumption-free. Scoped tightly: it must not be held
+    // across Register below, whose apply callback takes the same lock.
+    MutexLock init_lock(session->mu);
+    session->engine = *std::move(engine);
+    if (async) session->async_engine = session->engine.get();
+    session->mem_bytes.store(session->engine->MemoryBytes(),
+                             std::memory_order_relaxed);
+  }
   session->owned_sink = std::move(options.owned_sink);
   session->config = config;  // resolved (pool/external_pump applied)
   session->bound_sink = sink;
-  session->mem_bytes.store(session->engine->MemoryBytes(),
-                           std::memory_order_relaxed);
   session->last_active.store(
       activity_clock_.fetch_add(1, std::memory_order_relaxed),
       std::memory_order_relaxed);
 
   if (async) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (by_name_.count(options.name) != 0) {
         return Status::AlreadyExists("a session named '" + options.name +
                                      "' already exists");
@@ -174,14 +183,14 @@ StatusOr<JoinService::SessionHandle> JoinService::CreateSession(
     // application and, say, a Flush can never interleave. The captured
     // shared_ptr keeps the session alive even mid-close.
     session->pump_registration = ingest_pump_->Register(
-        session->engine->ingest_queue(),
+        session->async_engine->ingest_queue(),
         [session](Stream&& epoch, uint64_t first_ticket) {
-          std::lock_guard<std::mutex> lock(session->mu);
+          MutexLock lock(session->mu);
           session->engine->ApplyEpoch(std::move(epoch), first_ticket);
         });
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (by_name_.count(options.name) != 0) {
     // Lost a naming race between the pre-check and here; undo the pump
     // registration (the pump holds the session alive otherwise).
@@ -200,7 +209,7 @@ StatusOr<JoinService::SessionHandle> JoinService::CreateSession(
 
 StatusOr<JoinService::SessionHandle> JoinService::FindSession(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no session named '" + name + "'");
@@ -211,7 +220,7 @@ StatusOr<JoinService::SessionHandle> JoinService::FindSession(
 std::shared_ptr<JoinService::Session> JoinService::Lookup(
     SessionHandle handle) const {
   if (!handle.valid()) return nullptr;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(handle.id_);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -219,7 +228,7 @@ std::shared_ptr<JoinService::Session> JoinService::Lookup(
 Status JoinService::CloseSession(SessionHandle handle) {
   std::shared_ptr<Session> session;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(handle.id_);
     if (it == sessions_.end()) return UnknownSession();
     session = it->second;
@@ -234,12 +243,13 @@ Status JoinService::CloseSession(SessionHandle handle) {
   if (session->pump_registration != 0) {
     // Apply everything already submitted (no locks held here — the pump
     // needs the session lock to apply), then detach from the pump so it
-    // never touches this session again.
-    session->engine->Drain();
+    // never touches this session again. pump_registration stays set: it is
+    // immutable by contract (AsyncPush reads it lock-free), and the
+    // registry erase above guarantees this teardown runs at most once.
+    session->async_engine->Drain();
     ingest_pump_->Unregister(session->pump_registration);
-    session->pump_registration = 0;
   }
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   if (session->evicted) {
     // Only STR-L2 sessions are evictable and STR flushes are no-ops, so
     // the spilled state has nothing buffered; drop the file.
@@ -254,7 +264,7 @@ Status JoinService::CloseSession(SessionHandle handle) {
 Status JoinService::Push(SessionHandle handle, Timestamp ts, SparseVector vec) {
   std::shared_ptr<Session> session = Lookup(handle);
   if (session == nullptr) return UnknownSession();
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   if (session->closed) return UnknownSession();
   Status budget = EnforceBudget(session.get());
   if (!budget.ok()) return budget;
@@ -276,15 +286,15 @@ Status JoinService::AsyncPush(SessionHandle handle, Timestamp ts,
   // ring (and `closed` is atomic). Taking the lock there would serialize
   // producers behind the pump's epoch applications — the exact stall
   // async mode exists to remove.
-  if (session->pump_registration == 0) {
-    std::lock_guard<std::mutex> lock(session->mu);
+  if (session->async_engine == nullptr) {
+    MutexLock lock(session->mu);
     if (session->closed) return UnknownSession();
     return session->engine->AsyncPush(ts, std::move(vec), ticket);
   }
   if (session->closed.load(std::memory_order_acquire)) {
     return UnknownSession();
   }
-  return session->engine->AsyncPush(ts, std::move(vec), ticket);
+  return session->async_engine->AsyncPush(ts, std::move(vec), ticket);
 }
 
 Status JoinService::Drain(SessionHandle handle) {
@@ -294,22 +304,22 @@ Status JoinService::Drain(SessionHandle handle) {
   // immediate no-op for them. Async sessions stay lock-free — the pump
   // needs the session lock to apply epochs, so holding it here would
   // deadlock the very work Drain waits for.
-  if (session->pump_registration == 0) {
-    std::lock_guard<std::mutex> lock(session->mu);
+  if (session->async_engine == nullptr) {
+    MutexLock lock(session->mu);
     if (session->closed) return UnknownSession();
     return session->engine->Drain();
   }
   if (session->closed.load(std::memory_order_acquire)) {
     return UnknownSession();
   }
-  return session->engine->Drain();
+  return session->async_engine->Drain();
 }
 
 StatusOr<BatchPushResult> JoinService::PushBatch(SessionHandle handle,
                                                  const Stream& batch) {
   std::shared_ptr<Session> session = Lookup(handle);
   if (session == nullptr) return UnknownSession();
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   if (session->closed) return UnknownSession();
   Status budget = EnforceBudget(session.get());
   if (!budget.ok()) return budget;
@@ -323,7 +333,7 @@ StatusOr<BatchPushResult> JoinService::PushBatch(SessionHandle handle,
 Status JoinService::Flush(SessionHandle handle) {
   std::shared_ptr<Session> session = Lookup(handle);
   if (session == nullptr) return UnknownSession();
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   if (session->closed) return UnknownSession();
   session->engine->Flush();
   return Status::Ok();
@@ -333,7 +343,7 @@ Status JoinService::SaveCheckpoint(SessionHandle handle,
                                    const std::string& path) const {
   std::shared_ptr<Session> session = Lookup(handle);
   if (session == nullptr) return UnknownSession();
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   if (session->closed) return UnknownSession();
   // An evicted session must reload first, or we would checkpoint the
   // fresh empty stand-in engine.
@@ -346,7 +356,7 @@ Status JoinService::LoadCheckpoint(SessionHandle handle,
                                    const std::string& path) {
   std::shared_ptr<Session> session = Lookup(handle);
   if (session == nullptr) return UnknownSession();
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   if (session->closed) return UnknownSession();
   if (session->evicted) {
     // The caller is replacing the session's state wholesale; the spilled
@@ -363,7 +373,7 @@ Status JoinService::LoadCheckpoint(SessionHandle handle,
 StatusOr<RunStats> JoinService::SessionStats(SessionHandle handle) const {
   std::shared_ptr<Session> session = Lookup(handle);
   if (session == nullptr) return UnknownSession();
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   if (session->closed) return UnknownSession();
   return session->engine->stats();
 }
@@ -375,27 +385,27 @@ StatusOr<IngestStats> JoinService::SessionIngestStats(
   // Inline sessions: locked, because eviction can swap the engine
   // pointer. Async sessions (never evicted): counter snapshot over
   // atomics, no session lock needed.
-  if (session->pump_registration == 0) {
-    std::lock_guard<std::mutex> lock(session->mu);
+  if (session->async_engine == nullptr) {
+    MutexLock lock(session->mu);
     if (session->closed) return UnknownSession();
     return session->engine->ingest_stats();
   }
   if (session->closed.load(std::memory_order_acquire)) {
     return UnknownSession();
   }
-  return session->engine->ingest_stats();
+  return session->async_engine->ingest_stats();
 }
 
 StatusOr<size_t> JoinService::SessionMemoryBytes(SessionHandle handle) const {
   std::shared_ptr<Session> session = Lookup(handle);
   if (session == nullptr) return UnknownSession();
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   if (session->closed) return UnknownSession();
   return session->engine->MemoryBytes();
 }
 
 size_t JoinService::num_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sessions_.size();
 }
 
@@ -404,7 +414,7 @@ ServiceStats JoinService::Stats() const {
   // so pushes on other sessions keep flowing while we aggregate.
   std::vector<std::shared_ptr<Session>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot.reserve(sessions_.size());
     for (const auto& [id, session] : sessions_) snapshot.push_back(session);
   }
@@ -413,7 +423,7 @@ ServiceStats JoinService::Stats() const {
   stats.session_reloads = reloads_.load(std::memory_order_relaxed);
   stats.budget_rejections = budget_rejections_.load(std::memory_order_relaxed);
   for (const auto& session : snapshot) {
-    std::lock_guard<std::mutex> lock(session->mu);
+    MutexLock lock(session->mu);
     if (session->closed) continue;
     ServiceStats::SessionEntry entry;
     entry.name = session->name;

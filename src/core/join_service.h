@@ -37,7 +37,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +44,7 @@
 #include "core/engine.h"
 #include "core/ingest_pump.h"
 #include "core/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace sssj {
@@ -145,21 +145,24 @@ class JoinService {
   //   (plus anything SssjEngine::Make rejects, forwarded verbatim)
   // EngineConfig::pool is overridden with the service pool (when the
   // service has one and the session asks for num_threads > 1).
-  StatusOr<SessionHandle> CreateSession(SessionOptions options);
+  StatusOr<SessionHandle> CreateSession(SessionOptions options)
+      SSSJ_EXCLUDES(mu_);
 
   // Looks a live session up by name (kNotFound otherwise).
-  StatusOr<SessionHandle> FindSession(const std::string& name) const;
+  StatusOr<SessionHandle> FindSession(const std::string& name) const
+      SSSJ_EXCLUDES(mu_);
 
   // Flushes buffered state into the session's sink, then destroys the
   // session. The name becomes reusable.
-  Status CloseSession(SessionHandle handle);
+  Status CloseSession(SessionHandle handle) SSSJ_EXCLUDES(mu_);
 
   // Per-session mirrors of the engine API; all return kNotFound for an
   // unknown/closed handle, otherwise exactly what the underlying engine
   // returns.
-  Status Push(SessionHandle handle, Timestamp ts, SparseVector vec);
+  Status Push(SessionHandle handle, Timestamp ts, SparseVector vec)
+      SSSJ_EXCLUDES(mu_);
   StatusOr<BatchPushResult> PushBatch(SessionHandle handle,
-                                      const Stream& batch);
+                                      const Stream& batch) SSSJ_EXCLUDES(mu_);
   // Async ingestion for sessions created with ingest.mode == kAsync: the
   // service forces ingest.external_pump and registers every async
   // session's queue with one shared pump thread. AsyncPush never takes
@@ -178,25 +181,36 @@ class JoinService {
   StatusOr<IngestStats> SessionIngestStats(SessionHandle handle) const;
   StatusOr<size_t> SessionMemoryBytes(SessionHandle handle) const;
 
-  size_t num_sessions() const;
+  size_t num_sessions() const SSSJ_EXCLUDES(mu_);
 
   // Aggregates per-session RunStats / MemoryBytes under the session locks
   // — safe while other threads keep pushing.
-  ServiceStats Stats() const;
+  ServiceStats Stats() const SSSJ_EXCLUDES(mu_);
 
  private:
   struct Session {
-    std::mutex mu;
+    Mutex mu;
     std::string name;
     // Declared before `engine` so it outlives engine teardown (members
     // destroy in reverse order; the engine's bound sink points here).
     std::unique_ptr<ResultSink> owned_sink;
-    std::unique_ptr<SssjEngine> engine;  // guarded by mu
+    std::unique_ptr<SssjEngine> engine SSSJ_GUARDED_BY(mu);
     // Atomic (not mu-guarded) so AsyncPush can gate on it without taking
     // the session lock — the lock may be held by the pump for a whole
     // epoch, and a blocked submit must not serialize behind it.
     std::atomic<bool> closed{false};
+    // Both set by CreateSession before the session is published and never
+    // written again (CloseSession can run its teardown at most once — the
+    // registry erase under mu_ decides the winner — so it needs no "done"
+    // flag here). AsyncPush reads them lock-free; a mutation anywhere
+    // else would be the data race the immutability rules out.
     uint64_t pump_registration = 0;  // 0 = not an async session
+    // Non-null iff async. Async sessions are never evicted, so unlike
+    // `engine` (which eviction swaps under mu) this pointer is stable for
+    // the session's whole life — it is what the lock-free submit paths
+    // dereference, encoding "async engines don't move" as a type-level
+    // fact instead of a comment on `engine`.
+    SssjEngine* async_engine = nullptr;
     // ---- budget/eviction state ----
     uint64_t id = 0;  // registry id; immutable once inserted
     EngineConfig config;             // resolved config, for engine rebuild
@@ -206,39 +220,42 @@ class JoinService {
     // operation from engine->MemoryBytes().
     std::atomic<size_t> mem_bytes{0};
     std::atomic<uint64_t> last_active{0};  // service activity clock tick
-    bool evicted = false;    // guarded by mu
-    std::string spill_path;  // guarded by mu; set iff evicted
+    bool evicted SSSJ_GUARDED_BY(mu) = false;
+    std::string spill_path SSSJ_GUARDED_BY(mu);  // set iff evicted
   };
 
   // Registry lookup; returns null after CloseSession erased the id.
-  std::shared_ptr<Session> Lookup(SessionHandle handle) const;
+  std::shared_ptr<Session> Lookup(SessionHandle handle) const
+      SSSJ_EXCLUDES(mu_);
   static Status UnknownSession();
 
   // True for the checkpointable configuration eviction supports: inline
   // (non-async) single-threaded STR-L2.
   static bool Evictable(const Session& session);
-  // Refreshes the session's cached accounting + LRU clock. Caller holds
-  // session->mu.
-  void NoteActivity(Session* session) const;
+  // Refreshes the session's cached accounting + LRU clock.
+  void NoteActivity(Session* session) const SSSJ_REQUIRES(session->mu);
   // Brings an evicted session back (LoadCheckpoint from its spill file,
-  // which is then deleted). Caller holds session->mu.
-  Status EnsureResident(Session* session) const;
+  // which is then deleted).
+  Status EnsureResident(Session* session) const SSSJ_REQUIRES(session->mu);
   // Spills the session to a checkpoint file and swaps in a fresh empty
-  // engine. Caller holds session->mu.
-  Status EvictLocked(Session* victim);
+  // engine.
+  Status EvictLocked(Session* victim) SSSJ_REQUIRES(victim->mu);
   // Called before a push while holding current->mu: if the service total
-  // is over budget, evicts dormant sessions (LRU first, try_lock only —
+  // is over budget, evicts dormant sessions (LRU first, TryLock only —
   // never waits on a busy session's lock, so no deadlock is possible);
   // returns kResourceExhausted if the total still exceeds the budget.
-  Status EnforceBudget(Session* current);
+  // Takes mu_ to total/snapshot the registry — the one place the lock
+  // order session->mu -> mu_ occurs (see ARCHITECTURE.md for the table).
+  Status EnforceBudget(Session* current)
+      SSSJ_REQUIRES(current->mu) SSSJ_EXCLUDES(mu_);
 
   Options options_;
   std::shared_ptr<ThreadPool> pool_;  // null when options_.num_threads <= 1
 
-  mutable std::mutex mu_;  // guards the registry maps and next_id_
-  uint64_t next_id_ = 1;
-  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
-  std::unordered_map<std::string, uint64_t> by_name_;
+  mutable Mutex mu_;  // guards the registry maps and next_id_
+  uint64_t next_id_ SSSJ_GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_ SSSJ_GUARDED_BY(mu_);
+  std::unordered_map<std::string, uint64_t> by_name_ SSSJ_GUARDED_BY(mu_);
 
   // Budget bookkeeping. The clock orders sessions for LRU eviction; the
   // counters feed ServiceStats. All atomic (and mutable where const

@@ -1,9 +1,14 @@
 #include "data/io.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <limits>
 #include <sstream>
 
 namespace sssj {
@@ -11,6 +16,12 @@ namespace sssj {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'S', 'S', 'J', 'B', 'I', 'N', '1'};
+
+// A corrupted count field must not translate into a giant up-front
+// allocation: reservations are capped and the containers then grow
+// organically, which only costs legitimate huge inputs a few reallocs.
+constexpr uint64_t kMaxItemReserve = 1u << 20;
+constexpr uint32_t kMaxCoordReserve = 1u << 16;
 
 Status FinishItem(std::vector<Coord> coords, Timestamp ts,
                   const ReadOptions& opts, Stream* out) {
@@ -37,9 +48,39 @@ bool WriteRaw(std::ofstream& f, const T& v) {
 }
 
 template <typename T>
-bool ReadRaw(std::ifstream& f, T* v) {
+bool ReadRaw(std::istream& f, T* v) {
   f.read(reinterpret_cast<char*>(v), sizeof(T));
   return f.good();
+}
+
+// Strict "<dim>:<value>" parse. The previous strtoul/strtod calls ignored
+// their end pointers, so a token like "abc:1.0" silently became dim 0 —
+// corrupt input must reject, not alias coordinate zero.
+bool ParseCoord(const std::string& tok, size_t colon, Coord* c) {
+  if (colon == 0 || colon + 1 >= tok.size()) return false;
+  if (!std::isdigit(static_cast<unsigned char>(tok[0]))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long dim = std::strtoul(tok.c_str(), &end, 10);
+  if (errno == ERANGE || end != tok.c_str() + colon ||
+      dim > std::numeric_limits<DimId>::max()) {
+    return false;
+  }
+  errno = 0;
+  const double value = std::strtod(tok.c_str() + colon + 1, &end);
+  if (errno == ERANGE || end != tok.c_str() + tok.size()) return false;
+  c->dim = static_cast<DimId>(dim);
+  c->value = value;
+  return true;
+}
+
+// Prefixes the path onto a core reader's error message, preserving the
+// code. `sep` is ":" for text errors (the core message starts with the
+// line number) and ": " for binary ones.
+Status Locate(const Status& status, const std::string& path,
+              const char* sep) {
+  if (status.ok()) return status;
+  return Status(status.code(), path + sep + std::string(status.message()));
 }
 
 }  // namespace
@@ -63,44 +104,46 @@ Status WriteTextStream(const Stream& stream, const std::string& path) {
   return Status::Ok();
 }
 
-Status ReadTextStream(const std::string& path, Stream* out,
-                      const ReadOptions& opts) {
-  std::ifstream f(path);
-  if (!f) {
-    return Status::NotFound("cannot open " + path);
-  }
+Status ReadTextStream(std::istream& in, Stream* out, const ReadOptions& opts) {
   out->clear();
   std::string line;
   size_t lineno = 0;
-  while (std::getline(f, line)) {
+  while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ss(line);
     Timestamp ts;
     if (!(ss >> ts)) {
-      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+      return Status::InvalidArgument(std::to_string(lineno) +
                                      ": bad timestamp");
     }
     std::vector<Coord> coords;
     std::string tok;
     while (ss >> tok) {
       const auto colon = tok.find(':');
-      if (colon == std::string::npos) {
-        return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+      Coord c;
+      if (colon == std::string::npos || !ParseCoord(tok, colon, &c)) {
+        return Status::InvalidArgument(std::to_string(lineno) +
                                        ": bad coord " + tok);
       }
-      Coord c;
-      c.dim = static_cast<DimId>(std::strtoul(tok.c_str(), nullptr, 10));
-      c.value = std::strtod(tok.c_str() + colon + 1, nullptr);
       coords.push_back(c);
     }
     Status status = FinishItem(std::move(coords), ts, opts, out);
     if (!status.ok()) {
-      return Status(status.code(), path + ":" + std::to_string(lineno) +
-                                       ": " + status.message());
+      return Status(status.code(), std::to_string(lineno) + ": " +
+                                       std::string(status.message()));
     }
   }
   return Status::Ok();
+}
+
+Status ReadTextStream(const std::string& path, Stream* out,
+                      const ReadOptions& opts) {
+  std::ifstream f(path);
+  if (!f) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return Locate(ReadTextStream(f, out, opts), path, ":");
 }
 
 Status WriteBinaryStream(const Stream& stream, const std::string& path) {
@@ -127,49 +170,52 @@ Status WriteBinaryStream(const Stream& stream, const std::string& path) {
   return Status::Ok();
 }
 
+Status ReadBinaryStream(std::istream& in, Stream* out,
+                        const ReadOptions& opts) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an sssj binary stream");
+  }
+  uint64_t count = 0;
+  if (!ReadRaw(in, &count)) {
+    return Status::DataLoss("truncated header");
+  }
+  out->clear();
+  out->reserve(static_cast<size_t>(std::min(count, kMaxItemReserve)));
+  for (uint64_t i = 0; i < count; ++i) {
+    Timestamp ts;
+    uint32_t nnz;
+    if (!ReadRaw(in, &ts) || !ReadRaw(in, &nnz)) {
+      return Status::DataLoss("truncated item header");
+    }
+    std::vector<Coord> coords;
+    // nnz is untrusted too: a 12-byte file claiming 4 billion coords must
+    // fail on the truncation below, not OOM on this reserve.
+    coords.reserve(std::min(nnz, kMaxCoordReserve));
+    for (uint32_t k = 0; k < nnz; ++k) {
+      Coord c;
+      if (!ReadRaw(in, &c.dim) || !ReadRaw(in, &c.value)) {
+        return Status::DataLoss("truncated coordinates");
+      }
+      coords.push_back(c);
+    }
+    Status status = FinishItem(std::move(coords), ts, opts, out);
+    if (!status.ok()) {
+      return Status(status.code(), "item " + std::to_string(i) + ": " +
+                                       std::string(status.message()));
+    }
+  }
+  return Status::Ok();
+}
+
 Status ReadBinaryStream(const std::string& path, Stream* out,
                         const ReadOptions& opts) {
   std::ifstream f(path, std::ios::binary);
   if (!f) {
     return Status::NotFound("cannot open " + path);
   }
-  char magic[8];
-  f.read(magic, sizeof(magic));
-  if (!f.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument(path + ": not an sssj binary stream");
-  }
-  uint64_t count = 0;
-  if (!ReadRaw(f, &count)) {
-    return Status::DataLoss(path + ": truncated header");
-  }
-  out->clear();
-  // Cap the reservation: `count` comes from untrusted input and a
-  // corrupted header must not trigger a huge allocation. The vector still
-  // grows as needed for legitimate large files.
-  out->reserve(static_cast<size_t>(std::min<uint64_t>(count, 1u << 20)));
-  for (uint64_t i = 0; i < count; ++i) {
-    Timestamp ts;
-    uint32_t nnz;
-    if (!ReadRaw(f, &ts) || !ReadRaw(f, &nnz)) {
-      return Status::DataLoss(path + ": truncated item header");
-    }
-    std::vector<Coord> coords;
-    coords.reserve(nnz);
-    for (uint32_t k = 0; k < nnz; ++k) {
-      Coord c;
-      if (!ReadRaw(f, &c.dim) || !ReadRaw(f, &c.value)) {
-        return Status::DataLoss(path + ": truncated coordinates");
-      }
-      coords.push_back(c);
-    }
-    Status status = FinishItem(std::move(coords), ts, opts, out);
-    if (!status.ok()) {
-      return Status(status.code(),
-                    path + ": item " + std::to_string(i) + ": " +
-                        status.message());
-    }
-  }
-  return Status::Ok();
+  return Locate(ReadBinaryStream(f, out, opts), path, ": ");
 }
 
 }  // namespace sssj

@@ -20,6 +20,7 @@
 #ifndef SSSJ_DATA_IO_H_
 #define SSSJ_DATA_IO_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "core/status.h"
@@ -38,6 +39,16 @@ Status ReadTextStream(const std::string& path, Stream* out,
 
 Status WriteBinaryStream(const Stream& stream, const std::string& path);
 Status ReadBinaryStream(const std::string& path, Stream* out,
+                        const ReadOptions& opts = {});
+
+// Stream-based cores of the readers: same validation, same Status codes,
+// but decoding from any istream (the path overloads wrap these and prefix
+// the path onto error messages). These are the entry points the fuzz
+// harnesses drive — a reader that only takes a filename cannot be fuzzed
+// without a filesystem round-trip per input.
+Status ReadTextStream(std::istream& in, Stream* out,
+                      const ReadOptions& opts = {});
+Status ReadBinaryStream(std::istream& in, Stream* out,
                         const ReadOptions& opts = {});
 
 }  // namespace sssj

@@ -38,6 +38,7 @@
 #include "index/posting_list.h"
 #include "index/residual_store.h"
 #include "index/stream_index.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace sssj {
@@ -83,15 +84,37 @@ class ShardedStreamIndex : public StreamIndex {
 
  private:
   struct Shard {
+    // The owner-writes capability. Exactly one thread holds it at a time:
+    // worker w takes it (RoleLock) for the span of each phase body, and
+    // the coordinator takes it after the barrier to merge/clear — making
+    // "only the owning worker mutates a shard" a compile-checked contract
+    // rather than a comment. `lists` is deliberately NOT guarded: phase 1
+    // reads lists *across* shards by design (mutation is deferred to
+    // phase 2, where only the owner touches them — the phase helpers
+    // below carry the REQUIRES), so a guarded-by would outlaw the one
+    // cross-shard access the schedule is built around.
+    Role owner;
     std::unordered_map<DimId, PostingList> lists;  // dims with dim % S == w
-    CandidateMap cands;  // candidates with id % S == w (scratch)
-    L2KernelState kernel;  // kernel selection + worker-private scratch
+    // candidates with id % S == w (scratch)
+    CandidateMap cands SSSJ_GUARDED_BY(owner);
+    // kernel selection + worker-private scratch
+    L2KernelState kernel SSSJ_GUARDED_BY(owner);
     // Per-arrival outputs, merged by the coordinator after the barrier.
-    L2PhaseStats phase_stats;
-    std::vector<ResultPair> pairs;
-    size_t appended = 0;
-    size_t pruned = 0;
+    L2PhaseStats phase_stats SSSJ_GUARDED_BY(owner);
+    std::vector<ResultPair> pairs SSSJ_GUARDED_BY(owner);
+    size_t appended SSSJ_GUARDED_BY(owner) = 0;
+    size_t pruned SSSJ_GUARDED_BY(owner) = 0;
   };
+
+  // Phase bodies, one call per worker per arrival; both run under the
+  // shard's owner role (worker w passes shards_[w]). Phase 1 reads lists
+  // across shards but writes only the owned shard's scratch; phase 2
+  // verifies owned candidates and mutates only owned lists.
+  void GeneratePhase(const StreamItem& x, Timestamp cutoff, size_t w,
+                     Shard& shard) SSSJ_REQUIRES(shard.owner);
+  void VerifyAndConstructPhase(const StreamItem& x, Timestamp cutoff,
+                               const L2IndexSplit& split, size_t w,
+                               Shard& shard) SSSJ_REQUIRES(shard.owner);
 
   DecayParams params_;
   L2IndexOptions options_;

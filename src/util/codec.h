@@ -26,6 +26,7 @@
 #define SSSJ_UTIL_CODEC_H_
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <vector>
@@ -88,7 +89,7 @@ inline void EncodeDeltaU64(const uint64_t* vals, size_t n,
 // fast region while `end - p` stays above that, then fall back to the
 // checked GetVarint for the tail). The single-byte case — the common one
 // for delta streams — is a branch and a load.
-inline constexpr ptrdiff_t kMaxVarintBytes = 10;
+inline constexpr std::ptrdiff_t kMaxVarintBytes = 10;
 
 inline const uint8_t* GetVarintUnchecked(const uint8_t* p, uint64_t* v) {
   uint64_t b = *p++;

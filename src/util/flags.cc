@@ -20,16 +20,41 @@ namespace {
   std::exit(2);
 }
 
-// Full-consumption strtod: rejects empty values and trailing junk.
-double ParseDoubleOrDie(const std::string& name, const std::string& value) {
+}  // namespace
+
+bool ParseFlagInt(const std::string& value, int64_t* out) {
+  const char* s = value.c_str();
+  char* end = nullptr;
+  const int64_t v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseFlagDouble(const std::string& value, double* out) {
   const char* s = value.c_str();
   char* end = nullptr;
   const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0') FlagValueError(name, value, "a number");
-  return v;
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
 }
 
-}  // namespace
+bool ParseFlagDoubleList(const std::string& value, std::vector<double>* out) {
+  if (value.empty() || value.back() == ',') return false;
+  std::vector<double> parsed;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    // An empty element ("0.5,,0.7") used to be skipped silently,
+    // shrinking the sweep grid without a trace.
+    double v = 0.0;
+    if (item.empty() || !ParseFlagDouble(item, &v)) return false;
+    parsed.push_back(v);
+  }
+  *out = std::move(parsed);
+  return true;
+}
 
 Flags::Flags(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
@@ -93,10 +118,8 @@ int64_t Flags::GetInt(const std::string& name, int64_t def) const {
   // A present-but-valueless numeric flag ("--seed --tsv": the value was
   // forgotten) must not silently read as the default either.
   if (!e->has_value) FlagValueError(name, "", "an integer");
-  const char* s = e->value.c_str();
-  char* end = nullptr;
-  const int64_t v = std::strtoll(s, &end, 10);
-  if (end == s || *end != '\0') {
+  int64_t v = 0;
+  if (!ParseFlagInt(e->value, &v)) {
     FlagValueError(name, e->value, "an integer");
   }
   return v;
@@ -106,7 +129,11 @@ double Flags::GetDouble(const std::string& name, double def) const {
   const Entry* e = Find(name);
   if (e == nullptr) return def;
   if (!e->has_value) FlagValueError(name, "", "a number");
-  return ParseDoubleOrDie(name, e->value);
+  double v = 0.0;
+  if (!ParseFlagDouble(e->value, &v)) {
+    FlagValueError(name, e->value, "a number");
+  }
+  return v;
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {
@@ -120,19 +147,9 @@ std::vector<double> Flags::GetDoubleList(const std::string& name,
                                          const std::vector<double>& def) const {
   const Entry* e = Find(name);
   if (e == nullptr) return def;
-  if (!e->has_value || e->value.empty() || e->value.back() == ',') {
-    FlagValueError(name, e->value, "a comma-separated list of numbers");
-  }
   std::vector<double> out;
-  std::stringstream ss(e->value);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (item.empty()) {
-      // An empty element ("0.5,,0.7") used to be skipped silently,
-      // shrinking the sweep grid without a trace.
-      FlagValueError(name, e->value, "a comma-separated list of numbers");
-    }
-    out.push_back(ParseDoubleOrDie(name, item));
+  if (!e->has_value || !ParseFlagDoubleList(e->value, &out)) {
+    FlagValueError(name, e->value, "a comma-separated list of numbers");
   }
   return out;
 }

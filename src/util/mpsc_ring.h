@@ -23,6 +23,10 @@
 //
 // Single consumer only: TryPop/Peek must be called from one thread at a
 // time (the pump). Producers may call TryPush from any number of threads.
+// The single-consumer rule is not just prose: the consumer-side calls
+// carry SSSJ_REQUIRES(consumer_role()), so under clang's thread-safety
+// analysis only code paths that demonstrably hold the consumer role (the
+// pump's service loop wraps itself in a RoleLock) may pop or peek.
 #ifndef SSSJ_UTIL_MPSC_RING_H_
 #define SSSJ_UTIL_MPSC_RING_H_
 
@@ -31,6 +35,8 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+
+#include "util/thread_annotations.h"
 
 namespace sssj {
 
@@ -110,7 +116,8 @@ class MpscRing {
 
   // Single-consumer pop, in ticket order. Stores the popped item's ticket
   // into *ticket when given.
-  bool TryPop(T* out, uint64_t* ticket = nullptr) {
+  bool TryPop(T* out, uint64_t* ticket = nullptr)
+      SSSJ_REQUIRES(consumer_role_) {
     const uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     Cell& cell = cells_[pos & mask_];
     const uint64_t seq = cell.seq.load(std::memory_order_acquire);
@@ -127,7 +134,7 @@ class MpscRing {
 
   // Single-consumer peek at the next item to pop (null when none is
   // published yet). The pointer is valid until the next TryPop.
-  const T* Peek() const {
+  const T* Peek() const SSSJ_REQUIRES(consumer_role_) {
     const uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     const Cell& cell = cells_[pos & mask_];
     const uint64_t seq = cell.seq.load(std::memory_order_acquire);
@@ -143,6 +150,14 @@ class MpscRing {
     return enqueue_pos_.load(std::memory_order_acquire);
   }
 
+  // The single-consumer capability. Whoever services the ring (the pump
+  // thread) holds it via RoleLock for the duration of its consumer-side
+  // calls; annotated callers then prove at compile time that no second
+  // consumer path exists.
+  const Role& consumer_role() const SSSJ_RETURN_CAPABILITY(consumer_role_) {
+    return consumer_role_;
+  }
+
  private:
   struct Cell {
     std::atomic<uint64_t> seq;
@@ -155,6 +170,7 @@ class MpscRing {
     return p == 0 ? 1 : p;
   }
 
+  Role consumer_role_;      // held (conceptually) by the single consumer
   const size_t capacity_;   // advertised bound (power of two, >= 1)
   const size_t num_cells_;  // cell-array width (max(capacity_, 2))
   const uint64_t mask_;

@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_ready_.notify_all();
@@ -27,11 +27,11 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
   // One job at a time: a second caller (another session of a JoinService
   // sharing this pool) blocks here until the current fork/join completes.
-  std::lock_guard<std::mutex> caller_lock(caller_mu_);
+  MutexLock caller_lock(caller_mu_);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Wait out stragglers from the previous job before touching its state.
-    idle_.wait(lock, [this] { return active_ == 0; });
+    while (active_ != 0) idle_.wait(lock.native());
     job_ = &fn;
     num_tasks_ = n;
     next_task_.store(0, std::memory_order_relaxed);
@@ -39,11 +39,11 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
   work_ready_.notify_all();
   RunTasks();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // All tasks were claimed (our own RunTasks drained the counter), so once
   // every registered worker left RunTasks, every task has finished. The
   // mutex hand-off also publishes the workers' side effects to us.
-  idle_.wait(lock, [this] { return active_ == 0; });
+  while (active_ != 0) idle_.wait(lock.native());
   job_ = nullptr;
 }
 
@@ -59,16 +59,15 @@ void ThreadPool::RunTasks() {
 
 void ThreadPool::WorkerLoop() {
   uint64_t seen_epoch = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    work_ready_.wait(lock,
-                     [&] { return stop_ || epoch_ != seen_epoch; });
+    while (!stop_ && epoch_ == seen_epoch) work_ready_.wait(lock.native());
     if (stop_) return;
     seen_epoch = epoch_;
     ++active_;
-    lock.unlock();
+    lock.Unlock();
     RunTasks();
-    lock.lock();
+    lock.Lock();
     if (--active_ == 0) idle_.notify_all();
   }
 }

@@ -25,9 +25,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sssj {
 
@@ -48,30 +49,40 @@ class ThreadPool {
   // (from inside fn), and fn must not throw. Concurrent ParallelFor calls
   // from different threads are safe but serialized: one pool can be
   // shared by many engines (JoinService injects one per service), and
-  // simultaneous jobs simply queue on the caller mutex.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  // simultaneous jobs simply queue on the caller mutex. SSSJ_EXCLUDES
+  // makes the no-reentrancy rule a compile-time contract for annotated
+  // callers: a task body that called back into its own pool would
+  // self-deadlock on caller_mu_.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      SSSJ_EXCLUDES(caller_mu_, mu_);
 
   size_t num_threads() const { return workers_.size() + 1; }
 
  private:
-  void WorkerLoop();
-  void RunTasks();
+  void WorkerLoop() SSSJ_EXCLUDES(mu_);
+  // Claims and runs tasks of the current job. Deliberately outside the
+  // analysis: job_/num_tasks_ are read lock-free here by design — the
+  // epoch hand-shake in WorkerLoop/ParallelFor (documented above)
+  // guarantees they are quiescent while any claimer is inside.
+  void RunTasks() SSSJ_NO_THREAD_SAFETY_ANALYSIS;
 
-  std::mutex caller_mu_;  // serializes concurrent ParallelFor callers
-  std::mutex mu_;
+  Mutex caller_mu_;  // serializes concurrent ParallelFor callers
+  Mutex mu_;
   std::condition_variable work_ready_;  // signals workers: epoch_ changed
   std::condition_variable idle_;        // signals caller: active_ hit 0
   std::vector<std::thread> workers_;
 
   // Job state, written by ParallelFor only while no worker is registered
   // (active_ == 0) and read by workers only after they registered under
-  // the mutex — so the claim loop itself can stay lock-free.
-  const std::function<void(size_t)>* job_ = nullptr;
-  size_t num_tasks_ = 0;
-  uint64_t epoch_ = 0;
-  size_t active_ = 0;  // workers currently inside RunTasks (guarded by mu_)
+  // the mutex — so the claim loop itself can stay lock-free (RunTasks is
+  // the one annotated escape hatch).
+  const std::function<void(size_t)>* job_ SSSJ_GUARDED_BY(mu_) = nullptr;
+  size_t num_tasks_ SSSJ_GUARDED_BY(mu_) = 0;
+  uint64_t epoch_ SSSJ_GUARDED_BY(mu_) = 0;
+  // Workers currently inside RunTasks.
+  size_t active_ SSSJ_GUARDED_BY(mu_) = 0;
   std::atomic<size_t> next_task_{0};
-  bool stop_ = false;
+  bool stop_ SSSJ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sssj

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iterator>
 #include <sstream>
@@ -331,6 +332,146 @@ TEST(CheckpointTest, EmptyIndexRoundTrips) {
   ASSERT_TRUE(a.Serialize(buffer));
   ASSERT_TRUE(b.Deserialize(buffer));
   EXPECT_EQ(b.live_posting_entries(), 0u);
+}
+
+
+// ---- adversarial loader coverage (fuzz-harness twins) ----
+// These pin the exact behaviors fuzz/fuzz_checkpoint.cc asserts
+// statistically: every byte-level truncation and every tampered length
+// field must reject with a named error, bounded memory, and no state
+// half-applied.
+
+TEST(CheckpointTest, DeserializeRejectsTruncationAtEveryByteBoundary) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &params));
+  // Small stream so the full O(bytes) truncation sweep stays fast while
+  // still crossing every record type (header, list header, all four
+  // posting columns, residual records, residual prefixes).
+  StreamL2Index src(params);
+  CollectorSink sink;
+  const Stream stream = TestStream();
+  for (size_t i = 0; i < 12; ++i) src.ProcessArrival(stream[i], &sink);
+  std::stringstream buffer;
+  ASSERT_TRUE(src.Serialize(buffer));
+  const std::string full = buffer.str();
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    StreamL2Index index(params);
+    std::stringstream truncated(full.substr(0, cut));
+    std::string error;
+    ASSERT_FALSE(index.Deserialize(truncated, &error)) << "cut=" << cut;
+    ASSERT_FALSE(error.empty()) << "cut=" << cut;
+    ASSERT_EQ(index.live_posting_entries(), 0u) << "cut=" << cut;
+    ASSERT_EQ(index.residual_count(), 0u) << "cut=" << cut;
+  }
+  StreamL2Index index(params);
+  std::stringstream whole(full);
+  EXPECT_TRUE(index.Deserialize(whole));  // only the cuts were at fault
+}
+
+// Container layout constants shared by the tamper tests below (see
+// Serialize): magic[8], u32 version, u8 scheme, f64 theta, f64 lambda,
+// u64 live, u64 num_lists, then per list { u32 dim, u64 len, columns }.
+constexpr size_t kNumListsOffset = 8 + 4 + 1 + 8 + 8 + 8;
+constexpr size_t kFirstListLenOffset = kNumListsOffset + 8 + 4;
+
+TEST(CheckpointTest, DeserializeRejectsOversizedDeclaredColumnLength) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &params));
+  std::string tampered = SerializedCheckpoint(params);
+  ASSERT_GT(tampered.size(), kFirstListLenOffset + 8);
+  // Declare ~2^64 entries in the first posting list. The loader reads
+  // columns in bounded chunks, so this must fail on the missing bytes
+  // after at most one chunk — not reserve 2^64 elements up front.
+  std::memset(&tampered[kFirstListLenOffset], 0xFF, 8);
+  StreamL2Index index(params);
+  std::stringstream buffer(tampered);
+  std::string error;
+  EXPECT_FALSE(index.Deserialize(buffer, &error));
+  EXPECT_NE(error.find("posting columns"), std::string::npos) << error;
+  EXPECT_EQ(index.live_posting_entries(), 0u);
+}
+
+TEST(CheckpointTest, DeserializeRejectsOversizedDeclaredListCount) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &params));
+  std::string tampered = SerializedCheckpoint(params);
+  std::memset(&tampered[kNumListsOffset], 0xFF, 8);
+  StreamL2Index index(params);
+  std::stringstream buffer(tampered);
+  std::string error;
+  EXPECT_FALSE(index.Deserialize(buffer, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(index.live_posting_entries(), 0u);
+}
+
+TEST(CheckpointTest, DeserializeRejectsOversizedResidualPrefixLength) {
+  DecayParams params;
+  ASSERT_TRUE(DecayParams::Make(0.6, 0.02, &params));
+  // Hand-built minimal container: valid header, zero posting lists, one
+  // residual record whose declared prefix length is ~2^64 with no bytes
+  // behind it. Exercises the residual-path length cap directly.
+  std::stringstream forged;
+  forged.write("SSSJCKP2", 8);
+  const uint32_t version = 2;
+  const uint8_t scheme = 2;
+  const uint64_t live = 0, num_lists = 0, num_residuals = 1;
+  forged.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  forged.write(reinterpret_cast<const char*>(&scheme), sizeof(scheme));
+  forged.write(reinterpret_cast<const char*>(&params.theta), sizeof(double));
+  forged.write(reinterpret_cast<const char*>(&params.lambda), sizeof(double));
+  forged.write(reinterpret_cast<const char*>(&live), sizeof(live));
+  forged.write(reinterpret_cast<const char*>(&num_lists), sizeof(num_lists));
+  forged.write(reinterpret_cast<const char*>(&num_residuals),
+               sizeof(num_residuals));
+  const uint64_t id = 7;
+  const double ts = 1.0, q = 0.5, vm = 0.5, sum = 1.0;
+  const uint32_t nnz = 1;
+  const uint64_t prefix_len = ~uint64_t{0};
+  forged.write(reinterpret_cast<const char*>(&id), sizeof(id));
+  forged.write(reinterpret_cast<const char*>(&ts), sizeof(ts));
+  forged.write(reinterpret_cast<const char*>(&q), sizeof(q));
+  forged.write(reinterpret_cast<const char*>(&vm), sizeof(vm));
+  forged.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+  forged.write(reinterpret_cast<const char*>(&nnz), sizeof(nnz));
+  forged.write(reinterpret_cast<const char*>(&prefix_len),
+               sizeof(prefix_len));
+
+  StreamL2Index index(params);
+  std::string error;
+  EXPECT_FALSE(index.Deserialize(forged, &error));
+  EXPECT_NE(error.find("residual prefix"), std::string::npos) << error;
+  EXPECT_EQ(index.residual_count(), 0u);
+}
+
+TEST(CheckpointTest, EngineLoadRejectsEveryTruncationWithDataLoss) {
+  EngineConfig cfg;
+  cfg.framework = Framework::kStreaming;
+  cfg.index = IndexScheme::kL2;
+  cfg.theta = 0.6;
+  cfg.lambda = 0.02;
+  auto src = *SssjEngine::Make(cfg);
+  const Stream stream = TestStream();
+  for (size_t i = 0; i < 12; ++i) {
+    ASSERT_TRUE(src->Push(stream[i].ts, stream[i].vec).ok());
+  }
+  std::ostringstream saved;
+  ASSERT_TRUE(src->SaveCheckpoint(saved).ok());
+  const std::string full = saved.str();
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    auto engine = *SssjEngine::Make(cfg);
+    std::istringstream truncated(full.substr(0, cut));
+    const Status st = engine->LoadCheckpoint(truncated);
+    ASSERT_EQ(st.code(), StatusCode::kDataLoss) << "cut=" << cut;
+    ASSERT_FALSE(st.message().empty()) << "cut=" << cut;
+    // Swap-on-success: the failed load must leave the engine pristine.
+    ASSERT_TRUE(engine->Push(stream[0].ts, stream[0].vec).ok())
+        << "cut=" << cut;
+  }
+  auto engine = *SssjEngine::Make(cfg);
+  std::istringstream whole(full);
+  EXPECT_TRUE(engine->LoadCheckpoint(whole).ok());
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 // garbage run with a clean exit status).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include <cmath>
 
 #include "util/flags.h"
@@ -84,6 +86,55 @@ TEST(FlagsValidationTest, WellFormedValuesStillParse) {
   EXPECT_DOUBLE_EQ(v[2], 0.25);
   // strtod accepts "inf"/"nan" spellings; full consumption is the bar.
   EXPECT_TRUE(std::isinf(f.GetDouble("inf", 0.0)));
+}
+
+
+// ---- non-exiting parse cores ----
+// ParseFlagInt/Double/DoubleList are the validation behind the exiting
+// getters (and the surface fuzz/fuzz_flags.cc drives); their contract:
+// full-value consumption, false on any malformation, *out untouched on
+// failure.
+
+TEST(FlagsParseCoreTest, IntAcceptsAndRejects) {
+  int64_t v = 42;
+  EXPECT_TRUE(ParseFlagInt("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseFlagInt("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+  v = 42;
+  EXPECT_FALSE(ParseFlagInt("", &v));
+  EXPECT_FALSE(ParseFlagInt("12x", &v));
+  EXPECT_FALSE(ParseFlagInt("x12", &v));
+  EXPECT_FALSE(ParseFlagInt("1.5", &v));
+  EXPECT_EQ(v, 42);  // untouched on every failure
+}
+
+TEST(FlagsParseCoreTest, DoubleAcceptsAndRejects) {
+  double d = 1.0;
+  EXPECT_TRUE(ParseFlagDouble("0.75", &d));
+  EXPECT_DOUBLE_EQ(d, 0.75);
+  EXPECT_TRUE(ParseFlagDouble("1e-3", &d));
+  EXPECT_DOUBLE_EQ(d, 1e-3);
+  d = 1.0;
+  EXPECT_FALSE(ParseFlagDouble("", &d));
+  EXPECT_FALSE(ParseFlagDouble("O.7", &d));  // the motivating typo
+  EXPECT_FALSE(ParseFlagDouble("0.7theta", &d));
+  EXPECT_DOUBLE_EQ(d, 1.0);
+}
+
+TEST(FlagsParseCoreTest, DoubleListCountsEveryElement) {
+  std::vector<double> out;
+  EXPECT_TRUE(ParseFlagDoubleList("0.5,0.7,0.9", &out));
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[1], 0.7);
+  EXPECT_TRUE(ParseFlagDoubleList("1", &out));
+  EXPECT_EQ(out.size(), 1u);
+  // Nothing may be silently skipped or implied.
+  EXPECT_FALSE(ParseFlagDoubleList("", &out));
+  EXPECT_FALSE(ParseFlagDoubleList("0.5,,0.7", &out));
+  EXPECT_FALSE(ParseFlagDoubleList("0.5,0.7,", &out));
+  EXPECT_FALSE(ParseFlagDoubleList(",0.5", &out));
+  EXPECT_FALSE(ParseFlagDoubleList("0.5,abc", &out));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "data/generator.h"
 #include "tests/test_util.h"
@@ -214,6 +215,115 @@ TEST_F(IoTest, EmptyStreamRoundTrips) {
   ASSERT_TRUE(ReadBinaryStream(path, &s).ok());
   EXPECT_TRUE(s.empty());
   std::remove(path.c_str());
+}
+
+
+// ---- strict coordinate validation ----
+// ParseCoord historically fell through strtoul with whatever prefix
+// parsed: "abc:1.0" read dim 0, "7x:0.5" read dim 7. Every token must
+// now parse in full or name the line.
+
+TEST_F(IoTest, TextRejectsNonNumericDimension) {
+  for (const char* token : {"abc:1.0", ":0.5", "-1:0.5", "+2:0.5"}) {
+    const std::string path = TempPath("strict_dim.txt");
+    {
+      std::ofstream f(path);
+      f << "1.0 " << token << "\n";
+    }
+    Stream s;
+    const Status status = ReadTextStream(path, &s);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << token;
+    EXPECT_NE(status.message().find("bad coord"), std::string::npos)
+        << token << " -> " << status.message();
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(IoTest, TextRejectsTrailingJunkInCoord) {
+  for (const char* token : {"7x:0.5", "7:0.5x", "7:0.5:1"}) {
+    const std::string path = TempPath("strict_junk.txt");
+    {
+      std::ofstream f(path);
+      f << "1.0 " << token << "\n";
+    }
+    Stream s;
+    const Status status = ReadTextStream(path, &s);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << token;
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(IoTest, TextRejectsDimensionOverflow) {
+  // 2^32 does not fit DimId; the old code silently truncated mod 2^32.
+  const std::string path = TempPath("dim_overflow.txt");
+  {
+    std::ofstream f(path);
+    f << "1.0 4294967296:1.0\n";
+  }
+  Stream s;
+  const Status status = ReadTextStream(path, &s);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bad coord"), std::string::npos)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+// ---- stream-based reader cores ----
+// The istream overloads must behave identically to the path overloads
+// (they are the same code; the path version only adds the prefix) — the
+// fuzz harnesses drive the cores directly, so equivalence is what makes
+// their coverage transfer to the file-based API.
+
+TEST_F(IoTest, TextStreamOverloadMatchesPathOverload) {
+  const std::string text = "1.0 1:0.6 2:0.8\n2.0 3:1.0\n";
+  const std::string path = TempPath("overload.txt");
+  {
+    std::ofstream f(path);
+    f << text;
+  }
+  Stream from_path, from_stream;
+  ASSERT_TRUE(ReadTextStream(path, &from_path).ok());
+  std::istringstream is(text);
+  ASSERT_TRUE(ReadTextStream(is, &from_stream).ok());
+  ASSERT_EQ(from_stream.size(), from_path.size());
+  for (size_t i = 0; i < from_path.size(); ++i) {
+    EXPECT_EQ(from_stream[i].ts, from_path[i].ts);
+    EXPECT_EQ(from_stream[i].vec.nnz(), from_path[i].vec.nnz());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryStreamOverloadMatchesPathOverload) {
+  const std::string path = TempPath("overload.bin");
+  ASSERT_TRUE(WriteBinaryStream(SampleStream(), path).ok());
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << f.rdbuf();
+  Stream from_path, from_stream;
+  ASSERT_TRUE(ReadBinaryStream(path, &from_path).ok());
+  std::istringstream is(buffer.str());
+  ASSERT_TRUE(ReadBinaryStream(is, &from_stream).ok());
+  ASSERT_EQ(from_stream.size(), from_path.size());
+  for (size_t i = 0; i < from_path.size(); ++i) {
+    EXPECT_EQ(from_stream[i].ts, from_path[i].ts);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryHostileNnzDoesNotPreallocate) {
+  // One record declaring 2^32-1 coordinates with only a few bytes behind
+  // it: the reader caps its reservation and fails on the missing bytes.
+  std::string bytes = "SSSJBIN1";
+  const uint64_t count = 1;
+  const double ts = 1.0;
+  const uint32_t nnz = 0xFFFFFFFFu;
+  bytes.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  bytes.append(reinterpret_cast<const char*>(&ts), sizeof(ts));
+  bytes.append(reinterpret_cast<const char*>(&nnz), sizeof(nnz));
+  std::istringstream is(bytes);
+  Stream s;
+  const Status status = ReadBinaryStream(is, &s);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
 }
 
 }  // namespace

@@ -30,6 +30,7 @@ TEST(MpscRingTest, CapacityRoundsUpToPowerOfTwo) {
 // report full instead of overwriting the unpopped item.
 TEST(MpscRingTest, CapacityOneIsARendezvousSlot) {
   MpscRing<int> ring(1);
+  RoleLock consumer(ring.consumer_role());  // this thread is the consumer
   uint64_t ticket = 99;
   ASSERT_TRUE(ring.TryPush(7, &ticket));
   EXPECT_EQ(ticket, 0u);
@@ -55,6 +56,7 @@ TEST(MpscRingTest, CapacityOneIsARendezvousSlot) {
 
 TEST(MpscRingTest, PeekSeesTheNextPopWithoutConsuming) {
   MpscRing<int> ring(4);
+  RoleLock consumer(ring.consumer_role());  // this thread is the consumer
   EXPECT_EQ(ring.Peek(), nullptr);
   ASSERT_TRUE(ring.TryPush(11));
   ASSERT_TRUE(ring.TryPush(22));
@@ -74,6 +76,7 @@ TEST(MpscRingTest, PeekSeesTheNextPopWithoutConsuming) {
 TEST(MpscRingTest, RandomOpsMatchDequeModelAcrossWraparound) {
   for (size_t cap : {1u, 2u, 3u, 8u}) {
     MpscRing<uint64_t> ring(cap);
+    RoleLock consumer(ring.consumer_role());
     std::deque<uint64_t> model;
     Rng rng(0xC0FFEE + cap);
     uint64_t next_value = 0;
@@ -136,6 +139,8 @@ TEST(MpscRingTest, ConcurrentProducersKeepTicketAndFifoInvariants) {
 
   std::vector<uint64_t> popped;
   popped.reserve(kProducers * kPerProducer);
+  // The main thread is the single consumer; producers only TryPush.
+  RoleLock consumer(ring.consumer_role());
   uint64_t expected_ticket = 0;
   while (popped.size() < kProducers * kPerProducer) {
     uint64_t value = 0, ticket = 0;

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the whole codebase with the repo .clang-tidy.
+
+Usage:
+    tools/run_clang_tidy.py [--build-dir BUILD] [--jobs N] [paths...]
+
+Expects a compile_commands.json in BUILD (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON). With no paths, lints every
+translation unit under src/, fuzz/, examples/, and tests/. Exit status
+is non-zero iff any file produced a finding — .clang-tidy sets
+WarningsAsErrors: '*', so the CI lint leg is a hard gate with a zero
+NOLINT budget (see ARCHITECTURE.md "Correctness tooling").
+"""
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_DIRS = ("src", "fuzz", "examples", "tests")
+
+
+def find_tidy():
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default=os.path.join(REPO, "build"))
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("paths", nargs="*")
+    args = parser.parse_args()
+
+    tidy = find_tidy()
+    if tidy is None:
+        print("run_clang_tidy: clang-tidy not found on PATH", file=sys.stderr)
+        return 2
+
+    compdb = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.isfile(compdb):
+        print(
+            "run_clang_tidy: %s missing — configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" % compdb,
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.paths:
+        files = [os.path.abspath(p) for p in args.paths]
+    else:
+        # Only translation units the build actually compiles: headers are
+        # linted transitively via HeaderFilterRegex.
+        with open(compdb) as f:
+            entries = json.load(f)
+        files = sorted(
+            e["file"]
+            for e in entries
+            if os.path.relpath(e["file"], REPO).split(os.sep)[0]
+            in DEFAULT_DIRS
+        )
+    if not files:
+        print("run_clang_tidy: nothing to lint", file=sys.stderr)
+        return 2
+
+    def lint(path):
+        proc = subprocess.run(
+            [tidy, "-p", args.build_dir, "--quiet", path],
+            capture_output=True,
+            text=True,
+        )
+        return path, proc.returncode, proc.stdout, proc.stderr
+
+    failed = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, rc, out, err in pool.map(lint, files):
+            rel = os.path.relpath(path, REPO)
+            if rc != 0:
+                failed += 1
+                print("FAIL %s" % rel)
+                sys.stdout.write(out)
+                # clang-tidy puts the error summary on stderr; keep the
+                # noise ("N warnings generated") out.
+                for line in err.splitlines():
+                    if "warnings generated" not in line:
+                        print(line, file=sys.stderr)
+            else:
+                print("  ok %s" % rel)
+
+    if failed:
+        print("run_clang_tidy: %d/%d files failed" % (failed, len(files)))
+        return 1
+    print("run_clang_tidy: %d files clean" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
