@@ -1,0 +1,285 @@
+// Ablation: IndexScheme::kAuto (set-dueling adaptive runtime) vs every
+// static framework×scheme combination. The paper's Table 2 point is that
+// no single configuration wins everywhere — which scheme dominates flips
+// with the dataset shape and the θ/λ operating point. The adaptive
+// runtime's claim is that one engine can track the winner at runtime by
+// dueling shadow cores on a reservoir sample and migrating over the
+// portable checkpoint path. This bench quantifies both sides of that
+// claim on the two profiles with the most different shapes (WebSpamLike:
+// short dense stream; RCV1-like: longer sparse stream):
+//
+//   - overhead: auto must stay within a small factor of the best static
+//     combo (acceptance: aggregate auto throughput >= 0.9x best static
+//     per profile);
+//   - payoff: auto must beat the worst static combo clearly somewhere
+//     (acceptance: >= 1.2x on at least one θ/λ cell), since the worst
+//     static is what a user who guessed wrong actually runs.
+//
+// Pair counts are also cross-checked across all 8 configurations per
+// cell — every scheme is exact, so a disagreement means a correctness
+// bug, not a tuning artifact.
+//
+// Results are written as machine-readable JSON to --json-out (default
+// BENCH_auto.json; empty string disables).
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench_common/bench_json.h"
+#include "data/profiles.h"
+
+namespace sssj {
+namespace {
+
+struct Combo {
+  const char* label;
+  Framework framework;
+  IndexScheme scheme;
+};
+
+// Every buildable static combination (STR-AP is unimplemented by design,
+// paper §5.2). STR-L2 first: it is kAuto's starting champion, so the
+// table reads as "what auto starts from" down to "what it must avoid".
+const Combo kStatics[] = {
+    {"STR-L2", Framework::kStreaming, IndexScheme::kL2},
+    {"STR-L2AP", Framework::kStreaming, IndexScheme::kL2ap},
+    {"STR-INV", Framework::kStreaming, IndexScheme::kInv},
+    {"MB-L2", Framework::kMiniBatch, IndexScheme::kL2},
+    {"MB-L2AP", Framework::kMiniBatch, IndexScheme::kL2ap},
+    {"MB-INV", Framework::kMiniBatch, IndexScheme::kInv},
+    {"MB-AP", Framework::kMiniBatch, IndexScheme::kAp},
+};
+constexpr size_t kNumStatics = sizeof(kStatics) / sizeof(kStatics[0]);
+
+struct CellResult {
+  bool valid = false;
+  double seconds = 0.0;  // best of --reps
+  uint64_t pairs = 0;
+  uint64_t switches = 0;
+  std::string final_combo;
+};
+
+std::string ComboLabel(Framework fw, IndexScheme scheme) {
+  return std::string(ToString(fw)) + "-" + ToString(scheme);
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto args = bench::ParseCommon(flags, /*default_scale=*/0.6);
+  // The full 6×4 paper grid times 8 configs is overnight territory; the
+  // default grid keeps one easy and one adversarial point per axis. The
+  // λ values are the paper grid's middle ones: at bench scale λ=1e-1
+  // leaves only a handful of items per horizon, and every run is too
+  // short for an adaptive controller's fixed costs to amortize.
+  const std::vector<double> thetas =
+      flags.GetDoubleList("theta-list", {0.5, 0.7});
+  const std::vector<double> lambdas =
+      flags.GetDoubleList("lambda-list", {1e-2, 1e-3});
+  const std::string json_out = flags.GetString("json-out", "BENCH_auto.json");
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  // 0 = derive per profile as n/6, giving the duel ~6 epochs regardless
+  // of --scale. The shadow replays cost ~2·sample·epochs extra pushes,
+  // so the defaults keep that under ~5% of the stream; the hysteresis is
+  // far above the engine default (0.05) because at bench scale the
+  // sampled cost model is noisy enough that borderline wins are mostly
+  // sampling artifacts — a challenger must look dramatically cheaper
+  // before a migration is worth its checkpoint replay.
+  const int64_t duel_epoch_flag = flags.GetInt("duel-epoch", 0);
+  const int64_t duel_sample = flags.GetInt("duel-sample", 32);
+  const int64_t switch_after = flags.GetInt("switch-after", 3);
+  const double hysteresis = flags.GetDouble("hysteresis", 0.3);
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", "ablation_auto")
+      .Set("scale", args.scale)
+      .Set("seed", args.seed)
+      .Set("reps", static_cast<int64_t>(reps))
+      .Set("duel_sample", static_cast<int64_t>(duel_sample))
+      .Set("switch_after_wins", static_cast<int64_t>(switch_after))
+      .Set("hysteresis", hysteresis);
+  JsonValue profiles_json = JsonValue::Array();
+
+  for (const DatasetProfile profile :
+       {DatasetProfile::kWebSpam, DatasetProfile::kRcv1}) {
+    const Stream stream = GenerateProfile(profile, args.scale, args.seed);
+    const uint64_t duel_epoch =
+        duel_epoch_flag > 0 ? static_cast<uint64_t>(duel_epoch_flag)
+                            : std::max<uint64_t>(1, stream.size() / 6);
+    bench::PrintHeader(std::string("Ablation: auto vs static schemes, ") +
+                           ToString(profile) + "Like",
+                       stream, args);
+
+    TablePrinter table({"theta", "lambda", "config", "time(s)", "kvec/s",
+                        "pairs", "switches", "final", "vs_best", "vs_worst"},
+                       args.tsv);
+    JsonValue rows = JsonValue::Array();
+    // label -> summed best-of-reps seconds across cells (for the
+    // aggregate-throughput acceptance gate).
+    std::map<std::string, double> total_seconds;
+    uint64_t cells = 0;
+    bool pairs_agree = true;
+    double max_cell_vs_worst = 0.0;
+
+    for (const double theta : thetas) {
+      for (const double lambda : lambdas) {
+        DecayParams params;
+        if (!DecayParams::Make(theta, lambda, &params)) continue;
+        ++cells;
+
+        // One result slot per static combo plus the trailing auto slot.
+        std::vector<CellResult> results(kNumStatics + 1);
+        // Reps are interleaved across configs (not run back-to-back) so
+        // machine drift hits every config equally; timing takes the min,
+        // counters come from the first rep (they are deterministic).
+        for (int rep = 0; rep < reps; ++rep) {
+          for (size_t c = 0; c <= kNumStatics; ++c) {
+            RunConfig cfg;
+            cfg.theta = theta;
+            cfg.lambda = lambda;
+            cfg.budget_seconds = args.budget_seconds;
+            if (c < kNumStatics) {
+              cfg.framework = kStatics[c].framework;
+              cfg.index = kStatics[c].scheme;
+            } else {
+              cfg.index = IndexScheme::kAuto;
+              cfg.adaptive.duel_epoch_items = duel_epoch;
+              cfg.adaptive.duel_sample = static_cast<size_t>(duel_sample);
+              cfg.adaptive.switch_after_wins = static_cast<int>(switch_after);
+              cfg.adaptive.hysteresis = hysteresis;
+            }
+            const RunResult r = RunJoin(stream, cfg);
+            if (!r.valid || !r.completed) continue;
+            CellResult& slot = results[c];
+            if (!slot.valid) {
+              slot.valid = true;
+              slot.seconds = r.seconds;
+              slot.pairs = r.pairs;
+              slot.switches = r.scheme_switches;
+              slot.final_combo =
+                  ComboLabel(r.final_framework, r.final_scheme);
+            } else {
+              slot.seconds = std::min(slot.seconds, r.seconds);
+            }
+          }
+        }
+
+        // Best/worst static throughput in this cell.
+        double best_static = 0.0;
+        double worst_static = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < kNumStatics; ++c) {
+          if (!results[c].valid) continue;
+          const double kvecs = stream.size() / results[c].seconds / 1000.0;
+          best_static = std::max(best_static, kvecs);
+          worst_static = std::min(worst_static, kvecs);
+        }
+
+        for (size_t c = 0; c <= kNumStatics; ++c) {
+          const CellResult& r = results[c];
+          const bool is_auto = c == kNumStatics;
+          const std::string label = is_auto ? "AUTO" : kStatics[c].label;
+          if (!r.valid) {
+            table.AddRow({FormatDouble(theta, 2), FormatSci(lambda, 0),
+                          label, "-", "-", "-", "-", "-", "-", "-"});
+            continue;
+          }
+          if (r.pairs != results[0].pairs) pairs_agree = false;
+          total_seconds[label] += r.seconds;
+          const double kvecs = stream.size() / r.seconds / 1000.0;
+          const double vs_best = best_static > 0 ? kvecs / best_static : 0.0;
+          const double vs_worst =
+              worst_static > 0 ? kvecs / worst_static : 0.0;
+          if (is_auto) {
+            max_cell_vs_worst = std::max(max_cell_vs_worst, vs_worst);
+          }
+          table.AddRow({FormatDouble(theta, 2), FormatSci(lambda, 0), label,
+                        FormatDouble(r.seconds, 3), FormatDouble(kvecs, 1),
+                        std::to_string(r.pairs),
+                        std::to_string(r.switches), r.final_combo,
+                        FormatDouble(vs_best, 2) + "x",
+                        FormatDouble(vs_worst, 2) + "x"});
+          rows.Push(JsonValue::Object()
+                        .Set("theta", theta)
+                        .Set("lambda", lambda)
+                        .Set("config", label)
+                        .Set("seconds", r.seconds)
+                        .Set("kvec_per_s", kvecs)
+                        .Set("pairs", r.pairs)
+                        .Set("scheme_switches", r.switches)
+                        .Set("final_combo", r.final_combo)
+                        .Set("vs_best_static", vs_best)
+                        .Set("vs_worst_static", vs_worst));
+        }
+      }
+    }
+
+    // Aggregate throughput per config: total vectors pushed over summed
+    // best-of-reps wall time across the grid — the acceptance gate's
+    // metric (a per-cell average would over-weight the cheap cells).
+    const double total_vectors =
+        static_cast<double>(stream.size()) * static_cast<double>(cells);
+    JsonValue aggregates = JsonValue::Array();
+    double auto_agg = 0.0, best_agg = 0.0;
+    double worst_agg = std::numeric_limits<double>::infinity();
+    for (const auto& [label, seconds] : total_seconds) {
+      const double kvecs = total_vectors / seconds / 1000.0;
+      aggregates.Push(JsonValue::Object()
+                          .Set("config", label)
+                          .Set("total_seconds", seconds)
+                          .Set("kvec_per_s", kvecs));
+      if (label == "AUTO") {
+        auto_agg = kvecs;
+      } else {
+        best_agg = std::max(best_agg, kvecs);
+        worst_agg = std::min(worst_agg, kvecs);
+      }
+    }
+    const double auto_vs_best = best_agg > 0 ? auto_agg / best_agg : 0.0;
+    const double auto_vs_worst = worst_agg > 0 ? auto_agg / worst_agg : 0.0;
+    std::cout << "\n";
+    table.Print(std::cout);
+    std::cout << ToString(profile) << "Like aggregate: auto "
+              << FormatDouble(auto_agg, 1) << " kvec/s = "
+              << FormatDouble(auto_vs_best, 2) << "x best static, "
+              << FormatDouble(auto_vs_worst, 2)
+              << "x worst static (max cell vs worst "
+              << FormatDouble(max_cell_vs_worst, 2) << "x)"
+              << (pairs_agree ? "" : "  ** PAIR COUNT MISMATCH **") << "\n\n";
+    if (!pairs_agree) {
+      std::cerr << "warning: pair counts disagree across configs on "
+                << ToString(profile) << "Like — exact schemes must agree\n";
+    }
+
+    profiles_json.Push(JsonValue::Object()
+                           .Set("profile", ToString(profile))
+                           .Set("n", static_cast<uint64_t>(stream.size()))
+                           .Set("duel_epoch_items", duel_epoch)
+                           .Set("cells", cells)
+                           .Set("pairs_agree", pairs_agree)
+                           .Set("rows", std::move(rows))
+                           .Set("aggregate", std::move(aggregates))
+                           .Set("auto_vs_best_static", auto_vs_best)
+                           .Set("auto_vs_worst_static", auto_vs_worst)
+                           .Set("max_cell_auto_vs_worst", max_cell_vs_worst));
+  }
+  doc.Set("profiles", std::move(profiles_json));
+
+  if (!json_out.empty()) {
+    const Status status = WriteJsonFile(doc, json_out);
+    if (!status.ok()) {
+      std::cerr << "warning: " << status.ToString() << "\n";
+    } else {
+      std::cout << "wrote " << json_out << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sssj
+
+int main(int argc, char** argv) { return sssj::Run(argc, argv); }

@@ -1,0 +1,192 @@
+#include "core/auto_tuner.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "core/engine.h"
+
+namespace sssj {
+
+namespace {
+
+// Every valid framework×scheme combination except STR-AP (unimplemented by
+// design, paper §5.2). Ordered so the cheap-to-build, broadly strong
+// schemes are tried first.
+struct Candidate {
+  Framework framework;
+  IndexScheme scheme;
+};
+constexpr Candidate kCandidates[] = {
+    {Framework::kStreaming, IndexScheme::kL2},
+    {Framework::kMiniBatch, IndexScheme::kL2},
+    {Framework::kStreaming, IndexScheme::kInv},
+    {Framework::kMiniBatch, IndexScheme::kInv},
+    {Framework::kStreaming, IndexScheme::kL2ap},
+    {Framework::kMiniBatch, IndexScheme::kL2ap},
+    {Framework::kMiniBatch, IndexScheme::kAp},
+};
+constexpr size_t kNumCandidates = sizeof(kCandidates) / sizeof(kCandidates[0]);
+
+class DiscardSink : public ResultSink {
+ public:
+  void Emit(const ResultPair&) override {}
+};
+
+}  // namespace
+
+std::string DuelVerdict::ToString() const {
+  std::ostringstream os;
+  // Qualified: the free ToString(Framework/IndexScheme) overloads, not a
+  // recursive call to this member.
+  os << "duel epoch=" << epoch << " champion="
+     << sssj::ToString(champion_framework) << "-"
+     << sssj::ToString(champion_scheme) << " cost=" << champion_cost
+     << " challenger=" << sssj::ToString(challenger_framework) << "-"
+     << sssj::ToString(challenger_scheme) << " cost=" << challenger_cost
+     << " sample=" << sampled_items << " "
+     << (challenger_won ? "WIN" : "LOSS") << " streak=" << streak;
+  if (migrate) os << " -> MIGRATE";
+  return os.str();
+}
+
+AutoTuner::AutoTuner(const AdaptiveOptions& options, const DecayParams& params)
+    : options_(options), params_(params) {
+  sample_.reserve(options_.duel_sample);
+  ReseedForEpoch(0);
+}
+
+uint64_t AutoTuner::NextRand() {
+  // Knuth MMIX LCG; the high bits feed the reservoir draw.
+  rng_ = rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  return rng_ >> 33;
+}
+
+void AutoTuner::ReseedForEpoch(uint64_t epoch) {
+  // Deterministic per epoch: two identical streams produce identical
+  // samples, verdicts, and migrations.
+  rng_ = 0x9E3779B97F4A7C15ULL ^ (epoch + 1) * 0xD1B54A32D192ED03ULL;
+}
+
+uint64_t AutoTuner::DuelCost(const RunStats& stats) {
+  return stats.entries_traversed + stats.full_dots;
+}
+
+void AutoTuner::RotateChallenger(Framework champion_framework,
+                                 IndexScheme champion_scheme) {
+  for (size_t step = 0; step < kNumCandidates; ++step) {
+    challenger_idx_ = (challenger_idx_ + 1) % kNumCandidates;
+    const Candidate& c = kCandidates[challenger_idx_];
+    if (c.framework != champion_framework || c.scheme != champion_scheme) {
+      return;
+    }
+  }
+}
+
+uint64_t AutoTuner::ShadowCost(Framework framework, IndexScheme scheme) const {
+  // A shadow is the cheapest faithful instance of the combination: one
+  // thread, scalar kernel, no tiering, no retention. Its counters are the
+  // duel's entire output; its pairs go nowhere.
+  EngineConfig shadow;
+  shadow.framework = framework;
+  shadow.index = scheme;
+  shadow.theta = params_.theta;
+  shadow.lambda = params_.lambda;
+  auto core_or = MakeJoinCore(shadow, framework, scheme, params_);
+  if (!core_or.ok()) {
+    // An unbuildable challenger can never win.
+    return std::numeric_limits<uint64_t>::max();
+  }
+  JoinCore& core = **core_or;
+  DiscardSink discard;
+  for (const StreamItem& item : sample_) core.Push(item, &discard);
+  // MB shadows buffer; the windows must close for their cost to register.
+  core.Flush(&discard);
+  return DuelCost(core.stats());
+}
+
+bool AutoTuner::OnItem(const StreamItem& item, Framework champion_framework,
+                       IndexScheme champion_scheme, DuelVerdict* verdict) {
+  ++seen_in_epoch_;
+  // Algorithm R: the first k items fill the reservoir; item i > k replaces
+  // a random slot with probability k/i.
+  if (sample_.size() < options_.duel_sample) {
+    sample_.push_back(item);
+  } else if (options_.duel_sample > 0) {
+    const uint64_t j = NextRand() % seen_in_epoch_;
+    if (j < options_.duel_sample) sample_[j] = item;
+  }
+  if (seen_in_epoch_ < options_.duel_epoch_items) return false;
+
+  ++epoch_;
+  // Reservoir replacement scrambles arrival order; the shadows need a
+  // time-ordered stream.
+  std::sort(sample_.begin(), sample_.end(),
+            [](const StreamItem& a, const StreamItem& b) {
+              return a.ts != b.ts ? a.ts < b.ts : a.id < b.id;
+            });
+  // Compress the sample's time axis by the sampling rate. Raw reservoir
+  // timestamps are ~(epoch/sample) further apart than the live stream's,
+  // so an uncompressed replay puts every item alone in its horizon: the
+  // shadows would measure pure expiry/window churn and zero candidate
+  // traffic — maximal cost for the wrong reason and no signal. Scaling
+  // the inter-arrival gaps restores the original arrival density, so a
+  // shadow's horizon holds about as many items as the real core's and
+  // its traversal/dot counters rank the schemes the way the full stream
+  // would. Order (and hence determinism) is unaffected: gaps stay
+  // non-negative.
+  if (sample_.size() > 1 && seen_in_epoch_ > sample_.size()) {
+    const double rate_scale = static_cast<double>(sample_.size()) /
+                              static_cast<double>(seen_in_epoch_);
+    double prev_raw = sample_[0].ts;
+    for (size_t i = 1; i < sample_.size(); ++i) {
+      const double gap = sample_[i].ts - prev_raw;
+      prev_raw = sample_[i].ts;
+      sample_[i].ts = sample_[i - 1].ts + gap * rate_scale;
+    }
+  }
+  // The engine may have migrated to what was the challenger; never duel a
+  // combination against itself.
+  const Candidate* challenger = &kCandidates[challenger_idx_];
+  if (challenger->framework == champion_framework &&
+      challenger->scheme == champion_scheme) {
+    RotateChallenger(champion_framework, champion_scheme);
+    challenger = &kCandidates[challenger_idx_];
+  }
+
+  verdict->epoch = epoch_;
+  verdict->champion_framework = champion_framework;
+  verdict->champion_scheme = champion_scheme;
+  verdict->challenger_framework = challenger->framework;
+  verdict->challenger_scheme = challenger->scheme;
+  verdict->sampled_items = sample_.size();
+  verdict->champion_cost = ShadowCost(champion_framework, champion_scheme);
+  verdict->challenger_cost =
+      ShadowCost(challenger->framework, challenger->scheme);
+  verdict->challenger_won =
+      static_cast<double>(verdict->challenger_cost) <
+      (1.0 - options_.hysteresis) * static_cast<double>(verdict->champion_cost);
+
+  if (verdict->challenger_won) {
+    ++streak_;
+  } else {
+    streak_ = 0;
+    RotateChallenger(champion_framework, champion_scheme);
+  }
+  verdict->streak = streak_;
+  verdict->migrate =
+      verdict->challenger_won && streak_ >= options_.switch_after_wins;
+  if (verdict->migrate) {
+    // The challenger becomes champion (the engine performs the switch);
+    // restart the duel around it.
+    streak_ = 0;
+    RotateChallenger(challenger->framework, challenger->scheme);
+  }
+
+  sample_.clear();
+  seen_in_epoch_ = 0;
+  ReseedForEpoch(epoch_);
+  return true;
+}
+
+}  // namespace sssj

@@ -30,6 +30,8 @@ std::unique_ptr<BatchIndex> MakeBatchIndex(IndexScheme scheme, double theta,
       return std::make_unique<L2apIndex>(theta, use_simd);
     case IndexScheme::kL2:
       return std::make_unique<L2Index>(theta, use_simd);
+    case IndexScheme::kAuto:
+      break;  // resolved to a concrete scheme before any core is built
   }
   return nullptr;
 }
@@ -52,6 +54,39 @@ ResultSink* OrDiscard(ResultSink* sink) {
   return sink != nullptr ? sink : discard;
 }
 
+// Suppresses pairs that were already reported before a migration or
+// portable restore: a pair whose BOTH ids are below the watermark was
+// emitted by the pre-snapshot engine, and the replayed core will
+// re-detect it (STR targets re-join the replayed items; MB targets
+// re-emit them at later window closes).
+class WatermarkFilterSink : public ResultSink {
+ public:
+  WatermarkFilterSink(ResultSink* down, VectorId watermark)
+      : down_(down), watermark_(watermark) {}
+  void Emit(const ResultPair& pair) override {
+    if (pair.a < watermark_ && pair.b < watermark_) return;
+    down_->Emit(pair);
+  }
+
+ private:
+  ResultSink* down_;
+  VectorId watermark_;
+};
+
+const char* kNativeOnlyMessage =
+    "checkpointing is supported for single-threaded STR-L2 only";
+
+template <typename T>
+void WriteRaw(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadRaw(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return is.good();
+}
+
 }  // namespace
 
 const char* ToString(Framework f) {
@@ -68,6 +103,8 @@ const char* ToString(IndexScheme s) {
       return "L2AP";
     case IndexScheme::kL2:
       return "L2";
+    case IndexScheme::kAuto:
+      return "AUTO";
   }
   return "?";
 }
@@ -87,8 +124,9 @@ StatusOr<IndexScheme> ParseIndexScheme(const std::string& s) {
   if (l == "ap") return IndexScheme::kAp;
   if (l == "l2ap") return IndexScheme::kL2ap;
   if (l == "l2") return IndexScheme::kL2;
+  if (l == "auto") return IndexScheme::kAuto;
   return Status::InvalidArgument("unknown index scheme '" + s +
-                                 "' (expected INV, AP, L2AP, or L2)");
+                                 "' (expected INV, AP, L2AP, L2, or AUTO)");
 }
 
 StatusOr<ValueTier> ParseValueTier(const std::string& s) {
@@ -98,6 +136,75 @@ StatusOr<ValueTier> ParseValueTier(const std::string& s) {
   if (l == "f16" || l == "fp16" || l == "half") return ValueTier::kF16;
   return Status::InvalidArgument("unknown value tier '" + s +
                                  "' (expected exact, bf16, or f16)");
+}
+
+StatusOr<std::unique_ptr<JoinCore>> MakeJoinCore(const EngineConfig& config,
+                                                 Framework framework,
+                                                 IndexScheme scheme,
+                                                 const DecayParams& params) {
+  if (scheme == IndexScheme::kAuto) {
+    return Status::InvalidArgument(
+        "kAuto is a policy, not a scheme; the engine resolves it before "
+        "building a core");
+  }
+  if (framework == Framework::kStreaming && scheme == IndexScheme::kAp) {
+    return Status::Unimplemented(
+        "STR-AP is not supported: the paper omits the streaming AP scheme "
+        "as impractical (maintaining the prefix-filter max vector online "
+        "forces continual re-indexing, see §5.2); use STR-L2AP or MB-AP "
+        "instead");
+  }
+  const size_t num_threads =
+      config.num_threads < 1 ? 1 : static_cast<size_t>(config.num_threads);
+  const bool use_simd = KernelModeUsesSimd(config.kernel);
+  if (framework == Framework::kMiniBatch) {
+    const double theta = config.theta;
+    auto factory = [scheme, theta, use_simd] {
+      return MakeBatchIndex(scheme, theta, use_simd);
+    };
+    std::unique_ptr<JoinCore> core;
+    if (config.pool != nullptr && num_threads > 1) {
+      core = std::make_unique<MiniBatchJoin>(
+          params, std::move(factory), /*window_factor=*/1.0, config.pool);
+    } else {
+      core = std::make_unique<MiniBatchJoin>(
+          params, std::move(factory), /*window_factor=*/1.0, num_threads);
+    }
+    return core;
+  }
+  std::unique_ptr<StreamIndex> index;
+  switch (scheme) {
+    case IndexScheme::kInv:
+      index = std::make_unique<StreamInvIndex>(params, use_simd,
+                                               config.tiered);
+      break;
+    case IndexScheme::kL2ap:
+      index = std::make_unique<StreamL2apIndex>(params,
+                                                /*ic_theta_slack=*/0.0,
+                                                /*use_l2_bounds=*/true,
+                                                use_simd, config.tiered);
+      break;
+    case IndexScheme::kL2:
+      if (num_threads > 1) {
+        index = std::make_unique<ShardedStreamIndex>(
+            params, num_threads, config.pool, L2IndexOptions{}, use_simd,
+            config.tiered);
+      } else {
+        index = std::make_unique<StreamL2Index>(params, L2IndexOptions{},
+                                                use_simd, config.tiered);
+      }
+      break;
+    case IndexScheme::kAp:
+    case IndexScheme::kAuto:
+      return Status::Internal("invalid STR scheme slipped past validation");
+  }
+  // Migration serializes the live item set, which STR does not otherwise
+  // keep; only migration-capable engines pay for the retention buffer.
+  const bool retain_live = config.adaptive.enable_migration ||
+                           config.index == IndexScheme::kAuto;
+  std::unique_ptr<JoinCore> core = std::make_unique<StreamingJoin>(
+      params, std::move(index), retain_live);
+  return core;
 }
 
 SssjEngine::SssjEngine(const EngineConfig& config, const DecayParams& params,
@@ -168,56 +275,79 @@ StatusOr<std::unique_ptr<SssjEngine>> SssjEngine::Make(
         "forces continual re-indexing, see §5.2); use STR-L2AP or MB-AP "
         "instead");
   }
+  const bool is_auto = config.index == IndexScheme::kAuto;
+  if (is_auto) {
+    const AdaptiveOptions& a = config.adaptive;
+    if (a.duel_epoch_items < 1) {
+      return Status::OutOfRange("adaptive.duel_epoch_items must be >= 1; got 0");
+    }
+    if (a.duel_sample < 1) {
+      return Status::OutOfRange("adaptive.duel_sample must be >= 1; got 0");
+    }
+    if (a.switch_after_wins < 1) {
+      return Status::OutOfRange("adaptive.switch_after_wins must be >= 1; got " +
+                                std::to_string(a.switch_after_wins));
+    }
+    if (!(a.hysteresis >= 0.0) || !(a.hysteresis < 1.0) ||
+        !std::isfinite(a.hysteresis)) {
+      return Status::OutOfRange("adaptive.hysteresis must be in [0, 1); got " +
+                                FormatValue(a.hysteresis));
+    }
+  }
   DecayParams params;
   if (!DecayParams::Make(config.theta, config.lambda, &params)) {
     return Status::Internal("DecayParams rejected validated theta/lambda");
   }
 
   std::unique_ptr<SssjEngine> engine(new SssjEngine(config, params, sink));
-  const size_t num_threads =
-      config.num_threads < 1 ? 1 : static_cast<size_t>(config.num_threads);
-  const bool use_simd = KernelModeUsesSimd(config.kernel);
-  if (config.framework == Framework::kMiniBatch) {
-    const IndexScheme scheme = config.index;
-    const double theta = config.theta;
-    auto factory = [scheme, theta, use_simd] {
-      return MakeBatchIndex(scheme, theta, use_simd);
-    };
-    if (config.pool != nullptr && num_threads > 1) {
-      engine->mb_ = std::make_unique<MiniBatchJoin>(
-          params, std::move(factory), /*window_factor=*/1.0, config.pool);
-    } else {
-      engine->mb_ = std::make_unique<MiniBatchJoin>(
-          params, std::move(factory), /*window_factor=*/1.0, num_threads);
-    }
-  } else {
-    std::unique_ptr<StreamIndex> index;
-    switch (config.index) {
-      case IndexScheme::kInv:
-        index = std::make_unique<StreamInvIndex>(params, use_simd,
-                                                 config.tiered);
-        break;
-      case IndexScheme::kL2ap:
-        index = std::make_unique<StreamL2apIndex>(params,
-                                                  /*ic_theta_slack=*/0.0,
-                                                  /*use_l2_bounds=*/true,
-                                                  use_simd, config.tiered);
-        break;
-      case IndexScheme::kL2:
-        if (num_threads > 1) {
-          index = std::make_unique<ShardedStreamIndex>(
-              params, num_threads, config.pool, L2IndexOptions{}, use_simd,
-              config.tiered);
-        } else {
-          index = std::make_unique<StreamL2Index>(params, L2IndexOptions{},
-                                                  use_simd, config.tiered);
-        }
-        break;
-      case IndexScheme::kAp:
-        return Status::Internal("STR-AP slipped past validation");
-    }
-    engine->str_ = std::make_unique<StreamingJoin>(params, std::move(index));
+  engine->active_framework_ = config.framework;
+  // kAuto starts on L2 — valid under both frameworks and the paper's
+  // overall recommendation — and lets the duel take it from there.
+  engine->active_scheme_ = is_auto ? IndexScheme::kL2 : config.index;
+  auto core_or = MakeJoinCore(config, engine->active_framework_,
+                              engine->active_scheme_, params);
+  if (!core_or.ok()) return core_or.status();
+  engine->core_ = std::move(*core_or);
+  if (is_auto) {
+    engine->tuner_ = std::make_unique<AutoTuner>(config.adaptive, params);
   }
+
+  // Knobs this combination accepts but does not use: say so once, here,
+  // instead of silently dropping the setting (engine.h documents each
+  // case; these notes make the drop observable at runtime).
+  if (config.num_threads > 1) {
+    if (is_auto) {
+      engine->config_notes_.push_back(
+          "num_threads=" + std::to_string(config.num_threads) +
+          " applies only while the active scheme is STR-L2 or a MiniBatch "
+          "scheme; STR-INV/STR-L2AP phases of an AUTO run are sequential");
+    } else if (config.framework == Framework::kStreaming &&
+               (config.index == IndexScheme::kInv ||
+                config.index == IndexScheme::kL2ap)) {
+      engine->config_notes_.push_back(
+          "num_threads=" + std::to_string(config.num_threads) +
+          " is ignored: STR-INV and STR-L2AP run sequentially (only STR-L2 "
+          "shards its index; every MB scheme parallelizes window closes)");
+    }
+  }
+  if (config.tiered.enabled) {
+    if (is_auto) {
+      engine->config_notes_.push_back(
+          "tiered posting storage applies only while the active scheme is "
+          "an STR scheme; MiniBatch phases of an AUTO run ignore it");
+    } else if (config.framework == Framework::kMiniBatch) {
+      engine->config_notes_.push_back(
+          "tiered posting storage is ignored: MiniBatch window indexes are "
+          "short-lived and dropped wholesale at window close, so there is "
+          "no cold prefix to freeze");
+    }
+  }
+  if (config.pool != nullptr && config.num_threads <= 1) {
+    engine->config_notes_.push_back(
+        "the shared thread pool is unused: num_threads <= 1 keeps the "
+        "sequential path");
+  }
+
   if (config.ingest.mode == IngestMode::kAsync) {
     engine->ingest_queue_ = std::make_unique<IngestQueue>(config.ingest);
     if (!config.ingest.external_pump) {
@@ -261,13 +391,11 @@ Status SssjEngine::PushImpl(Timestamp ts, SparseVector vec, ResultSink* sink) {
   }
   // Diagnose a time regression here, where the last accepted timestamp is
   // known, instead of letting the join silently refuse the item.
-  const bool started = (mb_ != nullptr) ? mb_->started() : str_->started();
-  const Timestamp last_ts = (mb_ != nullptr) ? mb_->last_ts() : str_->last_ts();
-  if (started && ts < last_ts) {
+  if (core_->started() && ts < core_->last_ts()) {
     return Status::FailedPrecondition(
         "timestamp regression: " + FormatValue(ts) +
         " is earlier than the last accepted timestamp " +
-        FormatValue(last_ts));
+        FormatValue(core_->last_ts()));
   }
 
   StreamItem item;
@@ -275,13 +403,30 @@ Status SssjEngine::PushImpl(Timestamp ts, SparseVector vec, ResultSink* sink) {
   item.ts = ts;
   item.vec = std::move(vec);
 
-  const bool ok = (mb_ != nullptr) ? mb_->Push(item, OrDiscard(sink))
-                                   : str_->Push(item, OrDiscard(sink));
-  if (!ok) {
+  WatermarkFilterSink filtered(OrDiscard(sink), watermark_);
+  ResultSink* out =
+      watermark_ > 0 ? static_cast<ResultSink*>(&filtered) : OrDiscard(sink);
+  if (!core_->Push(item, out)) {
     return Status::Internal("join rejected a validated item");
   }
   ++next_id_;
+  if (tuner_ != nullptr) ObserveForDuel(item);
   return Status::Ok();
+}
+
+void SssjEngine::ObserveForDuel(const StreamItem& item) {
+  DuelVerdict verdict;
+  if (!tuner_->OnItem(item, active_framework_, active_scheme_, &verdict)) {
+    return;
+  }
+  if (verdict.migrate) {
+    const Status switched = SwitchSchemeInternal(verdict.challenger_framework,
+                                                 verdict.challenger_scheme);
+    // A failed switch leaves the champion in place; the tuner re-derives
+    // the champion from the engine every epoch, so it self-heals.
+    if (!switched.ok()) verdict.migrate = false;
+  }
+  if (config_.adaptive.on_verdict) config_.adaptive.on_verdict(verdict);
 }
 
 Status SssjEngine::Push(Timestamp ts, SparseVector vec) {
@@ -306,11 +451,9 @@ BatchPushResult SssjEngine::PushBatch(const Stream& batch) {
 }
 
 void SssjEngine::FlushImpl(ResultSink* sink) {
-  if (mb_ != nullptr) {
-    mb_->Flush(OrDiscard(sink));
-  } else {
-    str_->Flush(OrDiscard(sink));
-  }
+  WatermarkFilterSink filtered(OrDiscard(sink), watermark_);
+  core_->Flush(watermark_ > 0 ? static_cast<ResultSink*>(&filtered)
+                              : OrDiscard(sink));
 }
 
 void SssjEngine::Flush() { FlushImpl(sink_); }
@@ -346,35 +489,253 @@ void SssjEngine::ApplyEpoch(Stream&& epoch, uint64_t first_ticket) {
 }
 
 const RunStats& SssjEngine::stats() const {
-  return (mb_ != nullptr) ? mb_->stats() : str_->stats();
+  // Counters survive migrations: cores switched away from fold into
+  // folded_stats_; the active core's counters ride on top. With no
+  // migration this is identity (folded is all-zero).
+  combined_stats_ = folded_stats_;
+  combined_stats_ += core_->stats();
+  return combined_stats_;
 }
 
-size_t SssjEngine::MemoryBytes() const {
-  return str_ != nullptr ? str_->index().MemoryBytes() : mb_->MemoryBytes();
+size_t SssjEngine::MemoryBytes() const { return core_->MemoryBytes(); }
+
+bool SssjEngine::MigrationEnabled() const {
+  return config_.adaptive.enable_migration ||
+         config_.index == IndexScheme::kAuto;
+}
+
+bool SssjEngine::NativeCheckpointable() const {
+  return active_framework_ == Framework::kStreaming &&
+         active_scheme_ == IndexScheme::kL2 && config_.num_threads <= 1;
 }
 
 namespace {
 
-// Engine-level checkpoint header: magic + version, then the stream clock,
-// then the index's own (versioned, parameter-validated) record.
+// Engine-level checkpoint headers: magic + version, then the stream clock.
+// ENG2 (native) carries the index's own (versioned, parameter-validated)
+// record; ENG3 (portable) carries the live item set any scheme can replay.
 constexpr char kEngineCheckpointMagic[8] = {'S', 'S', 'S', 'J',
                                             'E', 'N', 'G', '2'};
+constexpr char kPortableCheckpointMagic[8] = {'S', 'S', 'S', 'J',
+                                              'E', 'N', 'G', '3'};
+constexpr uint32_t kPortableVersion = 3;
 
 }  // namespace
 
-Status SssjEngine::SaveCheckpoint(std::ostream& os) const {
-  if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
-      config_.num_threads > 1) {
-    return Status::Unimplemented(
-        "checkpointing is supported for single-threaded STR-L2 only");
+Status SssjEngine::SavePortable(std::ostream& os) const {
+  os.write(kPortableCheckpointMagic, sizeof(kPortableCheckpointMagic));
+  WriteRaw(os, kPortableVersion);
+  // The writing combination is metadata: the loader replays into ITS
+  // configured combination, which is what makes migration a load.
+  const uint8_t framework_byte =
+      active_framework_ == Framework::kMiniBatch ? 0 : 1;
+  const uint8_t scheme_byte = static_cast<uint8_t>(active_scheme_);
+  WriteRaw(os, framework_byte);
+  WriteRaw(os, scheme_byte);
+  WriteRaw(os, config_.theta);
+  WriteRaw(os, config_.lambda);
+  const uint64_t next_id = next_id_;
+  WriteRaw(os, next_id);
+  const Timestamp last_ts = core_->last_ts();
+  WriteRaw(os, last_ts);
+  const uint8_t started = core_->started() ? 1 : 0;
+  WriteRaw(os, started);
+  // Watermark: every pair with BOTH ids below it has been reported to the
+  // external sink. STR emits at push, so everything below next_id is out;
+  // MB windows hold pending pairs among the live items, so only the
+  // carried watermark (from an earlier restore/migration, else 0) is safe.
+  const uint64_t watermark =
+      active_framework_ == Framework::kStreaming ? next_id_ : watermark_;
+  WriteRaw(os, watermark);
+  Stream live;
+  core_->CollectLiveItems(&live);
+  WriteRaw(os, static_cast<uint64_t>(live.size()));
+  for (const StreamItem& item : live) {
+    WriteRaw(os, static_cast<uint64_t>(item.id));
+    WriteRaw(os, item.ts);
+    WriteRaw(os, static_cast<uint32_t>(item.vec.nnz()));
+    for (const Coord& c : item.vec) {
+      WriteRaw(os, c.dim);
+      WriteRaw(os, c.value);
+    }
   }
-  const auto* index = dynamic_cast<const StreamL2Index*>(&str_->index());
+  if (!os.good()) {
+    return Status::IoError("checkpoint write failure");
+  }
+  return Status::Ok();
+}
+
+Status SssjEngine::RestorePortable(std::istream& is, Framework framework,
+                                   IndexScheme scheme) {
+  // Parse and validate the ENTIRE file before touching any engine state
+  // (or the sink): a truncated or corrupt checkpoint must leave the live
+  // engine — and its output stream — exactly as it was.
+  uint32_t version = 0;
+  if (!ReadRaw(is, &version)) {
+    return Status::DataLoss("truncated checkpoint header");
+  }
+  if (version != kPortableVersion) {
+    return Status::DataLoss("unsupported portable checkpoint version " +
+                            std::to_string(version));
+  }
+  uint8_t src_framework = 0;
+  uint8_t src_scheme = 0;
+  if (!ReadRaw(is, &src_framework) || !ReadRaw(is, &src_scheme)) {
+    return Status::DataLoss("truncated checkpoint header");
+  }
+  if (src_framework > 1 ||
+      src_scheme > static_cast<uint8_t>(IndexScheme::kL2)) {
+    return Status::DataLoss("corrupt framework/scheme byte in checkpoint");
+  }
+  double theta = 0.0;
+  double lambda = 0.0;
+  if (!ReadRaw(is, &theta) || !ReadRaw(is, &lambda)) {
+    return Status::DataLoss("truncated checkpoint header");
+  }
+  if (theta != config_.theta || lambda != config_.lambda) {
+    return Status::DataLoss(
+        "checkpoint parameter mismatch: file has theta=" + FormatValue(theta) +
+        " lambda=" + FormatValue(lambda) + ", engine has theta=" +
+        FormatValue(config_.theta) + " lambda=" + FormatValue(config_.lambda));
+  }
+  uint64_t next_id = 0;
+  Timestamp last_ts = 0.0;
+  uint8_t started = 0;
+  uint64_t watermark = 0;
+  uint64_t num_items = 0;
+  if (!ReadRaw(is, &next_id) || !ReadRaw(is, &last_ts) ||
+      !ReadRaw(is, &started) || !ReadRaw(is, &watermark) ||
+      !ReadRaw(is, &num_items)) {
+    return Status::DataLoss("truncated checkpoint header");
+  }
+  if (!std::isfinite(last_ts) || started > 1 || watermark > next_id) {
+    return Status::DataLoss("corrupt clock/watermark in checkpoint");
+  }
+  Stream items;
+  // num_items is untrusted: grow with the data actually read, never with
+  // the declared count.
+  for (uint64_t i = 0; i < num_items; ++i) {
+    uint64_t id = 0;
+    Timestamp ts = 0.0;
+    uint32_t nnz = 0;
+    if (!ReadRaw(is, &id) || !ReadRaw(is, &ts) || !ReadRaw(is, &nnz)) {
+      return Status::DataLoss("truncated checkpoint item");
+    }
+    if (id >= next_id || !std::isfinite(ts)) {
+      return Status::DataLoss("corrupt item header in checkpoint");
+    }
+    if (!items.empty() &&
+        (id <= items.back().id || ts < items.back().ts)) {
+      return Status::DataLoss("checkpoint items out of order");
+    }
+    if (nnz == 0) {
+      return Status::DataLoss("empty vector in checkpoint");
+    }
+    std::vector<Coord> coords;
+    DimId prev_dim = 0;
+    for (uint32_t c = 0; c < nnz; ++c) {
+      Coord coord;
+      if (!ReadRaw(is, &coord.dim) || !ReadRaw(is, &coord.value)) {
+        return Status::DataLoss("truncated checkpoint item");
+      }
+      if (!(coord.value > 0.0) || !std::isfinite(coord.value) ||
+          (c > 0 && coord.dim <= prev_dim)) {
+        return Status::DataLoss("corrupt coordinate in checkpoint");
+      }
+      prev_dim = coord.dim;
+      coords.push_back(coord);
+    }
+    StreamItem item;
+    item.id = id;
+    item.ts = ts;
+    // The coords were validated sorted/positive/finite, so FromCoords is
+    // an identity reconstruction with bit-exact recomputed stats.
+    item.vec = SparseVector::FromCoords(std::move(coords));
+    if (!item.vec.IsUnit()) {
+      return Status::DataLoss("non-unit vector in checkpoint");
+    }
+    items.push_back(std::move(item));
+  }
+  if (!items.empty() && last_ts < items.back().ts) {
+    return Status::DataLoss("checkpoint clock behind its live items");
+  }
+
+  auto core_or = MakeJoinCore(config_, framework, scheme, params_);
+  if (!core_or.ok()) return core_or.status();
+  std::unique_ptr<JoinCore> fresh = std::move(*core_or);
+
+  // Replay the live items through the fresh core. Pairs already reported
+  // before the snapshot (both ids below the watermark) are suppressed;
+  // pairs that were pending (MB windows) emit exactly as a target-scheme
+  // engine restored from this checkpoint would emit them — which is what
+  // this is. The replay cannot fail: items were validated time-ordered.
+  WatermarkFilterSink filtered(OrDiscard(sink_), watermark);
+  for (const StreamItem& item : items) {
+    if (!fresh->Push(item, &filtered)) {
+      return Status::Internal("replay rejected a validated item");
+    }
+  }
+  fresh->RestoreClock(last_ts, started != 0);
+
+  folded_stats_ += core_->stats();  // counters are per-process
+  core_ = std::move(fresh);
+  active_framework_ = framework;
+  active_scheme_ = scheme;
+  watermark_ = watermark;
+  next_id_ = next_id;
+  return Status::Ok();
+}
+
+Status SssjEngine::SwitchScheme(Framework framework, IndexScheme scheme) {
+  if (!MigrationEnabled()) {
+    return Status::FailedPrecondition(
+        "scheme migration requires EngineConfig::adaptive.enable_migration "
+        "(or IndexScheme::kAuto)");
+  }
+  if (scheme == IndexScheme::kAuto) {
+    return Status::InvalidArgument(
+        "SwitchScheme target must be a concrete scheme, not kAuto");
+  }
+  if (framework == active_framework_ && scheme == active_scheme_) {
+    return Status::Ok();  // already running it
+  }
+  return SwitchSchemeInternal(framework, scheme);
+}
+
+Status SssjEngine::SwitchSchemeInternal(Framework framework,
+                                        IndexScheme scheme) {
+  // A migration IS a portable save + restore — sharing the code path with
+  // LoadCheckpoint is what makes the equivalence contract (switched
+  // engine ≡ target engine restored from the same checkpoint) hold by
+  // construction rather than by parallel maintenance.
+  std::stringstream snapshot(std::ios::in | std::ios::out | std::ios::binary);
+  Status saved = SavePortable(snapshot);
+  if (!saved.ok()) return saved;
+  char magic[8];
+  snapshot.read(magic, sizeof(magic));
+  if (!snapshot.good() ||
+      std::memcmp(magic, kPortableCheckpointMagic, sizeof(magic)) != 0) {
+    return Status::Internal("scheme-migration snapshot is unreadable");
+  }
+  Status restored = RestorePortable(snapshot, framework, scheme);
+  if (!restored.ok()) return restored;
+  ++scheme_switches_;
+  return Status::Ok();
+}
+
+Status SssjEngine::SaveCheckpoint(std::ostream& os) const {
+  if (MigrationEnabled()) return SavePortable(os);
+  if (!NativeCheckpointable()) {
+    return Status::Unimplemented(kNativeOnlyMessage);
+  }
+  const StreamingJoin* str = core_->AsStreaming();
+  const auto* index = dynamic_cast<const StreamL2Index*>(&str->index());
   if (index == nullptr) {
     return Status::Internal("unexpected index type");
   }
   const uint64_t next_id = next_id_;
-  const Timestamp last_ts = str_->last_ts();
-  const uint8_t started = str_->started() ? 1 : 0;
+  const Timestamp last_ts = str->last_ts();
+  const uint8_t started = str->started() ? 1 : 0;
   os.write(kEngineCheckpointMagic, sizeof(kEngineCheckpointMagic));
   os.write(reinterpret_cast<const char*>(&next_id), sizeof(next_id));
   os.write(reinterpret_cast<const char*>(&last_ts), sizeof(last_ts));
@@ -386,10 +747,8 @@ Status SssjEngine::SaveCheckpoint(std::ostream& os) const {
 }
 
 Status SssjEngine::SaveCheckpoint(const std::string& path) const {
-  if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
-      config_.num_threads > 1) {
-    return Status::Unimplemented(
-        "checkpointing is supported for single-threaded STR-L2 only");
+  if (!MigrationEnabled() && !NativeCheckpointable()) {
+    return Status::Unimplemented(kNativeOnlyMessage);
   }
   std::ofstream f(path, std::ios::binary);
   if (!f) {
@@ -402,23 +761,14 @@ Status SssjEngine::SaveCheckpoint(const std::string& path) const {
   return status;
 }
 
-Status SssjEngine::LoadCheckpoint(std::istream& is) {
-  if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
-      config_.num_threads > 1) {
-    return Status::Unimplemented(
-        "checkpointing is supported for single-threaded STR-L2 only");
+Status SssjEngine::LoadNative(std::istream& is) {
+  if (!NativeCheckpointable()) {
+    return Status::Unimplemented(kNativeOnlyMessage);
   }
-  auto* index = dynamic_cast<StreamL2Index*>(str_->mutable_index());
+  auto* index = dynamic_cast<StreamL2Index*>(
+      core_->AsStreaming()->mutable_index());
   if (index == nullptr) {
     return Status::Internal("unexpected index type");
-  }
-  char magic[8];
-  is.read(magic, sizeof(magic));
-  if (!is.good() ||
-      std::memcmp(magic, kEngineCheckpointMagic, sizeof(magic)) != 0) {
-    return Status::DataLoss(
-        "not a sssj engine checkpoint (bad or stale header; files "
-        "from older builds are not readable)");
   }
   uint64_t next_id;
   Timestamp last_ts;
@@ -441,15 +791,44 @@ Status SssjEngine::LoadCheckpoint(std::istream& is) {
   *index = std::move(scratch);
   index->stats() = saved_stats;
   next_id_ = next_id;
-  str_->RestoreClock(last_ts, started != 0);
+  core_->RestoreClock(last_ts, started != 0);
   return Status::Ok();
 }
 
+Status SssjEngine::LoadCheckpoint(std::istream& is) {
+  // Sniff the magic to dispatch between the native (SSSJENG2) and
+  // portable (SSSJENG3) formats.
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is.good()) {
+    return Status::DataLoss(
+        "not a sssj engine checkpoint (bad or stale header; files "
+        "from older builds are not readable)");
+  }
+  if (std::memcmp(magic, kPortableCheckpointMagic, sizeof(magic)) == 0) {
+    // Portable restore rebuilds the ENGINE's combination — for kAuto,
+    // whatever was active before the last save would be a guess, so adopt
+    // L2 via the current active pair (the duel re-converges regardless).
+    return RestorePortable(is, active_framework_, active_scheme_);
+  }
+  if (std::memcmp(magic, kEngineCheckpointMagic, sizeof(magic)) == 0) {
+    if (MigrationEnabled()) {
+      return Status::Unimplemented(
+          "a native (SSSJENG2) checkpoint cannot restore a "
+          "migration-enabled engine: it does not carry the live item set "
+          "migration needs; load it into a non-migration STR-L2 engine or "
+          "save a portable checkpoint instead");
+    }
+    return LoadNative(is);
+  }
+  return Status::DataLoss(
+      "not a sssj engine checkpoint (bad or stale header; files "
+      "from older builds are not readable)");
+}
+
 Status SssjEngine::LoadCheckpoint(const std::string& path) {
-  if (str_ == nullptr || config_.index != IndexScheme::kL2 ||
-      config_.num_threads > 1) {
-    return Status::Unimplemented(
-        "checkpointing is supported for single-threaded STR-L2 only");
+  if (!MigrationEnabled() && !NativeCheckpointable()) {
+    return Status::Unimplemented(kNativeOnlyMessage);
   }
   std::ifstream f(path, std::ios::binary);
   if (!f) {

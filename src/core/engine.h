@@ -50,7 +50,9 @@
 #include <string>
 #include <vector>
 
+#include "core/auto_tuner.h"
 #include "core/ingest_pump.h"
+#include "core/join_core.h"
 #include "core/result.h"
 #include "core/similarity.h"
 #include "core/stats.h"
@@ -62,14 +64,14 @@
 
 namespace sssj {
 
-enum class Framework { kMiniBatch, kStreaming };
-enum class IndexScheme { kInv, kAp, kL2ap, kL2 };
+// Framework and IndexScheme live in core/join_core.h (the swappable-core
+// layer needs them below the engine); re-exported here for existing users.
 
 const char* ToString(Framework f);
 const char* ToString(IndexScheme s);
 // Case-insensitive parse ("MB"/"minibatch", "STR"/"streaming"; "INV",
-// "AP", "L2AP", "L2"). Unknown names yield kInvalidArgument naming the
-// input.
+// "AP", "L2AP", "L2", "AUTO"). Unknown names yield kInvalidArgument naming
+// the input.
 StatusOr<Framework> ParseFramework(const std::string& s);
 StatusOr<IndexScheme> ParseIndexScheme(const std::string& s);
 // Case-insensitive parse for the tiered-storage value tier ("exact"/"f64",
@@ -129,6 +131,11 @@ struct EngineConfig {
   // private pump thread; AsyncPush enqueues, Drain barriers, and results
   // are bit-identical to inline Push fed the same arrival order.
   IngestOptions ingest;
+  // Adaptive-runtime knobs (core/auto_tuner.h). adaptive.enable_migration
+  // unlocks SwitchScheme and the portable checkpoint format for every
+  // framework×scheme; index == IndexScheme::kAuto additionally runs the
+  // set-dueling controller and implies enable_migration.
+  AdaptiveOptions adaptive;
 };
 
 // Outcome of PushBatch: how many items were accepted, and for each
@@ -144,8 +151,17 @@ struct BatchPushResult {
   bool all_accepted() const { return rejects.empty(); }
 };
 
-class MiniBatchJoin;
-class StreamingJoin;
+// Builds a join core for the given framework×scheme, honoring the
+// config's thread/pool/kernel/tiering knobs (STR cores additionally
+// retain their in-horizon items when the config enables migration).
+// Fails with kUnimplemented for STR-AP and kInvalidArgument for kAuto
+// (the engine resolves kAuto to a concrete scheme before building).
+// Used by the engine shell, the scheme-migration path, and the
+// auto-tuner's shadow cores.
+StatusOr<std::unique_ptr<JoinCore>> MakeJoinCore(const EngineConfig& config,
+                                                 Framework framework,
+                                                 IndexScheme scheme,
+                                                 const DecayParams& params);
 
 class SssjEngine {
  public:
@@ -230,16 +246,71 @@ class SssjEngine {
   // Id that will be assigned to the next accepted item.
   VectorId next_id() const { return next_id_; }
 
-  // Checkpoint/restore for long-running streaming jobs. Supported for the
-  // single-threaded STR-L2 configuration (the paper's recommended index);
-  // other configs return kUnimplemented. A checkpoint captures the live
-  // index state, the id counter, and the stream clock — restoring into an
-  // engine created with the same config and then replaying the remainder
-  // of the stream yields exactly the output an uninterrupted run would
-  // have produced (tested). The file carries a magic + version header and
-  // the engine parameters; LoadCheckpoint rejects stale, truncated, or
-  // mismatched files (kDataLoss / kInvalidArgument) without touching the
-  // live engine state.
+  // ---- adaptive runtime ----
+
+  // Live scheme migration: serializes the active core through the
+  // portable checkpoint path and rehydrates a core of the target
+  // combination, replaying the live items. Pairs already reported are
+  // suppressed on replay (and forever after) by an id watermark, so the
+  // external output stream stays duplicate-free; pairs that were pending
+  // in MB windows are emitted exactly when a target-scheme engine
+  // restored from the same checkpoint would emit them — the post-switch
+  // output is bit-identical to that restored engine (tested for every
+  // source→target pair). Valid at any push boundary. Failures:
+  //   kFailedPrecondition  migration is not enabled on this engine
+  //   kInvalidArgument     target scheme is kAuto
+  //   kUnimplemented       target is STR-AP
+  // On failure the active core is untouched. Never call it concurrently
+  // with Push/Flush (JoinService serializes it under the session lock).
+  Status SwitchScheme(Framework framework, IndexScheme scheme);
+
+  // The combination currently running. Differs from config() after a
+  // migration, and from config().index always under kAuto.
+  Framework active_framework() const { return active_framework_; }
+  IndexScheme active_scheme() const { return active_scheme_; }
+
+  // Completed scheme migrations (manual + auto-tuned).
+  uint64_t scheme_switches() const { return scheme_switches_; }
+
+  // All pairs whose BOTH ids are below this watermark were already
+  // reported before the last restore/migration and are suppressed if the
+  // replayed core re-detects them. 0 until a migration or portable
+  // restore happens.
+  VectorId reported_watermark() const { return watermark_; }
+
+  // Human-readable diagnostics for configuration knobs this combination
+  // accepts but does not use (e.g. num_threads under STR-INV/STR-L2AP,
+  // tiered storage under MB). Empty when every knob is in effect.
+  // Stable for the engine's lifetime.
+  const std::vector<std::string>& configuration_notes() const {
+    return config_notes_;
+  }
+
+  // Checkpoint/restore for long-running streaming jobs, in one of two
+  // formats distinguished by their magic:
+  //   SSSJENG2 (native)   written by non-migration engines; serializes
+  //                       the STR-L2 index in place. Supported for the
+  //                       single-threaded STR-L2 configuration only (the
+  //                       paper's recommended index); other configs
+  //                       return kUnimplemented. Restoring into an engine
+  //                       with the same config and replaying the
+  //                       remainder of the stream yields exactly the
+  //                       output an uninterrupted run would have produced
+  //                       (tested).
+  //   SSSJENG3 (portable) written by migration-enabled engines (any
+  //                       framework×scheme, any thread count): the live
+  //                       item set plus the clock/id/watermark state.
+  //                       Loading replays the items through a fresh core
+  //                       of the LOADING engine's active combination —
+  //                       the file's own scheme is metadata — emitting
+  //                       any still-unreported pairs into the bound sink,
+  //                       so a checkpoint written by MB-INV restores
+  //                       cleanly into STR-L2.
+  // LoadCheckpoint accepts either magic (a native engine may read a
+  // portable file; a migration-enabled engine refuses native files, whose
+  // index records don't carry the live items migration needs). It rejects
+  // stale, truncated, or mismatched files (kDataLoss /
+  // kInvalidArgument) without touching the live engine state.
   Status SaveCheckpoint(const std::string& path) const;
   Status LoadCheckpoint(const std::string& path);
   // Stream-based cores of the two above (the path overloads wrap these).
@@ -268,12 +339,42 @@ class SssjEngine {
   Status PushImpl(Timestamp ts, SparseVector vec, ResultSink* sink);
   void FlushImpl(ResultSink* sink);
 
+  // True when this engine may use the portable checkpoint format and
+  // SwitchScheme: adaptive.enable_migration or index == kAuto.
+  bool MigrationEnabled() const;
+  // True when the native (SSSJENG2, index-serializing) checkpoint format
+  // applies: the active core is single-threaded STR-L2.
+  bool NativeCheckpointable() const;
+  // Portable (SSSJENG3) checkpoint writer/reader. RestorePortable parses
+  // and validates the whole file first, then builds a fresh core of the
+  // target combination, replays the live items into the bound sink
+  // (watermark-filtered), and only then swaps it in — a bad file leaves
+  // the engine (and its sink) untouched.
+  Status SavePortable(std::ostream& os) const;
+  Status RestorePortable(std::istream& is, Framework framework,
+                         IndexScheme scheme);
+  Status LoadNative(std::istream& is);  // positioned after the magic
+  // SwitchScheme minus the enablement checks (the auto-tuner path).
+  Status SwitchSchemeInternal(Framework framework, IndexScheme scheme);
+  // Runs the duel bookkeeping after an accepted push (kAuto only).
+  void ObserveForDuel(const StreamItem& item);
+
   EngineConfig config_;
   DecayParams params_;
   ResultSink* sink_ = nullptr;
   VectorId next_id_ = 0;
-  std::unique_ptr<MiniBatchJoin> mb_;
-  std::unique_ptr<StreamingJoin> str_;
+  // The active core plus the engine-shell view of it. config_ keeps what
+  // the user asked for (possibly kAuto); active_* is what is running.
+  std::unique_ptr<JoinCore> core_;
+  Framework active_framework_ = Framework::kStreaming;
+  IndexScheme active_scheme_ = IndexScheme::kL2;
+  VectorId watermark_ = 0;
+  uint64_t scheme_switches_ = 0;
+  // Counters of cores switched away from; stats() returns folded + active.
+  RunStats folded_stats_;
+  mutable RunStats combined_stats_;
+  std::unique_ptr<AutoTuner> tuner_;  // non-null iff config_.index == kAuto
+  std::vector<std::string> config_notes_;
   // Async ingress. Declaration order matters: the pump is declared last so
   // its destructor (which joins the pump thread) runs before the queue and
   // the joins it drains into are torn down.

@@ -1,0 +1,105 @@
+// JoinCore — the runtime-swappable interface behind SssjEngine.
+//
+// The paper's central empirical finding (§7) is that no static
+// Framework×IndexScheme configuration dominates: MB wins on dense streams
+// and short horizons, STR on sparse streams and long horizons, and the
+// INV/L2/L2AP ordering flips with θ. Making the engine adaptive therefore
+// requires that the scheme choice stop being a construction-time fact.
+// This header extracts the contract both frameworks already satisfied
+// implicitly — push, flush, stats, clock — into one vtable, so the engine
+// shell can hold "the active core" and swap it at runtime (live scheme
+// migration, core/engine.h::SwitchScheme) or on the auto-tuner's verdict
+// (core/auto_tuner.h).
+//
+// Contract (see ARCHITECTURE.md "Adaptive runtime layer" for the table):
+//   Push/PushBatch/Flush  the join itself; Push returns false only on a
+//                         time-order violation, with state unchanged.
+//   stats/MemoryBytes     work counters and resident footprint.
+//   last_ts/started/      the stream clock, exposed so the engine can
+//   RestoreClock          diagnose regressions and restore checkpoints.
+//   AtBoundary            true when the core sits between reporting units
+//                         (STR: always — emission is eager; MB: when the
+//                         current window is empty, i.e. right after a
+//                         close). Diagnostic: migration is correct at any
+//                         push boundary (see the watermark argument in
+//                         ARCHITECTURE.md), boundaries just minimize the
+//                         replayed state.
+//   CollectLiveItems      the items that can still interact with the
+//                         future — pair with later arrivals or carry
+//                         pending unreported pairs — in arrival order.
+//                         This is exactly what a portable checkpoint must
+//                         persist and a migration must replay. STR: the
+//                         horizon-retention buffer (only populated when
+//                         the core was built with retain_live). MB: the
+//                         two buffered windows W_{k−1} ∪ W_k.
+#ifndef SSSJ_CORE_JOIN_CORE_H_
+#define SSSJ_CORE_JOIN_CORE_H_
+
+#include <cstddef>
+
+#include "core/result.h"
+#include "core/stats.h"
+#include "core/stream_item.h"
+
+namespace sssj {
+
+// The paper's two processing frameworks (§5): MiniBatch windows vs the
+// fully streaming join.
+enum class Framework { kMiniBatch, kStreaming };
+// Indexing schemes (§4), plus kAuto — not a scheme but a policy: the
+// engine starts on L2 and set-duels shadow cores to migrate toward
+// whichever concrete scheme is cheapest on the live stream
+// (core/auto_tuner.h). Everything below the engine shell only ever sees
+// concrete schemes.
+enum class IndexScheme { kInv, kAp, kL2ap, kL2, kAuto };
+
+class StreamingJoin;
+
+class JoinCore {
+ public:
+  virtual ~JoinCore() = default;
+
+  virtual Framework framework() const = 0;
+
+  // Feeds one arrival; pairs are emitted into `sink` (never null here —
+  // the engine substitutes a discard sink). Returns false on a time-order
+  // violation; the item is rejected and state is unchanged.
+  virtual bool Push(const StreamItem& x, ResultSink* sink) = 0;
+
+  // Pushes every item in order, skipping time-order violations; returns
+  // the number accepted.
+  virtual size_t PushBatch(const Stream& batch, ResultSink* sink) {
+    size_t accepted = 0;
+    for (const StreamItem& item : batch) {
+      if (Push(item, sink)) ++accepted;
+    }
+    return accepted;
+  }
+
+  // Drains buffered state (MB windows); a no-op for STR.
+  virtual void Flush(ResultSink* sink) = 0;
+
+  virtual const RunStats& stats() const = 0;
+  virtual size_t MemoryBytes() const = 0;
+
+  // Stream clock, for regression diagnostics and checkpoint restore.
+  virtual Timestamp last_ts() const = 0;
+  virtual bool started() const = 0;
+  virtual void RestoreClock(Timestamp last_ts, bool started) = 0;
+
+  // True between reporting units (see header comment).
+  virtual bool AtBoundary() const = 0;
+
+  // Appends the live item set (arrival order) to `out`.
+  virtual void CollectLiveItems(Stream* out) const = 0;
+
+  // Downcast escape hatch for the native (scheme-specific) checkpoint
+  // path, which serializes the STR index in place instead of replaying
+  // items. Null for every core that is not a StreamingJoin.
+  virtual StreamingJoin* AsStreaming() { return nullptr; }
+  virtual const StreamingJoin* AsStreaming() const { return nullptr; }
+};
+
+}  // namespace sssj
+
+#endif  // SSSJ_CORE_JOIN_CORE_H_

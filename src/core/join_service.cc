@@ -20,8 +20,14 @@ Status JoinService::UnknownSession() {
 }
 
 bool JoinService::Evictable(const Session& session) {
-  return session.async_engine == nullptr &&
-         session.config.framework == Framework::kStreaming &&
+  if (session.async_engine != nullptr) return false;
+  // Migration-enabled engines save/load the portable checkpoint format,
+  // which works for every framework×scheme and thread count.
+  if (session.config.adaptive.enable_migration ||
+      session.config.index == IndexScheme::kAuto) {
+    return true;
+  }
+  return session.config.framework == Framework::kStreaming &&
          session.config.index == IndexScheme::kL2 &&
          session.config.num_threads <= 1;
 }
@@ -250,13 +256,12 @@ Status JoinService::CloseSession(SessionHandle handle) {
     ingest_pump_->Unregister(session->pump_registration);
   }
   MutexLock lock(session->mu);
-  if (session->evicted) {
-    // Only STR-L2 sessions are evictable and STR flushes are no-ops, so
-    // the spilled state has nothing buffered; drop the file.
-    std::remove(session->spill_path.c_str());
-    session->evicted = false;
-    session->spill_path.clear();
-  }
+  // An evicted session reloads before its final flush: migration-enabled
+  // MB sessions can have pairs pending in the spilled window state, and
+  // flushing the empty stand-in engine would silently drop them. (For
+  // STR-L2 spills the flush is a no-op either way.)
+  Status resident = EnsureResident(session.get());
+  if (!resident.ok()) return resident;
   session->engine->Flush();
   return Status::Ok();
 }
@@ -368,6 +373,21 @@ Status JoinService::LoadCheckpoint(SessionHandle handle,
   Status status = session->engine->LoadCheckpoint(path);
   if (status.ok()) NoteActivity(session.get());
   return status;
+}
+
+Status JoinService::SwitchScheme(SessionHandle handle, Framework framework,
+                                 IndexScheme scheme) {
+  std::shared_ptr<Session> session = Lookup(handle);
+  if (session == nullptr) return UnknownSession();
+  MutexLock lock(session->mu);
+  if (session->closed) return UnknownSession();
+  // Migrating the empty stand-in of an evicted session would orphan the
+  // spilled state; bring it back first.
+  Status resident = EnsureResident(session.get());
+  if (!resident.ok()) return resident;
+  Status result = session->engine->SwitchScheme(framework, scheme);
+  NoteActivity(session.get());
+  return result;
 }
 
 StatusOr<RunStats> JoinService::SessionStats(SessionHandle handle) const {

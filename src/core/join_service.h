@@ -177,6 +177,13 @@ class JoinService {
   Status Flush(SessionHandle handle);
   Status SaveCheckpoint(SessionHandle handle, const std::string& path) const;
   Status LoadCheckpoint(SessionHandle handle, const std::string& path);
+  // Live scheme migration on one session (its engine must have migration
+  // enabled — adaptive.enable_migration or IndexScheme::kAuto). Runs
+  // under the session lock like every per-session call, so it can never
+  // interleave with a Push/Flush on the same session; other sessions are
+  // unaffected. Forwards exactly what SssjEngine::SwitchScheme returns.
+  Status SwitchScheme(SessionHandle handle, Framework framework,
+                      IndexScheme scheme) SSSJ_EXCLUDES(mu_);
   StatusOr<RunStats> SessionStats(SessionHandle handle) const;
   StatusOr<IngestStats> SessionIngestStats(SessionHandle handle) const;
   StatusOr<size_t> SessionMemoryBytes(SessionHandle handle) const;
@@ -229,8 +236,10 @@ class JoinService {
       SSSJ_EXCLUDES(mu_);
   static Status UnknownSession();
 
-  // True for the checkpointable configuration eviction supports: inline
-  // (non-async) single-threaded STR-L2.
+  // True for the checkpointable configurations eviction supports: inline
+  // (non-async) sessions that are either single-threaded STR-L2 (native
+  // checkpoint) or migration-enabled (portable checkpoint — any
+  // framework×scheme, any thread count).
   static bool Evictable(const Session& session);
   // Refreshes the session's cached accounting + LRU clock.
   void NoteActivity(Session* session) const SSSJ_REQUIRES(session->mu);

@@ -25,11 +25,17 @@ RunStats& RunStats::operator+=(const RunStats& o) {
 }
 
 std::string RunStats::ToString() const {
+  // Every counter appears here; tests/stats_test.cc enforces that a field
+  // added to the struct shows up in both operator+= and this string.
   std::ostringstream os;
   os << "vectors=" << vectors_processed << " pairs=" << pairs_emitted
      << " entries=" << entries_traversed << " cands=" << candidates_generated
+     << " l2prunes=" << l2_prunes << " verify=" << verify_calls
      << " dots=" << full_dots << " indexed=" << entries_indexed
      << " pruned=" << entries_pruned << " reindex=" << reindex_events
+     << " reindexed_vecs=" << reindexed_vectors
+     << " reindexed_coords=" << reindexed_coords
+     << " rebuilds=" << index_rebuilds
      << " peak_entries=" << peak_index_entries
      << " time=" << elapsed_seconds << "s";
   return os.str();

@@ -40,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/join_core.h"
 #include "core/result.h"
 #include "core/similarity.h"
 #include "core/stats.h"
@@ -49,7 +50,7 @@
 
 namespace sssj {
 
-class MiniBatchJoin {
+class MiniBatchJoin final : public JoinCore {
  public:
   using IndexFactory = std::function<std::unique_ptr<BatchIndex>()>;
 
@@ -74,27 +75,29 @@ class MiniBatchJoin {
   MiniBatchJoin(const DecayParams& params, IndexFactory factory,
                 double window_factor, std::shared_ptr<ThreadPool> pool);
 
+  Framework framework() const override { return Framework::kMiniBatch; }
+
   // Feeds one arrival; emits any pairs that became reportable (i.e. when
   // `x` closes one or more windows). Returns false on a time-order
   // violation (the item is rejected, state unchanged).
-  bool Push(const StreamItem& x, ResultSink* sink);
+  bool Push(const StreamItem& x, ResultSink* sink) override;
 
   // Closes all pending windows and reports the remaining pairs. The join
   // can be reused afterwards: windows, the stream clock AND the stats
   // counters start fresh on the next Push, so a reused join never
   // double-counts (stats() keeps the finished run's totals until then).
-  void Flush(ResultSink* sink);
+  void Flush(ResultSink* sink) override;
 
   // Statistics over all window indexes built in the current run (i.e.
   // since construction or the first Push after a Flush).
-  const RunStats& stats() const { return stats_; }
+  const RunStats& stats() const override { return stats_; }
   const DecayParams& params() const { return params_; }
 
   // Approximate resident bytes: the buffered windows W_{k−1} and W_k plus
   // the peak footprint of a per-window index seen this run (the index
   // itself only lives inside CloseWindow, so its high-water mark is the
   // number that matters for capacity planning).
-  size_t MemoryBytes() const;
+  size_t MemoryBytes() const override;
 
   // Window sizes, exposed for tests.
   size_t pending_current() const { return cur_.size(); }
@@ -106,8 +109,31 @@ class MiniBatchJoin {
   // Stream-clock state, exposed so the engine can diagnose a time
   // regression precisely before delegating. `started()` is false again
   // after a Flush (the next Push begins a fresh run).
-  Timestamp last_ts() const { return last_ts_; }
-  bool started() const { return started_; }
+  Timestamp last_ts() const override { return last_ts_; }
+  bool started() const override { return started_; }
+
+  // Checkpoint-restore hook: re-arms the clock after a replay rebuilt the
+  // windows. With items replayed the clock is already correct and this is
+  // a re-assertion; for a started-but-empty snapshot (possible only in
+  // adversarial inputs) the window anchor stays at its default and the
+  // next Push's gap logic re-anchors it — completeness holds for any
+  // window ≥ τ.
+  void RestoreClock(Timestamp last_ts, bool started) override {
+    last_ts_ = last_ts;
+    started_ = started;
+  }
+
+  // A window boundary: the current window is empty, i.e. the last push
+  // closed a window (or nothing was pushed yet).
+  bool AtBoundary() const override { return cur_.empty(); }
+
+  // The buffered windows W_{k−1} ∪ W_k — exactly the items whose pairs
+  // (intra- and cross-window) have not been reported yet, in arrival
+  // order.
+  void CollectLiveItems(Stream* out) const override {
+    out->insert(out->end(), prev_.begin(), prev_.end());
+    out->insert(out->end(), cur_.begin(), cur_.end());
+  }
 
  private:
   void CloseWindow(ResultSink* sink);

@@ -47,5 +47,78 @@ TEST(RunStatsTest, ToStringContainsKeyCounters) {
   EXPECT_NE(str.find("entries=99"), std::string::npos);
 }
 
+// A RunStats with every field set to a distinct recognizable value.
+RunStats FullyPopulated(uint64_t base) {
+  RunStats s;
+  s.entries_traversed = base + 1;
+  s.candidates_generated = base + 2;
+  s.l2_prunes = base + 3;
+  s.verify_calls = base + 4;
+  s.full_dots = base + 5;
+  s.pairs_emitted = base + 6;
+  s.vectors_processed = base + 7;
+  s.entries_indexed = base + 8;
+  s.entries_pruned = base + 9;
+  s.reindex_events = base + 10;
+  s.reindexed_vectors = base + 11;
+  s.reindexed_coords = base + 12;
+  s.index_rebuilds = base + 13;
+  s.peak_index_entries = base + 14;
+  s.elapsed_seconds = static_cast<double>(base) + 0.5;
+  return s;
+}
+
+// Tripwire: adding a field to RunStats changes its size, and whoever does
+// so must extend FullyPopulated, operator+= (tested below), and ToString
+// (tested below) — the three places a silently-unaggregated or
+// silently-unprinted counter hides.
+TEST(RunStatsTest, StructSizeIsPinned) {
+  EXPECT_EQ(sizeof(RunStats), 120u)
+      << "RunStats grew: update operator+=, ToString, FullyPopulated, and "
+         "then this pin";
+}
+
+TEST(RunStatsTest, PlusEqualsCoversEveryField) {
+  RunStats a = FullyPopulated(100);
+  const RunStats b = FullyPopulated(1000);
+  a += b;
+  EXPECT_EQ(a.entries_traversed, 100u + 1 + 1000 + 1);
+  EXPECT_EQ(a.candidates_generated, 100u + 2 + 1000 + 2);
+  EXPECT_EQ(a.l2_prunes, 100u + 3 + 1000 + 3);
+  EXPECT_EQ(a.verify_calls, 100u + 4 + 1000 + 4);
+  EXPECT_EQ(a.full_dots, 100u + 5 + 1000 + 5);
+  EXPECT_EQ(a.pairs_emitted, 100u + 6 + 1000 + 6);
+  EXPECT_EQ(a.vectors_processed, 100u + 7 + 1000 + 7);
+  EXPECT_EQ(a.entries_indexed, 100u + 8 + 1000 + 8);
+  EXPECT_EQ(a.entries_pruned, 100u + 9 + 1000 + 9);
+  EXPECT_EQ(a.reindex_events, 100u + 10 + 1000 + 10);
+  EXPECT_EQ(a.reindexed_vectors, 100u + 11 + 1000 + 11);
+  EXPECT_EQ(a.reindexed_coords, 100u + 12 + 1000 + 12);
+  EXPECT_EQ(a.index_rebuilds, 100u + 13 + 1000 + 13);
+  // Peak is a high-water mark, not a flow: max, never sum.
+  EXPECT_EQ(a.peak_index_entries, 1014u);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, 100.5 + 1000.5);
+}
+
+TEST(RunStatsTest, ToStringMentionsEveryField) {
+  const RunStats s = FullyPopulated(200);
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("entries=201"), std::string::npos) << str;
+  EXPECT_NE(str.find("cands=202"), std::string::npos) << str;
+  EXPECT_NE(str.find("l2prunes=203"), std::string::npos) << str;
+  EXPECT_NE(str.find("verify=204"), std::string::npos) << str;
+  EXPECT_NE(str.find("dots=205"), std::string::npos) << str;
+  EXPECT_NE(str.find("pairs=206"), std::string::npos) << str;
+  EXPECT_NE(str.find("vectors=207"), std::string::npos) << str;
+  EXPECT_NE(str.find("indexed=208"), std::string::npos) << str;
+  EXPECT_NE(str.find("pruned=209"), std::string::npos) << str;
+  EXPECT_NE(str.find("reindex=210"), std::string::npos) << str;
+  EXPECT_NE(str.find("reindexed_vecs=211"), std::string::npos) << str;
+  EXPECT_NE(str.find("reindexed_coords=212"), std::string::npos) << str;
+  EXPECT_NE(str.find("rebuilds=213"), std::string::npos) << str;
+  EXPECT_NE(str.find("peak_entries=214"), std::string::npos) << str;
+  EXPECT_NE(str.find("time=200.5s"), std::string::npos) << str;
+}
+
 }  // namespace
 }  // namespace sssj
