@@ -27,6 +27,7 @@
 
 #include "bench/bench_util.h"
 #include "bench_common/bench_json.h"
+#include "cluster/supervisor.h"
 #include "core/join_service.h"
 #include "util/timer.h"
 
@@ -169,6 +170,146 @@ int Run(int argc, char** argv) {
                "the "
             << ToString(DetectSimdLevel()) << " kernels)\n";
   table.Print(std::cout);
+
+  // ---- Cluster sweep: in-process vs K-worker fleet over the wire ----
+  // The same driver feeds S sessions round-robin through a ClusterClient
+  // against both backends, so the table isolates what the cluster layer
+  // costs: frame encode/decode + a Unix-socket round trip per call, and
+  // how that overhead moves as the fleet widens (rendezvous hashing
+  // spreads the sessions, so wider fleets mean smaller per-worker
+  // indexes). Calls are synchronous, so this measures per-call overhead,
+  // not parallel speedup. The pairs column must be identical on every
+  // row — the in-process-vs-cluster bitwise pin, restated as a bench
+  // invariant. Runs before the thread sweeps because the supervisor
+  // forks its fleet, which must happen while this process is
+  // single-threaded. Skip with --no-cluster; JSON goes to
+  // --cluster-json-out (default BENCH_cluster.json; empty disables).
+  if (!flags.GetBool("no-cluster", false)) {
+    const std::vector<double> worker_list =
+        flags.GetDoubleList("worker-list", {1, 2, 4});
+    const size_t cluster_sessions =
+        static_cast<size_t>(flags.GetInt("cluster-sessions", 4));
+    const std::string cluster_json_out =
+        flags.GetString("cluster-json-out", "BENCH_cluster.json");
+    const Stream stream = GenerateProfile(
+        DatasetProfile::kRcv1, flags.GetDouble("cluster-scale", args.scale),
+        args.seed);
+    cluster::WireConfig wire_cfg;
+    wire_cfg.framework = Framework::kStreaming;
+    wire_cfg.index = IndexScheme::kL2;
+    wire_cfg.theta = theta;
+    wire_cfg.lambda = lambda;
+    std::vector<std::string> names;
+    for (size_t s = 0; s < cluster_sessions; ++s) {
+      names.push_back("bench-" + std::to_string(s));
+    }
+    const auto drive = [&](cluster::ClusterClient* client,
+                           uint64_t* pairs_out) {
+      for (const std::string& name : names) {
+        client->CreateSession(name, wire_cfg);
+      }
+      uint64_t total = 0;
+      std::vector<ResultPair> pairs;
+      Timer timer;
+      for (const StreamItem& item : stream) {
+        for (const std::string& name : names) {
+          pairs.clear();
+          client->Push(name, item.ts, item.vec, &pairs);
+          total += pairs.size();
+        }
+      }
+      for (const std::string& name : names) {
+        pairs.clear();
+        client->Flush(name, &pairs);
+        total += pairs.size();
+        pairs.clear();
+        client->CloseSession(name, &pairs);
+        total += pairs.size();
+      }
+      *pairs_out = total;
+      return timer.ElapsedSeconds();
+    };
+
+    TablePrinter table({"mode", "workers", "time(s)", "kvec/s", "pairs",
+                        "overhead"},
+                       args.tsv);
+    JsonValue cluster_rows = JsonValue::Array();
+    const double pushes = static_cast<double>(cluster_sessions) *
+                          static_cast<double>(stream.size());
+    uint64_t baseline_pairs = 0;
+    double baseline_seconds = 0.0;
+    {
+      cluster::ClusterClient local{JoinServiceOptions{}};
+      baseline_seconds = drive(&local, &baseline_pairs);
+      table.AddRow({"in-process", "0", FormatDouble(baseline_seconds, 3),
+                    FormatDouble(pushes / baseline_seconds / 1000.0, 1),
+                    std::to_string(baseline_pairs), "1.00x"});
+      cluster_rows.Push(JsonValue::Object()
+                            .Set("mode", "in-process")
+                            .Set("workers", static_cast<uint64_t>(0))
+                            .Set("seconds", baseline_seconds)
+                            .Set("kvec_per_s",
+                                 pushes / baseline_seconds / 1000.0)
+                            .Set("pairs", baseline_pairs)
+                            .Set("overhead_vs_inproc", 1.0));
+    }
+    for (double workers_d : worker_list) {
+      const int workers = workers_d < 1 ? 1 : static_cast<int>(workers_d);
+      cluster::SupervisorOptions options;
+      options.num_workers = workers;
+      cluster::Supervisor supervisor(options);
+      const Status started = supervisor.Start();
+      if (!started.ok()) {
+        std::cerr << "warning: cluster sweep skipped: "
+                  << started.ToString() << "\n";
+        break;
+      }
+      cluster::ClusterClient remote(&supervisor);
+      uint64_t pairs = 0;
+      const double seconds = drive(&remote, &pairs);
+      supervisor.Shutdown();
+      if (pairs != baseline_pairs) {
+        std::cerr << "ERROR: cluster pairs " << pairs
+                  << " != in-process pairs " << baseline_pairs << "\n";
+        return 1;
+      }
+      table.AddRow({"cluster", std::to_string(workers),
+                    FormatDouble(seconds, 3),
+                    FormatDouble(pushes / seconds / 1000.0, 1),
+                    std::to_string(pairs),
+                    FormatDouble(seconds / baseline_seconds, 2) + "x"});
+      cluster_rows.Push(JsonValue::Object()
+                            .Set("mode", "cluster")
+                            .Set("workers", static_cast<uint64_t>(workers))
+                            .Set("seconds", seconds)
+                            .Set("kvec_per_s", pushes / seconds / 1000.0)
+                            .Set("pairs", pairs)
+                            .Set("overhead_vs_inproc",
+                                 seconds / baseline_seconds));
+    }
+    std::cout << "\nCluster layer: " << cluster_sessions
+              << " STR-L2 sessions fed round-robin (n=" << stream.size()
+              << " each) through a ClusterClient; in-process vs a forked "
+                 "K-worker fleet over Unix sockets (pairs must match on "
+                 "every row)\n";
+    table.Print(std::cout);
+    if (!cluster_json_out.empty()) {
+      JsonValue cluster_doc = JsonValue::Object();
+      cluster_doc.Set("bench", "cluster")
+          .Set("theta", theta)
+          .Set("lambda", lambda)
+          .Set("seed", args.seed)
+          .Set("n", static_cast<uint64_t>(stream.size()))
+          .Set("sessions", static_cast<uint64_t>(cluster_sessions))
+          .Set("cluster", std::move(cluster_rows));
+      const Status status = WriteJsonFile(cluster_doc, cluster_json_out);
+      if (!status.ok()) {
+        std::cerr << "warning: " << status.ToString() << "\n";
+      } else {
+        std::cout << "\nwrote " << cluster_json_out << "\n";
+      }
+    }
+  }
 
   if (flags.GetBool("no-threads", false)) {
     write_doc(std::move(scaling_rows));

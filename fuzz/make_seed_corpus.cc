@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "cluster/wire.h"
 #include "core/engine.h"
 #include "data/io.h"
 
@@ -119,6 +120,87 @@ int main(int argc, char** argv) {
     if (!WriteBytes(root + "/fuzz_checkpoint/engine_tail_cut.bin",
                     bytes.substr(0, bytes.size() - 5)))
       return 1;
+  }
+
+  // Cluster wire payloads: one valid seed per decoder, prefixed with the
+  // selector byte fuzz_wire.cc dispatches on, plus truncated/corrupted
+  // variants so the replay suite hits rejection paths.
+  {
+    namespace cl = sssj::cluster;
+    auto seed = [&root](const std::string& name, uint8_t selector,
+                        const std::string& payload) {
+      return WriteBytes(root + "/fuzz_wire/" + name,
+                        std::string(1, static_cast<char>(selector)) + payload);
+    };
+    if (!seed("hello.bin", 0, cl::EncodeHello(cl::HelloPayload{}))) return 1;
+
+    cl::CreateSessionRequest create;
+    create.name = "session-a";
+    create.config.framework = sssj::Framework::kStreaming;
+    create.config.index = sssj::IndexScheme::kL2;
+    create.config.theta = 0.7;
+    create.config.lambda = 0.01;
+    const std::string create_bytes = cl::EncodeCreateSession(create);
+    if (!seed("create.bin", 1, create_bytes)) return 1;
+    if (!seed("create_truncated.bin", 1,
+              create_bytes.substr(0, create_bytes.size() / 2)))
+      return 1;
+
+    cl::PushRequest push;
+    push.name = "session-a";
+    push.ts = 12.5;
+    push.vec = sssj::SparseVector::UnitFromCoords({{0, 0.6}, {3, 0.8}});
+    const std::string push_bytes = cl::EncodePush(push);
+    if (!seed("push.bin", 2, push_bytes)) return 1;
+    std::string push_hostile = push_bytes;
+    // Blow up the declared nnz (its u32 sits just before the two 12-byte
+    // coords): the decoder must refuse, not allocate.
+    push_hostile[push_bytes.size() - 2 * (sizeof(uint32_t) + sizeof(double)) -
+                 1] = '\x7f';
+    if (!seed("push_hostile_nnz.bin", 2, push_hostile)) return 1;
+
+    cl::PushBatchRequest batch;
+    batch.name = "session-a";
+    for (const sssj::StreamItem& item : SampleStream()) {
+      batch.items.emplace_back(item.ts, item.vec);
+    }
+    if (!seed("push_batch.bin", 3, cl::EncodePushBatch(batch))) return 1;
+
+    cl::NameRequest name_req;
+    name_req.name = "session-a";
+    if (!seed("name.bin", 4, cl::EncodeName(name_req))) return 1;
+
+    cl::RestoreRequest restore;
+    restore.name = "session-a";
+    restore.config = create.config;
+    restore.checkpoint = "SSSJENG3 opaque checkpoint bytes";
+    if (!seed("restore.bin", 5, cl::EncodeRestore(restore))) return 1;
+
+    cl::Reply reply;
+    reply.status = sssj::Status::InvalidArgument("example rejection");
+    reply.accepted = 7;
+    reply.rejects.emplace_back(3, sssj::Status::OutOfRange("bad theta"));
+    sssj::ResultPair pair;
+    pair.a = 1;
+    pair.b = 2;
+    pair.ta = 0.5;
+    pair.tb = 1.5;
+    pair.dot = 0.9;
+    pair.sim = 0.9;
+    reply.pairs.push_back(pair);
+    reply.blob = "opaque";
+    if (!seed("reply.bin", 6, cl::EncodeReply(reply))) return 1;
+
+    cl::SessionWireStats stats;
+    stats.vectors_processed = 100;
+    stats.pairs_emitted = 42;
+    stats.memory_bytes = 1 << 20;
+    if (!seed("stats.bin", 7, cl::EncodeSessionStats(stats))) return 1;
+
+    // A full frame (header + payload) for the DecodeFrameHeader walk.
+    std::string frame;
+    cl::EncodeFrame(cl::FrameType::kPush, push_bytes, &frame);
+    if (!seed("frame.bin", 2, frame)) return 1;
   }
 
   std::printf("seed corpus refreshed under %s\n", root.c_str());

@@ -1,0 +1,187 @@
+#include "cluster/channel.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace sssj {
+namespace cluster {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+// Full write, EINTR-safe, SIGPIPE-free.
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("socket write");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Full read; EOF mid-message (or at a frame boundary) is kIoError — the
+// caller distinguishes "peer closed" by the message text if it cares.
+Status ReadAll(int fd, char* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("socket read");
+    }
+    if (n == 0) return Status::IoError("peer closed the connection");
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FillSockaddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument(
+        "unix socket path must be 1.." +
+        std::to_string(sizeof(addr->sun_path) - 1) + " bytes; got \"" + path +
+        "\"");
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void FrameChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status FrameChannel::Send(FrameType type, const std::string& payload) {
+  if (fd_ < 0) return Status::IoError("channel is closed");
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte cap");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  EncodeFrame(type, payload, &frame);
+  return WriteAll(fd_, frame.data(), frame.size());
+}
+
+Status FrameChannel::Recv(FrameType* type, std::string* payload) {
+  if (fd_ < 0) return Status::IoError("channel is closed");
+  uint8_t header_bytes[kFrameHeaderSize];
+  Status status =
+      ReadAll(fd_, reinterpret_cast<char*>(header_bytes), sizeof(header_bytes));
+  if (!status.ok()) return status;
+  FrameHeader header;
+  std::string error;
+  if (!DecodeFrameHeader(header_bytes, sizeof(header_bytes), &header,
+                         &error)) {
+    return Status::DataLoss("bad frame header: " + error);
+  }
+  payload->resize(header.payload_len);
+  if (header.payload_len > 0) {
+    status = ReadAll(fd_, payload->data(), header.payload_len);
+    if (!status.ok()) return status;
+  }
+  *type = header.type;
+  return Status::Ok();
+}
+
+Status FrameChannel::Call(FrameType type, const std::string& payload,
+                          Reply* reply) {
+  Status status = Send(type, payload);
+  if (!status.ok()) return status;
+  FrameType reply_type;
+  std::string reply_payload;
+  status = Recv(&reply_type, &reply_payload);
+  if (!status.ok()) return status;
+  if (reply_type != FrameType::kReply) {
+    return Status::DataLoss(std::string("expected a kReply frame, got ") +
+                            cluster::ToString(reply_type));
+  }
+  return DecodeReply(reply_payload, reply);
+}
+
+Status ListenUnix(const std::string& path, int* listen_fd) {
+  sockaddr_un addr;
+  Status status = FillSockaddr(path, &addr);
+  if (!status.ok()) return status;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  ::unlink(path.c_str());  // a stale socket file would fail the bind
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status err = Errno("bind " + path);
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, 8) < 0) {
+    const Status err = Errno("listen " + path);
+    ::close(fd);
+    return err;
+  }
+  *listen_fd = fd;
+  return Status::Ok();
+}
+
+Status AcceptOne(int listen_fd, int* conn_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      *conn_fd = fd;
+      return Status::Ok();
+    }
+    if (errno != EINTR) return Errno("accept");
+  }
+}
+
+Status ConnectUnix(const std::string& path, int* fd, int timeout_ms) {
+  sockaddr_un addr;
+  Status status = FillSockaddr(path, &addr);
+  if (!status.ok()) return status;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (sock < 0) return Errno("socket");
+    if (::connect(sock, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      *fd = sock;
+      return Status::Ok();
+    }
+    const int saved_errno = errno;
+    ::close(sock);
+    // The server may still be binding; retry until the deadline for the
+    // not-there-yet errnos, fail fast for everything else.
+    if (saved_errno != ECONNREFUSED && saved_errno != ENOENT) {
+      errno = saved_errno;
+      return Errno("connect " + path);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      errno = saved_errno;
+      return Errno("connect " + path + " (timed out)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace cluster
+}  // namespace sssj

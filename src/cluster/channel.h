@@ -1,0 +1,80 @@
+// Blocking frame transport over Unix-domain stream sockets.
+//
+// The wire layer (cluster/wire.h) is pure byte parsing; this is the thin
+// OS boundary under it: connect/listen/accept on AF_UNIX paths (or an
+// already-connected fd from socketpair(2) — how the supervisor talks to
+// the workers it forks), and Send/Recv of whole frames with EINTR-safe
+// full reads/writes. Every transport failure — peer gone (EOF, EPIPE,
+// ECONNRESET), short socket, OS error — comes back as kIoError; the
+// supervisor treats any kIoError from a worker channel as worker death
+// and runs the restart/restore path. Writes use MSG_NOSIGNAL so a dead
+// peer is an error return, never a SIGPIPE kill.
+//
+// A channel is used by one thread at a time (the worker's serve loop,
+// the supervisor's request path); it does no locking of its own.
+#ifndef SSSJ_CLUSTER_CHANNEL_H_
+#define SSSJ_CLUSTER_CHANNEL_H_
+
+#include <string>
+
+#include "cluster/wire.h"
+#include "core/status.h"
+
+namespace sssj {
+namespace cluster {
+
+class FrameChannel {
+ public:
+  FrameChannel() = default;
+  // Takes ownership of a connected stream-socket fd.
+  explicit FrameChannel(int fd) : fd_(fd) {}
+  ~FrameChannel() { Close(); }
+
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+  FrameChannel(FrameChannel&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  FrameChannel& operator=(FrameChannel&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  // Writes one complete frame. kIoError when the peer is gone or the
+  // payload exceeds the frame cap.
+  Status Send(FrameType type, const std::string& payload);
+
+  // Reads one complete frame, enforcing the header's caps before the
+  // payload allocation. kIoError on EOF/transport failure, kDataLoss on a
+  // malformed header (the peer speaks a different protocol).
+  Status Recv(FrameType* type, std::string* payload);
+
+  // Send + Recv, refusing anything but a kReply in response.
+  Status Call(FrameType type, const std::string& payload, Reply* reply);
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on `path` (unlinking a stale socket first).
+Status ListenUnix(const std::string& path, int* listen_fd);
+
+// Blocks for one connection; the caller owns *conn_fd.
+Status AcceptOne(int listen_fd, int* conn_fd);
+
+// Connects to `path`, retrying for up to `timeout_ms` while the server
+// is still binding (ECONNREFUSED / ENOENT).
+Status ConnectUnix(const std::string& path, int* fd, int timeout_ms = 2000);
+
+}  // namespace cluster
+}  // namespace sssj
+
+#endif  // SSSJ_CLUSTER_CHANNEL_H_

@@ -1,0 +1,540 @@
+#include "cluster/supervisor.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "cluster/worker.h"
+
+namespace sssj {
+namespace cluster {
+
+namespace {
+
+Status NoSession(const std::string& name) {
+  return Status::NotFound("no session named '" + name + "'");
+}
+
+}  // namespace
+
+Supervisor::Supervisor(const SupervisorOptions& options) : options_(options) {}
+
+Supervisor::~Supervisor() { Shutdown(); }
+
+Status Supervisor::Start() {
+  MutexLock lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition("the supervisor is already started");
+  }
+  if (options_.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1; got " +
+                                   std::to_string(options_.num_workers));
+  }
+  workers_.resize(static_cast<size_t>(options_.num_workers));
+  for (int slot = 0; slot < options_.num_workers; ++slot) {
+    Status status = SpawnWorker(slot);
+    if (!status.ok()) {
+      // Tear the partial fleet down so a failed Start leaks no children.
+      for (WorkerProc& w : workers_) {
+        if (!w.live) continue;
+        w.channel.Close();
+        ::kill(w.pid, SIGKILL);
+        ::waitpid(w.pid, nullptr, 0);
+        w.live = false;
+      }
+      workers_.clear();
+      return status;
+    }
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void Supervisor::Shutdown() {
+  MutexLock lock(mu_);
+  for (WorkerProc& w : workers_) {
+    if (!w.live) continue;
+    // Best-effort graceful exit; a dead worker just fails the send.
+    Reply reply;
+    (void)w.channel.Call(FrameType::kShutdown, std::string(), &reply);
+    w.channel.Close();
+    ::waitpid(w.pid, nullptr, 0);
+    w.live = false;
+  }
+  workers_.clear();
+  started_ = false;
+}
+
+Status Supervisor::SpawnWorker(int slot) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::IoError(std::string("socketpair: ") + std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return Status::IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: its only link to the world is its end of the socketpair.
+    // Close the parent end and every other worker's supervisor-side
+    // channel we inherited, so a sibling's EOF detection still works.
+    ::close(fds[0]);
+    for (WorkerProc& w : workers_) w.channel.Close();
+    {
+      FrameChannel channel(fds[1]);
+      Worker worker(WorkerOptions{options_.worker_service});
+      (void)worker.Serve(&channel);
+    }
+    // _exit, not exit: the child shares the parent's atexit state and
+    // must not run its destructors/flushes.
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  WorkerProc& proc = workers_[static_cast<size_t>(slot)];
+  proc.pid = pid;
+  proc.channel = FrameChannel(fds[0]);
+  proc.live = true;
+  // Hello exchange: a protocol mismatch fails fast with a named reason.
+  Reply reply;
+  Status status = proc.channel.Call(FrameType::kHello,
+                                    EncodeHello(HelloPayload{}), &reply);
+  if (!status.ok()) return status;
+  return reply.status;
+}
+
+Status Supervisor::RecoverWorker(int slot) {
+  WorkerProc& proc = workers_[static_cast<size_t>(slot)];
+  if (proc.live) {
+    // The channel reported kIoError; whatever state the process is in,
+    // make "dead" true before reaping so waitpid cannot hang.
+    ::kill(proc.pid, SIGKILL);
+    ::waitpid(proc.pid, nullptr, 0);
+    proc.channel.Close();
+    proc.live = false;
+  }
+  Status status = SpawnWorker(slot);
+  if (!status.ok()) return status;
+  ++restarts_;
+  // Restore every session homed on this slot, in name order (sessions_
+  // is an ordered map) so recovery is deterministic. Each session comes
+  // back from its stored checkpoint, then its journal — the mutating
+  // requests acked since that checkpoint — replays verbatim with the
+  // replies' pairs DISCARDED: those pairs were already delivered, and
+  // this discard is exactly what makes failover exactly-once.
+  for (auto& [name, rec] : sessions_) {
+    if (rec.worker != slot) continue;
+    Reply reply;
+    if (rec.checkpoint.empty()) {
+      CreateSessionRequest req;
+      req.name = name;
+      req.config = rec.config;
+      status = proc.channel.Call(FrameType::kCreateSession,
+                                 EncodeCreateSession(req), &reply);
+    } else {
+      RestoreRequest req;
+      req.name = name;
+      req.config = rec.config;
+      req.checkpoint = rec.checkpoint;
+      status =
+          proc.channel.Call(FrameType::kRestore, EncodeRestore(req), &reply);
+    }
+    if (!status.ok()) return status;
+    if (!reply.status.ok()) {
+      return Status::Internal("failover restore of session '" + name +
+                              "' failed: " + reply.status.message());
+    }
+    for (const JournalOp& op : rec.journal) {
+      status = proc.channel.Call(op.type, op.payload, &reply);
+      if (!status.ok()) return status;
+      if (!reply.status.ok()) {
+        return Status::Internal("failover replay for session '" + name +
+                                "' failed: " + reply.status.message());
+      }
+      // reply.pairs dropped on the floor: acked = already delivered.
+    }
+  }
+  return Status::Ok();
+}
+
+Status Supervisor::CallWorker(int slot, FrameType type,
+                              const std::string& payload, Reply* reply) {
+  if (!started_) {
+    return Status::FailedPrecondition("the supervisor is not started");
+  }
+  Status status =
+      workers_[static_cast<size_t>(slot)].channel.Call(type, payload, reply);
+  if (status.ok()) return status;
+  if (status.code() != StatusCode::kIoError) return status;
+  // Transport failure = worker death. Refork, restore, replay — then
+  // retry the in-flight request exactly once (it was never journaled,
+  // so the recovery did not re-run it).
+  status = RecoverWorker(slot);
+  if (!status.ok()) return status;
+  return workers_[static_cast<size_t>(slot)].channel.Call(type, payload,
+                                                          reply);
+}
+
+Status Supervisor::JournalOpLocked(const std::string& name, SessionRec* rec,
+                                   FrameType type, std::string payload) {
+  rec->journal.push_back(JournalOp{type, std::move(payload)});
+  if (options_.checkpoint_interval > 0 &&
+      rec->journal.size() >= options_.checkpoint_interval) {
+    // Best-effort: a failed periodic checkpoint must not fail the push
+    // that triggered it — the journal simply keeps growing and the next
+    // op retries the refresh.
+    (void)CheckpointLocked(name, rec);
+  }
+  return Status::Ok();
+}
+
+Status Supervisor::CheckpointLocked(const std::string& name, SessionRec* rec) {
+  NameRequest req;
+  req.name = name;
+  Reply reply;
+  Status status =
+      CallWorker(rec->worker, FrameType::kCheckpoint, EncodeName(req), &reply);
+  if (!status.ok()) return status;
+  if (!reply.status.ok()) return reply.status;
+  rec->checkpoint = std::move(reply.blob);
+  rec->journal.clear();
+  return Status::Ok();
+}
+
+Status Supervisor::CreateSession(const std::string& name,
+                                 const WireConfig& config) {
+  MutexLock lock(mu_);
+  if (sessions_.count(name) != 0) {
+    return Status::AlreadyExists("a session named '" + name +
+                                 "' already exists");
+  }
+  SessionRec rec;
+  rec.config = config;
+  rec.worker = RendezvousOwner(name, options_.num_workers);
+  CreateSessionRequest req;
+  req.name = name;
+  req.config = config;
+  Reply reply;
+  Status status = CallWorker(rec.worker, FrameType::kCreateSession,
+                             EncodeCreateSession(req), &reply);
+  if (!status.ok()) return status;
+  if (!reply.status.ok()) return reply.status;
+  sessions_.emplace(name, std::move(rec));
+  return Status::Ok();
+}
+
+Status Supervisor::Push(const std::string& name, Timestamp ts, SparseVector vec,
+                        std::vector<ResultPair>* pairs) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return NoSession(name);
+  PushRequest req;
+  req.name = name;
+  req.ts = ts;
+  req.vec = std::move(vec);
+  std::string payload = EncodePush(req);
+  Reply reply;
+  Status status =
+      CallWorker(it->second.worker, FrameType::kPush, payload, &reply);
+  if (!status.ok()) return status;
+  if (!reply.status.ok()) return reply.status;  // rejected = no mutation
+  if (pairs != nullptr) {
+    pairs->insert(pairs->end(), reply.pairs.begin(), reply.pairs.end());
+  }
+  return JournalOpLocked(name, &it->second, FrameType::kPush,
+                         std::move(payload));
+}
+
+StatusOr<BatchPushResult> Supervisor::PushBatch(const std::string& name,
+                                                const Stream& batch,
+                                                std::vector<ResultPair>* pairs) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return NoSession(name);
+  PushBatchRequest req;
+  req.name = name;
+  req.items.reserve(batch.size());
+  for (const StreamItem& item : batch) {
+    req.items.emplace_back(item.ts, item.vec);
+  }
+  std::string payload = EncodePushBatch(req);
+  Reply reply;
+  Status status =
+      CallWorker(it->second.worker, FrameType::kPushBatch, payload, &reply);
+  if (!status.ok()) return status;
+  if (!reply.status.ok()) return reply.status;
+  if (pairs != nullptr) {
+    pairs->insert(pairs->end(), reply.pairs.begin(), reply.pairs.end());
+  }
+  BatchPushResult result;
+  result.accepted = reply.accepted;
+  result.rejects.reserve(reply.rejects.size());
+  for (const auto& [index, reject_status] : reply.rejects) {
+    result.rejects.push_back({index, reject_status});
+  }
+  // Journal even a partially-rejected batch: the accepted items mutated
+  // the engine, and a replay re-derives the same rejects.
+  status = JournalOpLocked(name, &it->second, FrameType::kPushBatch,
+                           std::move(payload));
+  if (!status.ok()) return status;
+  return result;
+}
+
+Status Supervisor::Flush(const std::string& name,
+                         std::vector<ResultPair>* pairs) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return NoSession(name);
+  NameRequest req;
+  req.name = name;
+  std::string payload = EncodeName(req);
+  Reply reply;
+  Status status =
+      CallWorker(it->second.worker, FrameType::kFlush, payload, &reply);
+  if (!status.ok()) return status;
+  if (!reply.status.ok()) return reply.status;
+  if (pairs != nullptr) {
+    pairs->insert(pairs->end(), reply.pairs.begin(), reply.pairs.end());
+  }
+  // Flush mutates MB window state, so it journals like a push.
+  return JournalOpLocked(name, &it->second, FrameType::kFlush,
+                         std::move(payload));
+}
+
+Status Supervisor::CloseSession(const std::string& name,
+                                std::vector<ResultPair>* pairs) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return NoSession(name);
+  NameRequest req;
+  req.name = name;
+  Reply reply;
+  Status status = CallWorker(it->second.worker, FrameType::kCloseSession,
+                             EncodeName(req), &reply);
+  if (!status.ok()) return status;
+  if (!reply.status.ok()) return reply.status;
+  if (pairs != nullptr) {
+    pairs->insert(pairs->end(), reply.pairs.begin(), reply.pairs.end());
+  }
+  sessions_.erase(it);
+  return Status::Ok();
+}
+
+Status Supervisor::Checkpoint(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return NoSession(name);
+  return CheckpointLocked(name, &it->second);
+}
+
+StatusOr<SessionWireStats> Supervisor::SessionStats(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return NoSession(name);
+  NameRequest req;
+  req.name = name;
+  Reply reply;
+  Status status =
+      CallWorker(it->second.worker, FrameType::kStats, EncodeName(req), &reply);
+  if (!status.ok()) return status;
+  if (!reply.status.ok()) return reply.status;
+  SessionWireStats stats;
+  status = DecodeSessionStats(reply.blob, &stats);
+  if (!status.ok()) return status;
+  return stats;
+}
+
+Status Supervisor::Migrate(const std::string& name, int target) {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return NoSession(name);
+  if (target < 0 || target >= options_.num_workers) {
+    return Status::OutOfRange("worker slot " + std::to_string(target) +
+                              " is outside the fleet of " +
+                              std::to_string(options_.num_workers));
+  }
+  SessionRec& rec = it->second;
+  if (rec.worker == target) return Status::Ok();
+  const int source = rec.worker;
+
+  // Step 1: checkpoint-and-destroy at the source. MigrateOut does NOT
+  // flush — pairs pending in MB windows travel inside the checkpoint
+  // bytes and emit at the destination, never twice.
+  NameRequest out_req;
+  out_req.name = name;
+  Reply out_reply;
+  Status status = CallWorker(source, FrameType::kMigrateOut,
+                             EncodeName(out_req), &out_reply);
+  if (!status.ok()) return status;
+  if (!out_reply.status.ok()) return out_reply.status;
+
+  // Commit the move before the restore call: if the target dies mid-
+  // restore, RecoverWorker (keyed on rec.worker == target) replants the
+  // session from this very checkpoint, and the retried restore simply
+  // reports kAlreadyExists.
+  rec.checkpoint = std::move(out_reply.blob);
+  rec.journal.clear();
+  rec.worker = target;
+
+  RestoreRequest in_req;
+  in_req.name = name;
+  in_req.config = rec.config;
+  in_req.checkpoint = rec.checkpoint;
+  Reply in_reply;
+  status =
+      CallWorker(target, FrameType::kRestore, EncodeRestore(in_req), &in_reply);
+  if (!status.ok()) return status;
+  if (in_reply.status.ok() ||
+      in_reply.status.code() == StatusCode::kAlreadyExists) {
+    return Status::Ok();
+  }
+  // The destination refused the bytes (should be impossible for a
+  // checkpoint we just took). Put the session back where it was so it
+  // is not stranded nowhere.
+  rec.worker = source;
+  Reply back_reply;
+  Status back = CallWorker(source, FrameType::kRestore, EncodeRestore(in_req),
+                           &back_reply);
+  if (!back.ok() ||
+      (!back_reply.status.ok() &&
+       back_reply.status.code() != StatusCode::kAlreadyExists)) {
+    return Status::Internal(
+        "migration of '" + name + "' failed (" + in_reply.status.message() +
+        ") and the rollback to the source worker also failed");
+  }
+  return in_reply.status;
+}
+
+StatusOr<int> Supervisor::OwnerOf(const std::string& name) const {
+  MutexLock lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return NoSession(name);
+  return it->second.worker;
+}
+
+uint64_t Supervisor::restarts() const {
+  MutexLock lock(mu_);
+  return restarts_;
+}
+
+StatusOr<pid_t> Supervisor::worker_pid(int slot) const {
+  MutexLock lock(mu_);
+  if (slot < 0 || slot >= static_cast<int>(workers_.size())) {
+    return Status::OutOfRange("worker slot " + std::to_string(slot) +
+                              " is outside the fleet");
+  }
+  return workers_[static_cast<size_t>(slot)].pid;
+}
+
+// ---- ClusterClient ----
+
+ClusterClient::ClusterClient(const JoinServiceOptions& options)
+    : service_(std::make_unique<JoinService>(options)) {}
+
+ClusterClient::ClusterClient(Supervisor* supervisor)
+    : supervisor_(supervisor) {}
+
+ClusterClient::~ClusterClient() = default;
+
+ClusterClient::LocalSession* ClusterClient::FindLocal(const std::string& name) {
+  auto it = locals_.find(name);
+  return it == locals_.end() ? nullptr : &it->second;
+}
+
+void ClusterClient::DrainLocal(CollectorSink* sink,
+                               std::vector<ResultPair>* pairs) {
+  if (pairs != nullptr) {
+    pairs->insert(pairs->end(), sink->pairs().begin(), sink->pairs().end());
+  }
+  sink->Clear();
+}
+
+Status ClusterClient::CreateSession(const std::string& name,
+                                    const WireConfig& config) {
+  if (supervisor_ != nullptr) return supervisor_->CreateSession(name, config);
+  if (FindLocal(name) != nullptr) {
+    return Status::AlreadyExists("a session named '" + name +
+                                 "' already exists");
+  }
+  LocalSession local;
+  local.sink = std::make_unique<CollectorSink>();
+  // The same config resolution a worker applies — the root of the
+  // in-process vs cluster bitwise equivalence.
+  StatusOr<JoinService::SessionHandle> handle = service_->CreateSession(
+      {name, config.ToEngineConfig(), local.sink.get()});
+  if (!handle.ok()) return handle.status();
+  local.handle = *handle;
+  locals_.emplace(name, std::move(local));
+  return Status::Ok();
+}
+
+Status ClusterClient::Push(const std::string& name, Timestamp ts,
+                           SparseVector vec, std::vector<ResultPair>* pairs) {
+  if (supervisor_ != nullptr) {
+    return supervisor_->Push(name, ts, std::move(vec), pairs);
+  }
+  LocalSession* local = FindLocal(name);
+  if (local == nullptr) return NoSession(name);
+  Status status = service_->Push(local->handle, ts, std::move(vec));
+  DrainLocal(local->sink.get(), status.ok() ? pairs : nullptr);
+  return status;
+}
+
+StatusOr<BatchPushResult> ClusterClient::PushBatch(
+    const std::string& name, const Stream& batch,
+    std::vector<ResultPair>* pairs) {
+  if (supervisor_ != nullptr) {
+    return supervisor_->PushBatch(name, batch, pairs);
+  }
+  LocalSession* local = FindLocal(name);
+  if (local == nullptr) return NoSession(name);
+  StatusOr<BatchPushResult> result = service_->PushBatch(local->handle, batch);
+  DrainLocal(local->sink.get(), result.ok() ? pairs : nullptr);
+  return result;
+}
+
+Status ClusterClient::Flush(const std::string& name,
+                            std::vector<ResultPair>* pairs) {
+  if (supervisor_ != nullptr) return supervisor_->Flush(name, pairs);
+  LocalSession* local = FindLocal(name);
+  if (local == nullptr) return NoSession(name);
+  Status status = service_->Flush(local->handle);
+  DrainLocal(local->sink.get(), status.ok() ? pairs : nullptr);
+  return status;
+}
+
+Status ClusterClient::CloseSession(const std::string& name,
+                                   std::vector<ResultPair>* pairs) {
+  if (supervisor_ != nullptr) return supervisor_->CloseSession(name, pairs);
+  auto it = locals_.find(name);
+  if (it == locals_.end()) return NoSession(name);
+  Status status = service_->CloseSession(it->second.handle);
+  DrainLocal(it->second.sink.get(), status.ok() ? pairs : nullptr);
+  locals_.erase(it);
+  return status;
+}
+
+StatusOr<SessionWireStats> ClusterClient::SessionStats(
+    const std::string& name) {
+  if (supervisor_ != nullptr) return supervisor_->SessionStats(name);
+  LocalSession* local = FindLocal(name);
+  if (local == nullptr) return NoSession(name);
+  StatusOr<RunStats> stats = service_->SessionStats(local->handle);
+  if (!stats.ok()) return stats.status();
+  StatusOr<size_t> memory = service_->SessionMemoryBytes(local->handle);
+  if (!memory.ok()) return memory.status();
+  SessionWireStats wire_stats;
+  wire_stats.vectors_processed = stats->vectors_processed;
+  wire_stats.pairs_emitted = stats->pairs_emitted;
+  wire_stats.memory_bytes = *memory;
+  return wire_stats;
+}
+
+}  // namespace cluster
+}  // namespace sssj

@@ -1,0 +1,227 @@
+// Cluster supervisor — partitions sessions across forked worker
+// processes, forwards calls over the frame protocol, and survives
+// worker death with exactly-once pair delivery.
+//
+// Placement: a session's home worker is RendezvousOwner(name, K) —
+// every router instance computes the same owner, and resizing the fleet
+// by one slot moves only ~1/K of the sessions. Migrate() overrides the
+// home slot for one session: MigrateOut at the source (checkpoint +
+// destroy WITHOUT flush) and Restore at the destination move the
+// engine's portable SSSJENG3 bytes verbatim, so a migrated session's
+// output is bit-identical to one that never moved.
+//
+// Failover: the supervisor keeps, per session, (a) the latest
+// checkpoint bytes and (b) a journal of the encoded mutating request
+// payloads (push / batch / flush) completed since that checkpoint.
+// Requests are synchronous, so a journaled operation is by definition
+// *acked*: its reply — including the pairs it emitted — already reached
+// the caller. When a worker channel returns kIoError (the one signal
+// for worker death: kill -9, crash, closed pipe), the supervisor reaps
+// the corpse, forks a fresh worker on the same slot, restores every
+// session homed there from its stored checkpoint, replays each journal
+// in order *discarding the replayed replies' pairs* (they were already
+// delivered — that discard is the exactly-once rule), and finally
+// retries the in-flight request, whose reply is delivered normally.
+// Net effect: no pair is lost, no pair is delivered twice, and the
+// stream continues from the acked watermark as if the crash never
+// happened. Periodic checkpoints (every checkpoint_interval journaled
+// ops) bound replay work.
+//
+// Fork model: workers are forked (no exec) with a socketpair as their
+// only link to the supervisor. Fork only happens while the supervisor
+// process is single-threaded — the library spawns no threads of its
+// own; callers embedding it in threaded programs should Start() before
+// spawning threads and serialize calls per Supervisor (every public
+// method takes the one internal lock, so concurrent calls are safe but
+// not parallel).
+#ifndef SSSJ_CLUSTER_SUPERVISOR_H_
+#define SSSJ_CLUSTER_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/channel.h"
+#include "cluster/wire.h"
+#include "core/join_service.h"
+#include "core/result.h"
+#include "core/status.h"
+#include "util/thread_annotations.h"
+
+namespace sssj {
+namespace cluster {
+
+struct SupervisorOptions {
+  // Worker fleet size; fixed for the supervisor's lifetime.
+  int num_workers = 2;
+  // Refresh a session's stored checkpoint (and truncate its journal)
+  // after this many journaled mutating operations. Smaller = cheaper
+  // replay after a crash, more checkpoint traffic. 0 = only explicit
+  // Checkpoint() calls truncate journals.
+  uint64_t checkpoint_interval = 64;
+  // Forwarded to each worker's JoinService (num_threads is forced to 1
+  // inside the worker regardless).
+  JoinServiceOptions worker_service;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(const SupervisorOptions& options = {});
+  // Shuts the fleet down (best-effort kShutdown, then reap).
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  // Forks the fleet and completes the Hello exchange with every worker.
+  Status Start() SSSJ_EXCLUDES(mu_);
+  // Graceful stop: kShutdown to every live worker, then waitpid. Safe
+  // to call twice; the destructor calls it.
+  void Shutdown() SSSJ_EXCLUDES(mu_);
+
+  // ---- session API (addressed by name, like ClusterClient) ----
+  //
+  // Each call forwards one frame to the session's worker. `pairs`
+  // (where present, may be null) receives the pairs that THIS call
+  // caused the engine to emit, in emission order, bit-exact.
+  Status CreateSession(const std::string& name, const WireConfig& config)
+      SSSJ_EXCLUDES(mu_);
+  Status Push(const std::string& name, Timestamp ts, SparseVector vec,
+              std::vector<ResultPair>* pairs) SSSJ_EXCLUDES(mu_);
+  // Mirrors JoinService::PushBatch: per-item rejects, accepted count.
+  StatusOr<BatchPushResult> PushBatch(const std::string& name,
+                                      const Stream& batch,
+                                      std::vector<ResultPair>* pairs)
+      SSSJ_EXCLUDES(mu_);
+  Status Flush(const std::string& name, std::vector<ResultPair>* pairs)
+      SSSJ_EXCLUDES(mu_);
+  // Final flush + destroy; the name becomes reusable.
+  Status CloseSession(const std::string& name, std::vector<ResultPair>* pairs)
+      SSSJ_EXCLUDES(mu_);
+  // Snapshots the session's checkpoint into the supervisor (truncating
+  // its journal) — also the failover restore point.
+  Status Checkpoint(const std::string& name) SSSJ_EXCLUDES(mu_);
+  StatusOr<SessionWireStats> SessionStats(const std::string& name)
+      SSSJ_EXCLUDES(mu_);
+
+  // Moves the session to worker slot `target` (checkpoint bytes travel
+  // verbatim; output is bit-identical to never migrating). The session's
+  // journal is truncated — the migration checkpoint is the new restore
+  // point.
+  Status Migrate(const std::string& name, int target) SSSJ_EXCLUDES(mu_);
+
+  // The slot a session currently lives on (kNotFound if unknown).
+  StatusOr<int> OwnerOf(const std::string& name) const SSSJ_EXCLUDES(mu_);
+
+  int num_workers() const { return options_.num_workers; }
+  // Lifetime count of crash-restarts (not graceful shutdowns).
+  uint64_t restarts() const SSSJ_EXCLUDES(mu_);
+  // The worker's pid — for tests that kill -9 it.
+  StatusOr<pid_t> worker_pid(int slot) const SSSJ_EXCLUDES(mu_);
+
+ private:
+  struct WorkerProc {
+    pid_t pid = -1;
+    FrameChannel channel;
+    bool live = false;
+  };
+
+  // One journaled mutating request: the frame type + encoded payload,
+  // replayed verbatim on failover (replies discarded — already acked).
+  struct JournalOp {
+    FrameType type;
+    std::string payload;
+  };
+
+  struct SessionRec {
+    WireConfig config;
+    int worker = 0;
+    std::string checkpoint;  // empty = restore is a fresh CreateSession
+    std::vector<JournalOp> journal;
+  };
+
+  // Forks slot `slot` and runs the Hello exchange.
+  Status SpawnWorker(int slot) SSSJ_REQUIRES(mu_);
+  // SIGKILL + reap + refork + restore every session homed on `slot`
+  // (checkpoint, then journal replay with pairs discarded).
+  Status RecoverWorker(int slot) SSSJ_REQUIRES(mu_);
+  // Sends one request; on kIoError runs RecoverWorker and retries once.
+  // Any non-transport failure is returned as the reply's status.
+  Status CallWorker(int slot, FrameType type, const std::string& payload,
+                    Reply* reply) SSSJ_REQUIRES(mu_);
+  // Journal bookkeeping after a successful mutating call; may trigger a
+  // periodic checkpoint refresh.
+  Status JournalOpLocked(const std::string& name, SessionRec* rec,
+                         FrameType type, std::string payload)
+      SSSJ_REQUIRES(mu_);
+  // kCheckpoint to the session's worker; stores the blob, clears the
+  // journal.
+  Status CheckpointLocked(const std::string& name, SessionRec* rec)
+      SSSJ_REQUIRES(mu_);
+
+  const SupervisorOptions options_;
+
+  mutable Mutex mu_;
+  bool started_ SSSJ_GUARDED_BY(mu_) = false;
+  std::vector<WorkerProc> workers_ SSSJ_GUARDED_BY(mu_);
+  // std::map: failover restores sessions in name order — deterministic.
+  std::map<std::string, SessionRec> sessions_ SSSJ_GUARDED_BY(mu_);
+  uint64_t restarts_ SSSJ_GUARDED_BY(mu_) = 0;
+};
+
+// Thin client presenting one Status-based session API over either
+// backend, so examples and benches target in-process or cluster
+// execution transparently:
+//
+//   ClusterClient local(JoinServiceOptions{});     // in-process engines
+//   ClusterClient remote(&supervisor);             // forked fleet
+//   client.CreateSession("news", config);
+//   client.Push("news", ts, vec, &pairs);          // same calls either way
+//
+// Both backends resolve configs through WireConfig::ToEngineConfig(),
+// so the in-process and cluster outputs are bit-identical for the same
+// stream — the equivalence the cluster tests pin.
+class ClusterClient {
+ public:
+  // In-process backend: a private JoinService, one CollectorSink per
+  // session, pairs drained per call exactly like a worker does.
+  explicit ClusterClient(const JoinServiceOptions& options);
+  // Cluster backend: forwards to a Start()ed supervisor (borrowed; must
+  // outlive the client).
+  explicit ClusterClient(Supervisor* supervisor);
+  ~ClusterClient();
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  Status CreateSession(const std::string& name, const WireConfig& config);
+  Status Push(const std::string& name, Timestamp ts, SparseVector vec,
+              std::vector<ResultPair>* pairs);
+  StatusOr<BatchPushResult> PushBatch(const std::string& name,
+                                      const Stream& batch,
+                                      std::vector<ResultPair>* pairs);
+  Status Flush(const std::string& name, std::vector<ResultPair>* pairs);
+  Status CloseSession(const std::string& name, std::vector<ResultPair>* pairs);
+  StatusOr<SessionWireStats> SessionStats(const std::string& name);
+
+ private:
+  struct LocalSession {
+    JoinService::SessionHandle handle;
+    std::unique_ptr<CollectorSink> sink;
+  };
+
+  LocalSession* FindLocal(const std::string& name);
+  static void DrainLocal(CollectorSink* sink, std::vector<ResultPair>* pairs);
+
+  Supervisor* supervisor_ = nullptr;               // cluster backend
+  std::unique_ptr<JoinService> service_;           // in-process backend
+  std::map<std::string, LocalSession> locals_;
+};
+
+}  // namespace cluster
+}  // namespace sssj
+
+#endif  // SSSJ_CLUSTER_SUPERVISOR_H_

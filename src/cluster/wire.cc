@@ -1,0 +1,454 @@
+#include "cluster/wire.h"
+
+#include <cmath>
+
+namespace sssj {
+namespace cluster {
+
+const char* ToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "kHello";
+    case FrameType::kCreateSession:
+      return "kCreateSession";
+    case FrameType::kPush:
+      return "kPush";
+    case FrameType::kPushBatch:
+      return "kPushBatch";
+    case FrameType::kFlush:
+      return "kFlush";
+    case FrameType::kCheckpoint:
+      return "kCheckpoint";
+    case FrameType::kRestore:
+      return "kRestore";
+    case FrameType::kMigrateOut:
+      return "kMigrateOut";
+    case FrameType::kCloseSession:
+      return "kCloseSession";
+    case FrameType::kStats:
+      return "kStats";
+    case FrameType::kShutdown:
+      return "kShutdown";
+    case FrameType::kReply:
+      return "kReply";
+  }
+  return "unknown";
+}
+
+bool DecodeFrameHeader(const uint8_t* data, size_t size, FrameHeader* out,
+                       std::string* error) {
+  if (size < kFrameHeaderSize) {
+    if (error != nullptr) *error = "truncated frame header";
+    return false;
+  }
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, data, sizeof(payload_len));
+  const uint8_t type_byte = data[4];
+  if (type_byte < static_cast<uint8_t>(FrameType::kHello) ||
+      type_byte > static_cast<uint8_t>(FrameType::kReply)) {
+    if (error != nullptr) {
+      *error = "unknown frame type " + std::to_string(type_byte);
+    }
+    return false;
+  }
+  if (payload_len > kMaxFramePayload) {
+    if (error != nullptr) {
+      *error = "declared payload length " + std::to_string(payload_len) +
+               " exceeds the " + std::to_string(kMaxFramePayload) +
+               "-byte frame cap";
+    }
+    return false;
+  }
+  out->type = static_cast<FrameType>(type_byte);
+  out->payload_len = payload_len;
+  return true;
+}
+
+void EncodeFrame(FrameType type, const std::string& payload,
+                 std::string* out) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+  out->push_back(static_cast<char>(type));
+  out->append(payload);
+}
+
+void WireWriter::PutVector(const SparseVector& vec) {
+  PutU32(static_cast<uint32_t>(vec.nnz()));
+  for (const Coord& c : vec) {
+    PutU32(c.dim);
+    PutF64(c.value);
+  }
+}
+
+void WireWriter::PutStatus(const Status& status) {
+  PutU8(static_cast<uint8_t>(status.code()));
+  PutString(status.message());
+}
+
+void WireWriter::PutPair(const ResultPair& pair) {
+  PutU64(pair.a);
+  PutU64(pair.b);
+  PutF64(pair.ta);
+  PutF64(pair.tb);
+  PutF64(pair.dot);
+  PutF64(pair.sim);
+}
+
+bool WireReader::GetString(std::string* s, uint32_t cap) {
+  uint32_t len = 0;
+  if (!GetU32(&len)) return false;
+  if (len > cap || size_ - pos_ < len) {
+    failed_ = true;
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+bool WireReader::GetVector(SparseVector* vec) {
+  uint32_t nnz = 0;
+  if (!GetU32(&nnz)) return false;
+  // 12 bytes per coordinate must actually be present before any reserve.
+  if (nnz > kMaxWireNnz || size_ - pos_ < static_cast<size_t>(nnz) * 12) {
+    failed_ = true;
+    return false;
+  }
+  std::vector<Coord> coords;
+  coords.reserve(nnz);
+  DimId prev_dim = 0;
+  for (uint32_t i = 0; i < nnz; ++i) {
+    Coord c;
+    if (!GetU32(&c.dim) || !GetF64(&c.value)) return false;
+    if (!std::isfinite(c.value) || !(c.value > 0.0) ||
+        (i > 0 && c.dim <= prev_dim)) {
+      failed_ = true;
+      return false;
+    }
+    prev_dim = c.dim;
+    coords.push_back(c);
+  }
+  // Validated sorted/positive/finite above, so this is an identity
+  // reconstruction with recomputed stats (same as the checkpoint loader).
+  *vec = SparseVector::FromCoords(std::move(coords));
+  return true;
+}
+
+bool WireReader::GetStatus(Status* status) {
+  uint8_t code = 0;
+  std::string message;
+  if (!GetU8(&code) || !GetString(&message)) return false;
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    failed_ = true;
+    return false;
+  }
+  *status = Status(static_cast<StatusCode>(code), std::move(message));
+  return true;
+}
+
+bool WireReader::GetPair(ResultPair* pair) {
+  return GetU64(&pair->a) && GetU64(&pair->b) && GetF64(&pair->ta) &&
+         GetF64(&pair->tb) && GetF64(&pair->dot) && GetF64(&pair->sim);
+}
+
+EngineConfig WireConfig::ToEngineConfig() const {
+  EngineConfig config;
+  config.framework = framework;
+  config.index = index;
+  config.theta = theta;
+  config.lambda = lambda;
+  config.normalize_inputs = normalize_inputs;
+  // Every cluster session must speak the portable SSSJENG3 checkpoint:
+  // it is the wire format for migration and crash-restore.
+  config.adaptive.enable_migration = true;
+  return config;
+}
+
+WireConfig WireConfig::FromEngineConfig(const EngineConfig& config) {
+  WireConfig wire;
+  wire.framework = config.framework;
+  wire.index = config.index;
+  wire.theta = config.theta;
+  wire.lambda = config.lambda;
+  wire.normalize_inputs = config.normalize_inputs;
+  return wire;
+}
+
+namespace {
+
+void PutConfig(const WireConfig& config, WireWriter* w) {
+  w->PutU8(config.framework == Framework::kMiniBatch ? 0 : 1);
+  w->PutU8(static_cast<uint8_t>(config.index));
+  w->PutF64(config.theta);
+  w->PutF64(config.lambda);
+  w->PutU8(config.normalize_inputs ? 1 : 0);
+}
+
+bool GetConfig(WireReader* r, WireConfig* config) {
+  uint8_t framework = 0;
+  uint8_t scheme = 0;
+  uint8_t normalize = 0;
+  if (!r->GetU8(&framework) || !r->GetU8(&scheme) ||
+      !r->GetF64(&config->theta) || !r->GetF64(&config->lambda) ||
+      !r->GetU8(&normalize)) {
+    return false;
+  }
+  // kAuto is deliberately refused on the wire: a cluster session's scheme
+  // must be concrete so both ends agree on what is running.
+  if (framework > 1 || scheme > static_cast<uint8_t>(IndexScheme::kL2) ||
+      normalize > 1) {
+    return false;
+  }
+  if (!std::isfinite(config->theta) || !(config->theta > 0.0) ||
+      config->theta > 1.0 || !std::isfinite(config->lambda) ||
+      config->lambda < 0.0) {
+    return false;
+  }
+  config->framework =
+      framework == 0 ? Framework::kMiniBatch : Framework::kStreaming;
+  config->index = static_cast<IndexScheme>(scheme);
+  config->normalize_inputs = normalize != 0;
+  return true;
+}
+
+Status Malformed(const char* what) {
+  return Status::DataLoss(std::string("malformed ") + what + " payload");
+}
+
+// Every decoder requires the payload to be fully consumed: trailing bytes
+// mean the two ends disagree about the format — fail loudly now, not
+// at some later frame boundary.
+Status FinishDecode(const WireReader& reader, const char* what) {
+  if (!reader.AtEnd()) return Malformed(what);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeHello(const HelloPayload& hello) {
+  WireWriter w;
+  w.PutU32(hello.magic);
+  w.PutU16(hello.version);
+  return w.Take();
+}
+
+Status DecodeHello(const std::string& payload, HelloPayload* out) {
+  WireReader r(payload);
+  if (!r.GetU32(&out->magic) || !r.GetU16(&out->version)) {
+    return Malformed("kHello");
+  }
+  return FinishDecode(r, "kHello");
+}
+
+std::string EncodeCreateSession(const CreateSessionRequest& req) {
+  WireWriter w;
+  w.PutString(req.name);
+  PutConfig(req.config, &w);
+  return w.Take();
+}
+
+Status DecodeCreateSession(const std::string& payload,
+                           CreateSessionRequest* out) {
+  WireReader r(payload);
+  if (!r.GetString(&out->name) || out->name.empty() ||
+      !GetConfig(&r, &out->config)) {
+    return Malformed("kCreateSession");
+  }
+  return FinishDecode(r, "kCreateSession");
+}
+
+std::string EncodePush(const PushRequest& req) {
+  WireWriter w;
+  w.PutString(req.name);
+  w.PutF64(req.ts);
+  w.PutVector(req.vec);
+  return w.Take();
+}
+
+Status DecodePush(const std::string& payload, PushRequest* out) {
+  WireReader r(payload);
+  if (!r.GetString(&out->name) || out->name.empty() || !r.GetF64(&out->ts) ||
+      !r.GetVector(&out->vec)) {
+    return Malformed("kPush");
+  }
+  return FinishDecode(r, "kPush");
+}
+
+std::string EncodePushBatch(const PushBatchRequest& req) {
+  WireWriter w;
+  w.PutString(req.name);
+  w.PutU32(static_cast<uint32_t>(req.items.size()));
+  for (const auto& [ts, vec] : req.items) {
+    w.PutF64(ts);
+    w.PutVector(vec);
+  }
+  return w.Take();
+}
+
+Status DecodePushBatch(const std::string& payload, PushBatchRequest* out) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  if (!r.GetString(&out->name) || out->name.empty() || !r.GetU32(&count)) {
+    return Malformed("kPushBatch");
+  }
+  // Each item is at least 12 bytes (ts + empty-vector nnz); the declared
+  // count must be coverable by the bytes present before any reserve.
+  if (count > kMaxWireBatch || r.remaining() < static_cast<size_t>(count) * 12) {
+    return Malformed("kPushBatch");
+  }
+  out->items.clear();
+  out->items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Timestamp ts = 0.0;
+    SparseVector vec;
+    if (!r.GetF64(&ts) || !r.GetVector(&vec)) return Malformed("kPushBatch");
+    out->items.emplace_back(ts, std::move(vec));
+  }
+  return FinishDecode(r, "kPushBatch");
+}
+
+std::string EncodeName(const NameRequest& req) {
+  WireWriter w;
+  w.PutString(req.name);
+  return w.Take();
+}
+
+Status DecodeName(const std::string& payload, NameRequest* out) {
+  WireReader r(payload);
+  if (!r.GetString(&out->name) || out->name.empty()) {
+    return Malformed("name");
+  }
+  return FinishDecode(r, "name");
+}
+
+std::string EncodeRestore(const RestoreRequest& req) {
+  WireWriter w;
+  w.PutString(req.name);
+  PutConfig(req.config, &w);
+  w.PutU32(static_cast<uint32_t>(req.checkpoint.size()));
+  std::string out = w.Take();
+  out.append(req.checkpoint);
+  return out;
+}
+
+Status DecodeRestore(const std::string& payload, RestoreRequest* out) {
+  WireReader r(payload);
+  if (!r.GetString(&out->name) || out->name.empty() ||
+      !GetConfig(&r, &out->config) ||
+      !r.GetString(&out->checkpoint, kMaxFramePayload)) {
+    return Malformed("kRestore");
+  }
+  return FinishDecode(r, "kRestore");
+}
+
+std::string EncodeReply(const Reply& reply) {
+  WireWriter w;
+  w.PutStatus(reply.status);
+  w.PutU64(reply.accepted);
+  w.PutU32(static_cast<uint32_t>(reply.rejects.size()));
+  for (const auto& [index, status] : reply.rejects) {
+    w.PutU32(index);
+    w.PutStatus(status);
+  }
+  w.PutU32(static_cast<uint32_t>(reply.pairs.size()));
+  for (const ResultPair& pair : reply.pairs) w.PutPair(pair);
+  std::string out = w.Take();
+  const uint32_t blob_len = static_cast<uint32_t>(reply.blob.size());
+  out.append(reinterpret_cast<const char*>(&blob_len), sizeof(blob_len));
+  out.append(reply.blob);
+  return out;
+}
+
+Status DecodeReply(const std::string& payload, Reply* out) {
+  WireReader r(payload);
+  uint32_t reject_count = 0;
+  if (!r.GetStatus(&out->status) || !r.GetU64(&out->accepted) ||
+      !r.GetU32(&reject_count)) {
+    return Malformed("kReply");
+  }
+  // A reject is at least 9 bytes (index + status code + empty message).
+  if (reject_count > kMaxWireBatch ||
+      r.remaining() < static_cast<size_t>(reject_count) * 9) {
+    return Malformed("kReply");
+  }
+  out->rejects.clear();
+  out->rejects.reserve(reject_count);
+  for (uint32_t i = 0; i < reject_count; ++i) {
+    uint32_t index = 0;
+    Status status;
+    if (!r.GetU32(&index) || !r.GetStatus(&status)) return Malformed("kReply");
+    out->rejects.emplace_back(index, std::move(status));
+  }
+  uint32_t pair_count = 0;
+  if (!r.GetU32(&pair_count)) return Malformed("kReply");
+  if (pair_count > kMaxWirePairs ||
+      r.remaining() < static_cast<size_t>(pair_count) * 48) {
+    return Malformed("kReply");
+  }
+  out->pairs.clear();
+  out->pairs.reserve(pair_count);
+  for (uint32_t i = 0; i < pair_count; ++i) {
+    ResultPair pair;
+    if (!r.GetPair(&pair)) return Malformed("kReply");
+    out->pairs.push_back(pair);
+  }
+  if (!r.GetString(&out->blob, kMaxFramePayload)) return Malformed("kReply");
+  return FinishDecode(r, "kReply");
+}
+
+std::string EncodeSessionStats(const SessionWireStats& stats) {
+  WireWriter w;
+  w.PutU64(stats.vectors_processed);
+  w.PutU64(stats.pairs_emitted);
+  w.PutU64(stats.memory_bytes);
+  return w.Take();
+}
+
+Status DecodeSessionStats(const std::string& payload, SessionWireStats* out) {
+  WireReader r(payload);
+  if (!r.GetU64(&out->vectors_processed) || !r.GetU64(&out->pairs_emitted) ||
+      !r.GetU64(&out->memory_bytes)) {
+    return Malformed("stats blob");
+  }
+  return FinishDecode(r, "stats blob");
+}
+
+namespace {
+
+// splitmix64 — deterministic across platforms, good avalanche for the
+// rendezvous weights.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a, then mixed per slot
+  for (const char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+int RendezvousOwner(const std::string& name, int num_workers) {
+  if (num_workers <= 1) return 0;
+  const uint64_t name_hash = HashName(name);
+  int best = 0;
+  uint64_t best_weight = 0;
+  for (int w = 0; w < num_workers; ++w) {
+    const uint64_t weight = Mix64(name_hash ^ Mix64(static_cast<uint64_t>(w)));
+    if (w == 0 || weight > best_weight) {
+      best = w;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+}  // namespace cluster
+}  // namespace sssj

@@ -156,6 +156,14 @@ class JoinService {
   // session. The name becomes reusable.
   Status CloseSession(SessionHandle handle) SSSJ_EXCLUDES(mu_);
 
+  // Destroys the session WITHOUT the final flush, discarding any pairs
+  // still pending in MB windows — for callers that have already captured
+  // the session's state in a portable checkpoint (the cluster layer's
+  // MigrateOut: the pending pairs live on in the checkpoint and emit at
+  // the destination; flushing here would emit them twice). An evicted
+  // session's spill files are deleted, not restored.
+  Status AbandonSession(SessionHandle handle) SSSJ_EXCLUDES(mu_);
+
   // Per-session mirrors of the engine API; all return kNotFound for an
   // unknown/closed handle, otherwise exactly what the underlying engine
   // returns.
@@ -177,6 +185,10 @@ class JoinService {
   Status Flush(SessionHandle handle);
   Status SaveCheckpoint(SessionHandle handle, const std::string& path) const;
   Status LoadCheckpoint(SessionHandle handle, const std::string& path);
+  // Stream-based checkpoint cores, for embedding a session's state in a
+  // larger container (the cluster layer ships them as migration frames).
+  Status SaveCheckpoint(SessionHandle handle, std::ostream& os) const;
+  Status LoadCheckpoint(SessionHandle handle, std::istream& is);
   // Live scheme migration on one session (its engine must have migration
   // enabled — adaptive.enable_migration or IndexScheme::kAuto). Runs
   // under the session lock like every per-session call, so it can never
@@ -189,6 +201,40 @@ class JoinService {
   StatusOr<size_t> SessionMemoryBytes(SessionHandle handle) const;
 
   size_t num_sessions() const SSSJ_EXCLUDES(mu_);
+
+  // ---- spill manifests (eviction that survives the process) ----
+  //
+  // Every evicted session leaves TWO files in spill_dir: the checkpoint
+  // and a versioned manifest recording which session the checkpoint
+  // belongs to. The manifest is what makes a spill restorable by a
+  // *different* JoinService instance (a restarted worker): filenames
+  // alone used to embed a per-instance registry id, so nothing could map
+  // files back to sessions after the instance died.
+  struct SpillEntry {
+    std::string name;             // session name, decoded from the manifest
+    std::string checkpoint_path;  // the spilled engine checkpoint
+    std::string manifest_path;
+  };
+
+  // Scans `spill_dir` for manifests this library wrote (any instance,
+  // any process). Unreadable or version-mismatched manifests are
+  // skipped, not fatal — a newer build's spills must not brick an older
+  // supervisor's scan. kIoError when the directory cannot be opened.
+  static StatusOr<std::vector<SpillEntry>> ListSpilled(
+      const std::string& spill_dir);
+
+  // CreateSession, then restore the new session's engine from
+  // `checkpoint_path` before returning. On a failed load the session is
+  // abandoned (never observable with partial state) and the load error
+  // is returned. The checkpoint file is left in place — pair it with
+  // RemoveSpill once the restored session is confirmed live.
+  StatusOr<SessionHandle> RestoreSession(SessionOptions options,
+                                         const std::string& checkpoint_path)
+      SSSJ_EXCLUDES(mu_);
+
+  // Deletes a spill's checkpoint + manifest pair (after a successful
+  // RestoreSession adoption).
+  static void RemoveSpill(const SpillEntry& entry);
 
   // Aggregates per-session RunStats / MemoryBytes under the session locks
   // — safe while other threads keep pushing.
